@@ -1,0 +1,80 @@
+/// \file bench_quantum.cpp
+/// The TLM-LT comparison motivating the paper's introduction: temporal
+/// decoupling with a global quantum trades timing accuracy for speed
+/// ("too large a value can lead to degraded timing accuracy because delays
+/// due to access conflicts to shared resources are not simulated").
+///
+/// For the didactic architecture we sweep the quantum and report kernel
+/// events, run time and the instant error against the event-driven
+/// baseline, then show the paper's method as the last row: fewer events
+/// than any quantum AND zero error.
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/equivalent_model.hpp"
+#include "core/lt_runner.hpp"
+#include "gen/didactic.hpp"
+#include "model/baseline.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace maxev;
+  using Clock = std::chrono::steady_clock;
+
+  gen::DidacticConfig cfg;
+  cfg.tokens = 20000;
+  cfg.source_period = Duration::us(20);
+  const model::ArchitectureDesc desc = gen::make_didactic(cfg);
+
+  model::ModelRuntime baseline(desc);
+  auto t0 = Clock::now();
+  (void)baseline.run();
+  const double base_secs =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  ConsoleTable table({"model", "kernel events", "run (s)", "speed-up",
+                      "max |error|", "mean |error|"});
+  table.add_row({"event-driven baseline",
+                 with_commas(static_cast<std::int64_t>(
+                     baseline.kernel_stats().events_scheduled)),
+                 format("%.3f", base_secs), "1.00", "0", "0"});
+
+  for (const Duration quantum :
+       {Duration::ns(100), Duration::us(10), Duration::us(1000),
+        Duration::ms(100)}) {
+    core::LooselyTimedModel lt(desc, quantum);
+    t0 = Clock::now();
+    const bool ok = lt.run();
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    const auto err = lt.error_against(baseline.instants());
+    table.add_row(
+        {"TLM-LT, quantum " + quantum.to_string(),
+         with_commas(
+             static_cast<std::int64_t>(lt.kernel_stats().events_scheduled)),
+         format("%.3f", secs), format("%.2f", base_secs / secs),
+         ok ? Duration::from_seconds(err.max_abs_seconds).to_string() : "-",
+         ok ? Duration::from_seconds(err.mean_abs_seconds).to_string() : "-"});
+  }
+
+  core::EquivalentModel eq(desc, {});
+  t0 = Clock::now();
+  (void)eq.run();
+  const double eq_secs =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  const auto diff = trace::compare_instants(baseline.instants(), eq.instants());
+  table.add_row({"equivalent model (this paper)",
+                 with_commas(static_cast<std::int64_t>(
+                     eq.kernel_stats().events_scheduled)),
+                 format("%.3f", eq_secs), format("%.2f", base_secs / eq_secs),
+                 diff ? "MISMATCH" : "0", diff ? "MISMATCH" : "0"});
+
+  std::printf("TLM-LT quantum sweep vs the dynamic computation method "
+              "(%s tokens)\n\n%s\n",
+              with_commas(static_cast<std::int64_t>(cfg.tokens)).c_str(),
+              table.render().c_str());
+  std::printf("the LT rows trade error for events; the equivalent model "
+              "removes events without introducing any error.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+/// \file bench_table1.cpp
+/// Reproduces Table I of the paper: "Measurement of achieved simulation
+/// speed-up on distinct architecture models".
+///
+/// Examples 1..4 are chains of 1..4 didactic blocks, each simulated with
+/// 20000 data tokens of varying size through the input relation, exactly as
+/// in Section IV. For every example we report the baseline model execution
+/// time, the event ratio, the achieved speed-up and the node count of the
+/// temporal dependency graph, and we assert the accuracy property (instant
+/// and usage traces identical).
+///
+/// Paper reference values (Intel CoFluent Studio on a 2.2 GHz Core2 Duo):
+///   exec time 22 / 41.2 / 59.4 / 80.2 s; event ratio 2.33 / 4.66 / 7 / 9.33;
+///   speed-up 2.27 / 4.47 / 6.38 / 8.35; nodes 10 / 19 / 28 / 37.
+/// Absolute times differ on this substrate; the monotone scaling of ratio
+/// and speed-up with the block count is the reproduced shape.
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "gen/chains.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace maxev;
+
+  constexpr std::uint64_t kTokens = 20000;
+  std::printf("Table I reproduction: %s tokens per model, median of 3 runs\n\n",
+              with_commas(static_cast<std::int64_t>(kTokens)).c_str());
+
+  ConsoleTable table({"Architecture model", "exec time (s)", "Event ratio",
+                      "Kernel-event ratio", "Speed-up", "Speed-up (obs. on)",
+                      "Nodes (paper conv.)", "Accurate"});
+
+  static const double kPaperSpeedup[] = {2.27, 4.47, 6.38, 8.35};
+  static const double kPaperRatio[] = {2.33, 4.66, 7.0, 9.33};
+
+  for (std::size_t ex = 1; ex <= 4; ++ex) {
+    const model::ArchitectureDesc desc = gen::make_table1_example(ex, kTokens);
+    // Accuracy-checked run (observation traces recorded and compared).
+    core::ExperimentOptions checked;
+    checked.repetitions = 3;
+    const core::Comparison cmp = core::run_comparison(desc, checked);
+    // Pure simulation-speed run (no observation recording, as a plain
+    // what-is-the-simulation-time measurement).
+    core::ExperimentOptions speed = checked;
+    speed.observe = false;
+    const core::Comparison fast = core::run_comparison(desc, speed);
+
+    table.add_row({format("Example %zu", ex),
+                   format("%.3f", fast.baseline.wall_seconds),
+                   format("%.2f", cmp.event_ratio),
+                   format("%.2f", cmp.kernel_event_ratio),
+                   format("%.2f", fast.speedup),
+                   format("%.2f", cmp.speedup),
+                   format("%zu", cmp.graph_paper_nodes),
+                   cmp.accurate() ? "yes" : "NO"});
+    std::printf("Example %zu: paper speed-up %.2f (event ratio %.2f) -> "
+                "measured %.2f (%.2f)\n",
+                ex, kPaperSpeedup[ex - 1], kPaperRatio[ex - 1], fast.speedup,
+                cmp.event_ratio);
+  }
+
+  std::printf("\n%s\n", table.render().c_str());
+  std::printf(
+      "Note: node counts step by 8 per block here vs the paper's 9 — our\n"
+      "chained blocks share the inter-block relation (see EXPERIMENTS.md).\n\n");
+
+  // The paper's substrate (Intel CoFluent Studio / SystemC) pays far more
+  // per kernel event than this library's coroutine kernel (~60ns). In the
+  // commercial-kernel regime — emulated by a synthetic 2us per-event cost
+  // applied to BOTH models — the speed-up converges to the event ratio,
+  // which is the paper's operating point.
+  std::printf("Commercial-kernel regime (synthetic 2us per event, %s tokens):\n",
+              with_commas(5000).c_str());
+  ConsoleTable heavy({"Architecture model", "exec time (s)", "Speed-up",
+                      "Kernel-event ratio", "Paper speed-up"});
+  for (std::size_t ex = 1; ex <= 4; ++ex) {
+    const model::ArchitectureDesc desc = gen::make_table1_example(ex, 5000);
+    core::ExperimentOptions opts;
+    opts.repetitions = 1;
+    opts.observe = false;
+    opts.compare_traces = false;
+    opts.event_overhead_ns = 2000.0;
+    const core::Comparison cmp = core::run_comparison(desc, opts);
+    heavy.add_row({format("Example %zu", ex),
+                   format("%.3f", cmp.baseline.wall_seconds),
+                   format("%.2f", cmp.speedup),
+                   format("%.2f", cmp.kernel_event_ratio),
+                   format("%.2f", kPaperSpeedup[ex - 1])});
+  }
+  std::printf("%s\n", heavy.render().c_str());
+  return 0;
+}

@@ -1,0 +1,111 @@
+/// \file design_space.cpp
+/// The use case the paper's introduction motivates: "performance and cost
+/// of potential architectures have to be assessed early ... to allow
+/// exploration of different architectures in acceptable time".
+///
+/// We sweep the LTE receiver's platform parameters — DSP rate and decoder
+/// rate — and, for each candidate platform, use the fast equivalent model
+/// to evaluate end-to-end symbol latency and real-time feasibility. The
+/// speed-up of the method is what makes a sweep like this cheap.
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/equivalent_model.hpp"
+#include "lte/receiver.hpp"
+#include "lte/scenario.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace maxev;
+
+struct Candidate {
+  double dsp_gops;
+  double decoder_gops;
+};
+
+struct Result {
+  bool feasible = false;
+  double worst_latency_us = 0.0;
+  double dsp_util = 0.0;
+};
+
+Result evaluate(const Candidate& c, std::uint64_t symbols) {
+  lte::ReceiverConfig cfg;
+  cfg.symbols = symbols;
+  cfg.seed = 7;
+  cfg.dsp_ops_per_second = c.dsp_gops * 1e9;
+  cfg.decoder_ops_per_second = c.decoder_gops * 1e9;
+  const model::ArchitectureDesc desc = lte::make_receiver(cfg);
+
+  core::EquivalentModel eq(desc, {});
+  const auto outcome = eq.run();
+  Result r;
+  if (!outcome.completed) return r;
+
+  // Worst-case input-to-output latency over all symbols.
+  const trace::InstantSeries* u = eq.instants().find("sym_in");
+  const trace::InstantSeries* y = eq.instants().find("dec_out");
+  for (std::size_t k = 0; k < y->size(); ++k) {
+    r.worst_latency_us = std::max(
+        r.worst_latency_us, (y->values()[k] - u->values()[k]).micros());
+  }
+  // Feasible when the receiver keeps up: latency bounded by ~2 symbol
+  // periods and the DSP fits the period.
+  const lte::Feasibility f = lte::dsp_feasibility(eq.usage());
+  r.feasible = f.feasible && r.worst_latency_us < 2.0 * f.symbol_period_us;
+  if (const trace::UsageTrace* dsp = eq.usage().find("dsp"))
+    r.dsp_util = dsp->utilization(eq.end_time());
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kSymbols = 20 * lte::kSymbolsPerSubframe;
+  const Candidate candidates[] = {
+      {4, 75},  {6, 75},  {8, 75},  {10, 75},
+      {4, 150}, {6, 150}, {8, 150}, {10, 150}, {12, 300},
+  };
+
+  std::printf("Design-space exploration: LTE receiver platform sizing\n");
+  std::printf("(each candidate evaluated with the equivalent model, %s "
+              "symbols)\n\n",
+              with_commas(static_cast<std::int64_t>(kSymbols)).c_str());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  ConsoleTable table({"DSP (GOPS)", "decoder (GOPS)", "worst latency (us)",
+                      "DSP util", "verdict"});
+  const Candidate* best = nullptr;
+  double best_cost = 1e300;
+  Result best_result;
+  for (const Candidate& c : candidates) {
+    const Result r = evaluate(c, kSymbols);
+    // A crude platform cost: area ~ rate.
+    const double cost = c.dsp_gops + 0.2 * c.decoder_gops;
+    table.add_row({format("%.0f", c.dsp_gops), format("%.0f", c.decoder_gops),
+                   r.feasible ? format("%.1f", r.worst_latency_us) : "-",
+                   format("%.0f%%", 100.0 * r.dsp_util),
+                   r.feasible ? (cost < best_cost ? "feasible" : "feasible")
+                              : "infeasible"});
+    if (r.feasible && cost < best_cost) {
+      best_cost = cost;
+      best = &c;
+      best_result = r;
+    }
+  }
+  const double sweep_secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::printf("%s\n", table.render().c_str());
+  if (best != nullptr) {
+    std::printf("cheapest feasible platform: DSP %.0f GOPS + decoder %.0f "
+                "GOPS (worst latency %.1fus)\n",
+                best->dsp_gops, best->decoder_gops,
+                best_result.worst_latency_us);
+  }
+  std::printf("entire sweep took %.2fs of wall-clock time.\n", sweep_secs);
+  return 0;
+}

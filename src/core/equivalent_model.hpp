@@ -1,0 +1,120 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "model/baseline.hpp"
+#include "model/desc.hpp"
+#include "sim/event.hpp"
+#include "tdg/derive.hpp"
+#include "tdg/engine.hpp"
+#include "tdg/graph.hpp"
+
+/// \file equivalent_model.hpp
+/// The equivalent executable model (paper Sections III-A and IV, Fig. 4).
+///
+/// A group of architecture functions is replaced, as seen by the simulation
+/// kernel, by:
+///  * a *Reception* side: boundary input channels run in gated-reader mode —
+///    each offer u(k) triggers ComputeInstant() (the TDG engine), and the
+///    input rendezvous is completed at the *computed* instant x_in(k), so
+///    producers observe exactly the back-pressure of the abstracted
+///    processes;
+///  * a *Emission* process per boundary output: output token k is offered at
+///    the computed instant y(k); the actual completion instant (possibly
+///    later, if the environment is slow) is fed back into the engine's
+///    history, so environment back-pressure propagates into iteration k+1
+///    exactly as in the event-driven model.
+///
+/// All internal channels of the group are never constructed: their events
+/// are the events the method saves. Their instants, and the busy intervals
+/// of every execute statement, are still recorded — computed, not simulated
+/// — which is the paper's accuracy claim.
+
+namespace maxev::core {
+
+class EquivalentModel {
+ public:
+  struct Options {
+    /// Fold pass-through completion nodes (paper's Fig. 3 compact form).
+    bool fold = true;
+    /// Insert this many pass-through padding nodes (Fig. 5 sweeps).
+    std::size_t pad_nodes = 0;
+    /// Record instant/usage traces ("observation time"). Disable for pure
+    /// simulation-speed measurements.
+    bool observe = true;
+  };
+
+  /// Abstract the functions marked in \p group (empty = all functions).
+  EquivalentModel(const model::ArchitectureDesc& desc, std::vector<bool> group);
+  EquivalentModel(const model::ArchitectureDesc& desc, std::vector<bool> group,
+                  Options opts);
+  /// The model keeps a reference to the description; a temporary would
+  /// dangle.
+  EquivalentModel(model::ArchitectureDesc&&, std::vector<bool>) = delete;
+  EquivalentModel(model::ArchitectureDesc&&, std::vector<bool>, Options) = delete;
+
+  EquivalentModel(const EquivalentModel&) = delete;
+  EquivalentModel& operator=(const EquivalentModel&) = delete;
+
+  /// Run to completion (or horizon). Same outcome semantics as the baseline.
+  model::ModelRuntime::Outcome run(
+      std::optional<TimePoint> until = std::nullopt);
+
+  [[nodiscard]] model::ModelRuntime& runtime() { return *runtime_; }
+  [[nodiscard]] const tdg::Graph& graph() const { return graph_; }
+  [[nodiscard]] const tdg::Engine& engine() const { return *engine_; }
+  [[nodiscard]] const trace::InstantTraceSet& instants() const {
+    return runtime_->instants();
+  }
+  [[nodiscard]] const trace::UsageTraceSet& usage() const {
+    return runtime_->usage();
+  }
+  [[nodiscard]] std::uint64_t relation_events() const {
+    return runtime_->relation_events();
+  }
+  [[nodiscard]] const sim::KernelStats& kernel_stats() const {
+    return runtime_->kernel_stats();
+  }
+  [[nodiscard]] TimePoint end_time() const { return runtime_->end_time(); }
+
+ private:
+  struct InputState {
+    tdg::BoundaryInput meta;
+    tdg::NodeId u = tdg::kNoNode;        // rendezvous offer node
+    tdg::NodeId x = tdg::kNoNode;        // rendezvous completion node
+    tdg::NodeId xw = tdg::kNoNode;       // fifo external write node
+    tdg::NodeId xr = tdg::kNoNode;       // fifo computed read node
+    std::uint64_t next_k = 0;            // next offer index
+    bool parked = false;                 // rendezvous offer awaiting resolution
+    std::uint64_t parked_k = 0;
+    std::uint64_t consumed = 0;          // fifo: virtual-reader progress
+    std::unique_ptr<sim::Event> ready;   // fifo: xr(k) became known
+  };
+
+  struct OutputState {
+    tdg::BoundaryOutput meta;
+    tdg::NodeId offer = tdg::kNoNode;
+    tdg::NodeId actual = tdg::kNoNode;      // kNoNode when offer == completion
+    tdg::NodeId xr_actual = tdg::kNoNode;   // fifo read instants
+    std::uint64_t emitted = 0;              // consumer progress (retain floor)
+    std::unique_ptr<sim::Event> ready;      // offer(k) became known
+  };
+
+  void wire_input(std::size_t idx);
+  void wire_output(std::size_t idx);
+  sim::Process emission_proc(std::size_t idx);
+  sim::Process virtual_fifo_reader_proc(std::size_t idx);
+  void raise_retain_floor();
+
+  const model::ArchitectureDesc* desc_;
+  std::vector<bool> group_;
+  tdg::Graph graph_;
+  std::vector<InputState> inputs_;
+  std::vector<OutputState> outputs_;
+  std::unique_ptr<model::ModelRuntime> runtime_;
+  std::unique_ptr<tdg::Engine> engine_;
+};
+
+}  // namespace maxev::core

@@ -1,0 +1,143 @@
+#include "core/experiment.hpp"
+
+#include <chrono>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace maxev::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+RunMetrics measure_baseline(const model::ArchitectureDesc& desc,
+                            int repetitions) {
+  if (repetitions < 1) throw Error("measure_baseline: repetitions must be >= 1");
+  RunMetrics m;
+  std::vector<double> walls;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    model::ModelRuntime runtime(desc);
+    const auto t0 = Clock::now();
+    const auto outcome = runtime.run();
+    walls.push_back(seconds_since(t0));
+    if (rep == 0) {
+      m.kernel_events = runtime.kernel_stats().events_scheduled;
+      m.resumes = runtime.kernel_stats().resumes;
+      m.relation_events = runtime.relation_events();
+      m.sim_end = runtime.end_time();
+      m.completed = outcome.completed;
+      if (!outcome.completed && !outcome.stall_report.empty())
+        throw SimulationError("baseline: " + outcome.stall_report);
+    }
+  }
+  m.wall_seconds = median_of(std::move(walls));
+  return m;
+}
+
+Comparison run_comparison(const model::ArchitectureDesc& desc,
+                          const ExperimentOptions& opts) {
+  if (opts.repetitions < 1)
+    throw Error("run_comparison: repetitions must be >= 1");
+
+  Comparison cmp;
+
+  // --- Baseline runs (keep the first runtime's traces for comparison). ---
+  std::unique_ptr<model::ModelRuntime> baseline_traces;
+  {
+    std::vector<double> walls;
+    for (int rep = 0; rep < opts.repetitions; ++rep) {
+      auto runtime = std::make_unique<model::ModelRuntime>(
+          desc, std::vector<bool>{}, opts.observe);
+      if (opts.event_overhead_ns > 0) {
+        runtime->kernel().set_synthetic_event_overhead(
+            std::chrono::nanoseconds(
+                static_cast<std::int64_t>(opts.event_overhead_ns)));
+      }
+      const auto t0 = Clock::now();
+      const auto outcome = runtime->run();
+      walls.push_back(seconds_since(t0));
+      if (rep == 0) {
+        cmp.baseline.kernel_events = runtime->kernel_stats().events_scheduled;
+        cmp.baseline.resumes = runtime->kernel_stats().resumes;
+        cmp.baseline.relation_events = runtime->relation_events();
+        cmp.baseline.sim_end = runtime->end_time();
+        cmp.baseline.completed = outcome.completed;
+        if (opts.require_completion && !outcome.completed)
+          throw SimulationError("baseline: " + outcome.stall_report);
+        baseline_traces = std::move(runtime);
+      }
+    }
+    cmp.baseline.wall_seconds = median_of(std::move(walls));
+  }
+
+  // --- Equivalent-model runs. ---
+  EquivalentModel::Options eopts;
+  eopts.fold = opts.fold;
+  eopts.pad_nodes = opts.pad_nodes;
+  eopts.observe = opts.observe;
+  std::unique_ptr<EquivalentModel> equivalent_traces;
+  {
+    std::vector<double> walls;
+    for (int rep = 0; rep < opts.repetitions; ++rep) {
+      auto eq = std::make_unique<EquivalentModel>(desc, opts.group, eopts);
+      if (opts.event_overhead_ns > 0) {
+        eq->runtime().kernel().set_synthetic_event_overhead(
+            std::chrono::nanoseconds(
+                static_cast<std::int64_t>(opts.event_overhead_ns)));
+      }
+      const auto t0 = Clock::now();
+      const auto outcome = eq->run();
+      walls.push_back(seconds_since(t0));
+      if (rep == 0) {
+        cmp.equivalent.kernel_events = eq->kernel_stats().events_scheduled;
+        cmp.equivalent.resumes = eq->kernel_stats().resumes;
+        cmp.equivalent.relation_events = eq->relation_events();
+        cmp.equivalent.instances_computed = eq->engine().instances_computed();
+        cmp.equivalent.arc_terms = eq->engine().arc_terms_evaluated();
+        cmp.equivalent.sim_end = eq->end_time();
+        cmp.equivalent.completed = outcome.completed;
+        cmp.graph_nodes = eq->graph().node_count();
+        cmp.graph_paper_nodes = eq->graph().paper_node_count();
+        cmp.graph_arcs = eq->graph().arc_count();
+        if (opts.require_completion && !outcome.completed)
+          throw SimulationError("equivalent: " + outcome.stall_report);
+        equivalent_traces = std::move(eq);
+      }
+    }
+    cmp.equivalent.wall_seconds = median_of(std::move(walls));
+  }
+
+  cmp.speedup = cmp.equivalent.wall_seconds > 0.0
+                    ? cmp.baseline.wall_seconds / cmp.equivalent.wall_seconds
+                    : 0.0;
+  cmp.event_ratio =
+      cmp.equivalent.relation_events > 0
+          ? static_cast<double>(cmp.baseline.relation_events) /
+                static_cast<double>(cmp.equivalent.relation_events)
+          : 0.0;
+  cmp.kernel_event_ratio =
+      cmp.equivalent.kernel_events > 0
+          ? static_cast<double>(cmp.baseline.kernel_events) /
+                static_cast<double>(cmp.equivalent.kernel_events)
+          : 0.0;
+
+  if (opts.compare_traces && opts.observe) {
+    cmp.instant_mismatch = trace::compare_instants(
+        baseline_traces->instants(), equivalent_traces->instants());
+    trace::UsageTraceSet a = baseline_traces->usage();
+    trace::UsageTraceSet b = equivalent_traces->usage();
+    a.sort_all();
+    b.sort_all();
+    cmp.usage_mismatch = trace::compare_usage(a, b);
+  }
+  return cmp;
+}
+
+}  // namespace maxev::core

@@ -1,0 +1,162 @@
+#include "core/lt_runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace maxev::core {
+
+using model::ChannelId;
+using model::FunctionId;
+using model::ResourcePolicy;
+using model::SinkId;
+using model::SourceId;
+using model::StatementKind;
+using model::Token;
+
+LooselyTimedModel::LooselyTimedModel(const model::ArchitectureDesc& desc,
+                                     Duration quantum)
+    : desc_(&desc), quantum_(quantum) {
+  if (!desc.validated())
+    throw DescriptionError("LooselyTimedModel: description must be validated");
+  if (quantum_.count() <= 0)
+    throw DescriptionError("LooselyTimedModel: quantum must be positive");
+
+  channels_.resize(desc.channels().size());
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    channels_[c].available = std::make_unique<sim::Event>(
+        kernel_, desc.channels()[c].name + ".lt");
+  }
+  resource_free_.assign(desc.resources().size(), TimePoint::origin());
+  sink_received_.assign(desc.sinks().size(), 0);
+
+  for (FunctionId f = 0; f < static_cast<FunctionId>(desc.functions().size());
+       ++f)
+    kernel_.spawn(desc.functions()[f].name, [this, f] { return function_proc(f); });
+  for (SinkId s = 0; s < static_cast<SinkId>(desc.sinks().size()); ++s)
+    kernel_.spawn(desc.sinks()[s].name, [this, s] { return sink_proc(s); });
+  for (SourceId s = 0; s < static_cast<SourceId>(desc.sources().size()); ++s)
+    kernel_.spawn(desc.sources()[s].name, [this, s] { return source_proc(s); });
+}
+
+bool LooselyTimedModel::needs_sync(TimePoint local) const {
+  return local - kernel_.now() > quantum_;
+}
+
+sim::Process LooselyTimedModel::function_proc(FunctionId f) {
+  const auto& fn = desc_->functions()[f];
+  const auto& res = desc_->resources()[fn.resource];
+  const bool sequential =
+      res.policy == ResourcePolicy::kSequentialCyclic;
+
+  TimePoint local;
+  Token tok{};
+  for (std::uint64_t k = 0;; ++k) {
+    for (const auto& s : fn.body) {
+      switch (s.kind) {
+        case StatementKind::kRead: {
+          LtChannel& ch = channels_[s.channel];
+          while (ch.queue.empty()) co_await ch.available->wait();
+          auto [t, ts] = std::move(ch.queue.front());
+          ch.queue.pop_front();
+          tok = std::move(t);
+          local = std::max(local, ts);
+          break;
+        }
+        case StatementKind::kExecute: {
+          const std::int64_t ops = s.load(tok.attrs, k);
+          const Duration d = res.duration_for(ops);
+          TimePoint start = local;
+          if (sequential) {
+            // Approximate arbitration: serialize on the resource's shared
+            // free-time. The order this is observed in depends on process
+            // interleaving — the quantum — which is the LT accuracy loss.
+            start = std::max(start, resource_free_[fn.resource]);
+            resource_free_[fn.resource] = start + d;
+          }
+          local = start + d;
+          break;
+        }
+        case StatementKind::kWrite: {
+          LtChannel& ch = channels_[s.channel];
+          instants_.series(desc_->channels()[s.channel].name).push(local);
+          ch.queue.emplace_back(tok, local);
+          ch.available->notify();
+          break;
+        }
+      }
+      if (needs_sync(local)) co_await kernel_.delay_until(local - quantum_);
+    }
+    horizon_ = std::max(horizon_, local);
+  }
+}
+
+sim::Process LooselyTimedModel::source_proc(SourceId s) {
+  const auto& src = desc_->sources()[s];
+  LtChannel& ch = channels_[src.channel];
+  TimePoint local;
+  for (std::uint64_t k = 0; k < src.count; ++k) {
+    if (src.gap) local = local + src.gap(k);
+    local = std::max(local, src.earliest(k));
+    Token tok{k, s, src.attrs(k)};
+    instants_.series(desc_->channels()[src.channel].name + ".offer").push(local);
+    ch.queue.emplace_back(std::move(tok), local);
+    ch.available->notify();
+    if (needs_sync(local)) co_await kernel_.delay_until(local - quantum_);
+  }
+  horizon_ = std::max(horizon_, local);
+  ++sources_finished_;
+}
+
+sim::Process LooselyTimedModel::sink_proc(SinkId s) {
+  const auto& snk = desc_->sinks()[s];
+  LtChannel& ch = channels_[snk.channel];
+  TimePoint local;
+  for (std::uint64_t k = 0;; ++k) {
+    if (snk.consume_delay) local = local + snk.consume_delay(k);
+    while (ch.queue.empty()) co_await ch.available->wait();
+    auto [tok, ts] = std::move(ch.queue.front());
+    ch.queue.pop_front();
+    local = std::max(local, ts);
+    ++sink_received_[s];
+    horizon_ = std::max(horizon_, local);
+  }
+}
+
+bool LooselyTimedModel::run() {
+  kernel_.run();
+  if (sources_finished_ != desc_->sources().size()) return false;
+  std::uint64_t expected = 0;
+  if (!desc_->sources().empty()) {
+    expected = desc_->sources()[0].count;
+    for (const auto& s : desc_->sources())
+      expected = std::min(expected, s.count);
+  }
+  for (auto r : sink_received_)
+    if (r < expected) return false;
+  return true;
+}
+
+LooselyTimedModel::ErrorStats LooselyTimedModel::error_against(
+    const trace::InstantTraceSet& reference) const {
+  ErrorStats st;
+  double sum = 0.0;
+  for (const auto& [name, ref] : reference.all()) {
+    const trace::InstantSeries* mine = instants_.find(name);
+    if (mine == nullptr) continue;
+    const std::size_t n = std::min(ref.size(), mine->size());
+    for (std::size_t k = 0; k < n; ++k) {
+      const double err = std::abs(
+          (mine->values()[k] - ref.values()[k]).seconds());
+      st.max_abs_seconds = std::max(st.max_abs_seconds, err);
+      sum += err;
+      ++st.instants;
+    }
+  }
+  st.mean_abs_seconds =
+      st.instants > 0 ? sum / static_cast<double>(st.instants) : 0.0;
+  return st;
+}
+
+}  // namespace maxev::core

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/desc.hpp"
+#include "model/token.hpp"
+#include "sim/event.hpp"
+#include "sim/kernel.hpp"
+#include "trace/instants.hpp"
+
+/// \file lt_runner.hpp
+/// A loosely-timed (TLM-LT style) execution of an architecture description,
+/// for comparison with the paper's method.
+///
+/// The paper's introduction: "the loosely-timed coding style ... supports
+/// the temporal decoupling method that allows processes to run ahead in a
+/// local time with no use of the simulator. ... too large a value [of the
+/// global quantum] can lead to degraded timing accuracy because delays due
+/// to access conflicts to shared resources are not simulated."
+///
+/// This runner reproduces exactly that trade-off:
+///  * every process advances a private local time; execute() adds to it
+///    without any kernel event;
+///  * channels are non-blocking timestamped queues: a reader's local time
+///    advances to max(local, token timestamp) (rendezvous back-pressure on
+///    the writer is NOT simulated);
+///  * sequential resources are approximated by a shared free-time variable
+///    (start = max(local, resource_free)), whose observed order depends on
+///    process interleaving — i.e. on the quantum;
+///  * a process yields to the kernel only when it runs more than the global
+///    quantum ahead of simulation time.
+///
+/// Large quantum => very few events, large instant errors. Small quantum =>
+/// accuracy approaches the baseline at the baseline's event cost. The
+/// equivalent model (core/equivalent_model.hpp) beats both ends of this
+/// curve, which is the paper's motivation.
+
+namespace maxev::core {
+
+class LooselyTimedModel {
+ public:
+  LooselyTimedModel(const model::ArchitectureDesc& desc, Duration quantum);
+  /// Keeps a reference to the description; a temporary would dangle.
+  LooselyTimedModel(model::ArchitectureDesc&&, Duration) = delete;
+
+  LooselyTimedModel(const LooselyTimedModel&) = delete;
+  LooselyTimedModel& operator=(const LooselyTimedModel&) = delete;
+
+  /// Run to completion. Returns false if the run stalled.
+  bool run();
+
+  [[nodiscard]] const trace::InstantTraceSet& instants() const {
+    return instants_;
+  }
+  [[nodiscard]] const sim::KernelStats& kernel_stats() const {
+    return kernel_.stats();
+  }
+  /// Largest local time reached by any process.
+  [[nodiscard]] TimePoint end_time() const { return horizon_; }
+
+  /// Timing-error statistics of this run's instants against a reference
+  /// (baseline) instant trace: maximum and mean absolute error over all
+  /// common series, in seconds.
+  struct ErrorStats {
+    double max_abs_seconds = 0.0;
+    double mean_abs_seconds = 0.0;
+    std::uint64_t instants = 0;
+  };
+  [[nodiscard]] ErrorStats error_against(
+      const trace::InstantTraceSet& reference) const;
+
+ private:
+  struct LtChannel {
+    std::deque<std::pair<model::Token, TimePoint>> queue;
+    std::unique_ptr<sim::Event> available;
+  };
+
+  sim::Process function_proc(model::FunctionId f);
+  sim::Process source_proc(model::SourceId s);
+  sim::Process sink_proc(model::SinkId s);
+
+  /// Yield to the kernel if local time ran more than a quantum ahead.
+  /// Implemented as a member coroutine helper pattern: the caller awaits
+  /// kernel_.delay_until(local - quantum) when needed.
+  [[nodiscard]] bool needs_sync(TimePoint local) const;
+
+  const model::ArchitectureDesc* desc_;
+  Duration quantum_;
+  sim::Kernel kernel_;
+  std::vector<LtChannel> channels_;
+  std::vector<TimePoint> resource_free_;  // per resource (sequential only)
+  trace::InstantTraceSet instants_;
+  TimePoint horizon_;
+  std::uint64_t sources_finished_ = 0;
+  std::vector<std::uint64_t> sink_received_;
+};
+
+}  // namespace maxev::core

@@ -1,0 +1,28 @@
+#include "core/metrics.hpp"
+
+#include "util/strings.hpp"
+
+namespace maxev::core {
+
+std::string RunMetrics::to_string() const {
+  return format(
+      "wall=%.4fs kernel_events=%llu resumes=%llu relation_events=%llu "
+      "sim_end=%s completed=%d",
+      wall_seconds, static_cast<unsigned long long>(kernel_events),
+      static_cast<unsigned long long>(resumes),
+      static_cast<unsigned long long>(relation_events),
+      sim_end.to_string().c_str(), completed ? 1 : 0);
+}
+
+std::string Comparison::to_string() const {
+  std::string out = format(
+      "speedup=%.2f event_ratio=%.2f kernel_event_ratio=%.2f nodes=%zu "
+      "(paper convention %zu) arcs=%zu accurate=%s",
+      speedup, event_ratio, kernel_event_ratio, graph_nodes,
+      graph_paper_nodes, graph_arcs, accurate() ? "yes" : "NO");
+  if (instant_mismatch) out += "\n  instant mismatch: " + *instant_mismatch;
+  if (usage_mismatch) out += "\n  usage mismatch: " + *usage_mismatch;
+  return out;
+}
+
+}  // namespace maxev::core

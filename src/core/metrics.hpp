@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/time.hpp"
+
+/// \file metrics.hpp
+/// Measurement records for the paper's evaluation quantities: model
+/// execution (wall-clock) time, simulation events, the event ratio between
+/// the two models, the achieved speed-up, and accuracy (trace equality).
+
+namespace maxev::core {
+
+/// One model run, measured.
+struct RunMetrics {
+  double wall_seconds = 0.0;          ///< median wall-clock time of run()
+  std::uint64_t kernel_events = 0;    ///< kernel queue insertions
+  std::uint64_t resumes = 0;          ///< coroutine context switches
+  std::uint64_t relation_events = 0;  ///< completed channel transfers
+  std::uint64_t instances_computed = 0;  ///< TDG instances (equivalent only)
+  std::uint64_t arc_terms = 0;           ///< TDG arc terms (equivalent only)
+  TimePoint sim_end;                  ///< final simulated time
+  bool completed = false;             ///< all tokens reached the sinks
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A paired baseline/equivalent comparison (one Table I row).
+struct Comparison {
+  RunMetrics baseline;
+  RunMetrics equivalent;
+
+  /// Wall-clock ratio baseline/equivalent (the paper's "simulation
+  /// speed-up").
+  double speedup = 0.0;
+  /// Relation-event ratio baseline/equivalent (the paper's "event ratio").
+  double event_ratio = 0.0;
+  /// Kernel-event ratio (supplementary: includes timed waits and gates).
+  double kernel_event_ratio = 0.0;
+
+  std::size_t graph_nodes = 0;        ///< live TDG nodes
+  std::size_t graph_paper_nodes = 0;  ///< nodes in the paper's counting
+  std::size_t graph_arcs = 0;
+
+  /// Accuracy: nullopt = traces identical (the paper's claim); otherwise a
+  /// description of the first difference.
+  std::optional<std::string> instant_mismatch;
+  std::optional<std::string> usage_mismatch;
+
+  [[nodiscard]] bool accurate() const {
+    return !instant_mismatch && !usage_mismatch;
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace maxev::core

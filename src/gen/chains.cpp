@@ -1,0 +1,100 @@
+#include "gen/chains.hpp"
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace maxev::gen {
+
+using model::ArchitectureDesc;
+using model::ChannelId;
+using model::ResourcePolicy;
+using model::TokenAttrs;
+
+model::ArchitectureDesc make_chain(const ChainConfig& cfg) {
+  if (cfg.blocks == 0) throw DescriptionError("make_chain: need >= 1 block");
+
+  ArchitectureDesc d;
+  const auto load = [](std::int64_t base, std::int64_t per_unit) {
+    return model::linear_ops(base, per_unit);
+  };
+
+  ChannelId input = d.add_rendezvous("M1");
+  ChannelId prev_out = input;
+  for (std::size_t b = 0; b < cfg.blocks; ++b) {
+    const std::string sfx = cfg.blocks == 1 ? "" : "_" + std::to_string(b + 1);
+    const auto p1 = d.add_resource("P1" + sfx, ResourcePolicy::kSequentialCyclic,
+                                   cfg.block.p1_ops_per_second);
+    const auto p2 = d.add_resource(
+        "P2" + sfx,
+        cfg.block.p2_limited_concurrency ? ResourcePolicy::kSequentialCyclic
+                                         : ResourcePolicy::kConcurrent,
+        cfg.block.p2_ops_per_second);
+
+    const ChannelId m1 = prev_out;
+    const ChannelId m2 = d.add_rendezvous("M2" + sfx);
+    const ChannelId m3 = d.add_rendezvous("M3" + sfx);
+    const ChannelId m4 = d.add_rendezvous("M4" + sfx);
+    const ChannelId m5 = d.add_rendezvous("M5" + sfx);
+    const ChannelId m6 = d.add_rendezvous("M6" + sfx);
+
+    const auto f1 = d.add_function("F1" + sfx, p1);
+    const auto f2 = d.add_function("F2" + sfx, p1);
+    const auto f3 = d.add_function("F3" + sfx, p2);
+    const auto f4 = d.add_function("F4" + sfx, p2);
+
+    d.fn_read(f1, m1);
+    d.fn_execute(f1, load(500, 2));
+    d.fn_write(f1, m2);
+    d.fn_execute(f1, load(300, 1));
+    d.fn_write(f1, m3);
+
+    d.fn_read(f2, m3);
+    d.fn_execute(f2, load(400, 3));
+    d.fn_write(f2, m4);
+
+    d.fn_read(f3, m2);
+    d.fn_execute(f3, load(600, 2));
+    d.fn_read(f3, m4);
+    d.fn_execute(f3, load(200, 4));
+    d.fn_write(f3, m5);
+
+    d.fn_read(f4, m5);
+    d.fn_execute(f4, load(700, 2));
+    d.fn_write(f4, m6);
+
+    prev_out = m6;
+  }
+
+  const std::uint64_t seed = cfg.block.seed;
+  const std::int64_t lo = cfg.block.size_min;
+  const std::int64_t hi = cfg.block.size_max;
+  auto attrs = [seed, lo, hi](std::uint64_t k) {
+    Rng rng(seed ^ (k * 0x9e3779b97f4a7c15ull + 0x5851f42d4c957f2dull));
+    TokenAttrs a;
+    a.size = rng.uniform_i64(lo, hi);
+    return a;
+  };
+  const Duration period = cfg.block.source_period;
+  auto earliest = [period](std::uint64_t k) {
+    return TimePoint::origin() + period * static_cast<std::int64_t>(k);
+  };
+  d.add_source("F0", input, cfg.block.tokens, earliest, attrs);
+  d.add_sink("env_out", prev_out);
+
+  d.validate();
+  return d;
+}
+
+model::ArchitectureDesc make_table1_example(std::size_t example,
+                                            std::uint64_t tokens,
+                                            std::uint64_t seed) {
+  if (example < 1 || example > 4)
+    throw DescriptionError("make_table1_example: example must be 1..4");
+  ChainConfig cfg;
+  cfg.blocks = example;
+  cfg.block.tokens = tokens;
+  cfg.block.seed = seed;
+  return make_chain(cfg);
+}
+
+}  // namespace maxev::gen

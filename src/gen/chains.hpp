@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+
+#include "gen/didactic.hpp"
+#include "model/desc.hpp"
+
+/// \file chains.hpp
+/// Table I's architecture models: the didactic example replicated as a
+/// chain of 1..4 blocks. Block i's output relation feeds block i+1's input;
+/// every block has its own pair of processing resources. One equivalent
+/// model abstracts the whole chain, so the number of saved events grows
+/// with the block count while the external interface stays a single
+/// input/output pair — the derived TDG node counts step by 9 per block
+/// (10, 19, 28, 37 in the paper's convention), matching Table I.
+
+namespace maxev::gen {
+
+struct ChainConfig {
+  std::size_t blocks = 1;  ///< 1..4 are the paper's Examples 1..4
+  DidacticConfig block;    ///< per-block parameters (tokens, seed, sizes)
+};
+
+/// Build a chain of didactic blocks.
+[[nodiscard]] model::ArchitectureDesc make_chain(const ChainConfig& cfg);
+
+/// Paper's Example N (N in 1..4) with the given token count.
+[[nodiscard]] model::ArchitectureDesc make_table1_example(
+    std::size_t example, std::uint64_t tokens = 20000, std::uint64_t seed = 1);
+
+}  // namespace maxev::gen

@@ -1,0 +1,87 @@
+#include "gen/didactic.hpp"
+
+#include "util/rng.hpp"
+
+namespace maxev::gen {
+
+using model::ArchitectureDesc;
+using model::LoadFn;
+using model::ResourcePolicy;
+using model::TokenAttrs;
+
+model::ArchitectureDesc make_didactic(const DidacticConfig& cfg) {
+  ArchitectureDesc d;
+
+  const auto p1 = d.add_resource("P1", ResourcePolicy::kSequentialCyclic,
+                                 cfg.p1_ops_per_second);
+  const auto p2 = d.add_resource(
+      "P2",
+      cfg.p2_limited_concurrency ? ResourcePolicy::kSequentialCyclic
+                                 : ResourcePolicy::kConcurrent,
+      cfg.p2_ops_per_second);
+
+  const auto m1 = d.add_rendezvous("M1");
+  const auto m2 = d.add_rendezvous("M2");
+  const auto m3 = d.add_rendezvous("M3");
+  const auto m4 = d.add_rendezvous("M4");
+  const auto m5 = d.add_rendezvous("M5");
+  const auto m6 = d.add_rendezvous("M6");
+
+  // Mapping order defines the static schedule: P1 = [F1, F2], P2 = [F3, F4].
+  const auto f1 = d.add_function("F1", p1);
+  const auto f2 = d.add_function("F2", p1);
+  const auto f3 = d.add_function("F3", p2);
+  const auto f4 = d.add_function("F4", p2);
+
+  // Loads: base + per-unit * size, distinct per execute (Ti1, Tj1, Ti2,
+  // Ti3, Tj3, Ti4 in the paper's notation).
+  const auto load = [](std::int64_t base, std::int64_t per_unit) {
+    return model::linear_ops(base, per_unit);
+  };
+
+  // F1: read(M1); execute(Ti1); write(M2); execute(Tj1); write(M3)
+  d.fn_read(f1, m1);
+  d.fn_execute(f1, load(500, 2));   // Ti1
+  d.fn_write(f1, m2);
+  d.fn_execute(f1, load(300, 1));   // Tj1
+  d.fn_write(f1, m3);
+
+  // F2: read(M3); execute(Ti2); write(M4)
+  d.fn_read(f2, m3);
+  d.fn_execute(f2, load(400, 3));   // Ti2
+  d.fn_write(f2, m4);
+
+  // F3: read(M2); execute(Ti3); read(M4); execute(Tj3); write(M5)
+  d.fn_read(f3, m2);
+  d.fn_execute(f3, load(600, 2));   // Ti3
+  d.fn_read(f3, m4);
+  d.fn_execute(f3, load(200, 4));   // Tj3
+  d.fn_write(f3, m5);
+
+  // F4: read(M5); execute(Ti4); write(M6)
+  d.fn_read(f4, m5);
+  d.fn_execute(f4, load(700, 2));   // Ti4
+  d.fn_write(f4, m6);
+
+  // F0: the environment source, with seed-deterministic varying data size.
+  const std::uint64_t seed = cfg.seed;
+  const std::int64_t lo = cfg.size_min;
+  const std::int64_t hi = cfg.size_max;
+  auto attrs = [seed, lo, hi](std::uint64_t k) {
+    Rng rng(seed ^ (k * 0x9e3779b97f4a7c15ull + 0x5851f42d4c957f2dull));
+    TokenAttrs a;
+    a.size = rng.uniform_i64(lo, hi);
+    return a;
+  };
+  const Duration period = cfg.source_period;
+  auto earliest = [period](std::uint64_t k) {
+    return TimePoint::origin() + period * static_cast<std::int64_t>(k);
+  };
+  d.add_source("F0", m1, cfg.tokens, earliest, attrs);
+  d.add_sink("env_out", m6);
+
+  d.validate();
+  return d;
+}
+
+}  // namespace maxev::gen

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+#include "model/desc.hpp"
+
+/// \file didactic.hpp
+/// The paper's didactic example (Fig. 1): five functions F0..F4, two
+/// processing resources. F0 is the environment source producing data
+/// through relation M1; F1 and F2 share the sequential processor P1
+/// (static schedule [F1, F2]); F3 and F4 run on P2. All relations use the
+/// rendezvous protocol. Execution durations depend linearly on the token's
+/// data size ("20000 data produced through relation M1 with varying data
+/// size associated").
+///
+/// The derived + folded TDG of this architecture is exactly the paper's
+/// Fig. 3: nodes u, xM1..xM6 and history references xM4(k-1), xM5(k-1),
+/// xM6(k-1) — 10 nodes in Table I's counting.
+
+namespace maxev::gen {
+
+struct DidacticConfig {
+  std::uint64_t tokens = 20000;
+  std::uint64_t seed = 1;
+  /// Paper Section III-B variant: "if we consider that P2 has also a
+  /// limited concurrency" — F3/F4 then share P2 sequentially, adding the
+  /// ⊕ xM6(k-1) term to xM2(k).
+  bool p2_limited_concurrency = false;
+  /// Source pacing: 0 = self-timed (offer as soon as the previous transfer
+  /// completed), otherwise periodic with this period.
+  Duration source_period = Duration::ps(0);
+  /// Data size range (uniform per token, deterministic in seed).
+  std::int64_t size_min = 64;
+  std::int64_t size_max = 2048;
+  /// Resource rates (operations per second).
+  double p1_ops_per_second = 1e9;
+  double p2_ops_per_second = 2e9;
+};
+
+/// Build the (validated) didactic architecture description.
+[[nodiscard]] model::ArchitectureDesc make_didactic(
+    const DidacticConfig& cfg = {});
+
+}  // namespace maxev::gen

@@ -1,0 +1,56 @@
+#include "gen/padded.hpp"
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace maxev::gen {
+
+using model::ArchitectureDesc;
+using model::ChannelId;
+using model::ResourcePolicy;
+using model::TokenAttrs;
+
+model::ArchitectureDesc make_pipeline(const PipelineConfig& cfg) {
+  if (cfg.x_size < 2)
+    throw DescriptionError("make_pipeline: x_size must be >= 2");
+  const std::size_t functions = cfg.x_size - 1;
+
+  ArchitectureDesc d;
+  const auto res = d.add_resource(
+      "proc",
+      cfg.shared_processor ? ResourcePolicy::kSequentialCyclic
+                           : ResourcePolicy::kConcurrent,
+      cfg.ops_per_second);
+
+  std::vector<ChannelId> ch;
+  ch.reserve(functions + 1);
+  for (std::size_t i = 0; i <= functions; ++i)
+    ch.push_back(d.add_rendezvous("C" + std::to_string(i)));
+
+  for (std::size_t i = 0; i < functions; ++i) {
+    const auto f = d.add_function("S" + std::to_string(i), res);
+    d.fn_read(f, ch[i]);
+    // Loads vary per stage and per token size.
+    d.fn_execute(f, model::linear_ops(200 + 50 * static_cast<std::int64_t>(i),
+                                      1 + static_cast<std::int64_t>(i % 3)));
+    d.fn_write(f, ch[i + 1]);
+  }
+
+  const std::uint64_t seed = cfg.seed;
+  const std::int64_t lo = cfg.size_min;
+  const std::int64_t hi = cfg.size_max;
+  auto attrs = [seed, lo, hi](std::uint64_t k) {
+    Rng rng(seed ^ (k * 0xd1342543de82ef95ull + 0xaf251af3b0f025b5ull));
+    TokenAttrs a;
+    a.size = rng.uniform_i64(lo, hi);
+    return a;
+  };
+  d.add_source("src", ch.front(), cfg.tokens,
+               [](std::uint64_t) { return TimePoint::origin(); }, attrs);
+  d.add_sink("snk", ch.back());
+
+  d.validate();
+  return d;
+}
+
+}  // namespace maxev::gen

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+#include "model/desc.hpp"
+
+/// \file padded.hpp
+/// Architectures for the paper's Fig. 5 experiment: the speed-up achieved
+/// by the equivalent model as a function of the computation method's
+/// complexity (TDG node count), for state-vector sizes |X(k)| in
+/// {6, 10, 20, 30}.
+///
+/// A pipeline of (x_size - 1) single-execute functions yields a state
+/// vector of x_size instants; |X| fixes how many events the equivalent
+/// model saves per iteration. The node count is then swept independently by
+/// padding the graph with pass-through nodes
+/// (EquivalentModel::Options::pad_nodes), representing architectures whose
+/// instant equations need more intermediate computation.
+
+namespace maxev::gen {
+
+struct PipelineConfig {
+  /// Size of the state vector X(k) = number of non-input instant nodes.
+  std::size_t x_size = 6;
+  std::uint64_t tokens = 20000;
+  std::uint64_t seed = 1;
+  /// Every function runs on its own dedicated unit of one concurrent
+  /// resource when false; on one shared sequential processor when true.
+  bool shared_processor = false;
+  double ops_per_second = 1e9;
+  std::int64_t size_min = 64;
+  std::int64_t size_max = 2048;
+};
+
+/// Build the pipeline architecture with |X(k)| == cfg.x_size.
+[[nodiscard]] model::ArchitectureDesc make_pipeline(const PipelineConfig& cfg);
+
+}  // namespace maxev::gen

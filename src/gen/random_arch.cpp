@@ -1,0 +1,192 @@
+#include "gen/random_arch.hpp"
+
+#include <optional>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace maxev::gen {
+
+using model::ArchitectureDesc;
+using model::ChannelId;
+using model::FunctionId;
+using model::ResourceId;
+using model::ResourcePolicy;
+using model::TokenAttrs;
+
+namespace {
+
+/// A channel whose token is produced but not yet consumed by a function.
+struct OpenChannel {
+  ChannelId ch = model::kInvalidId;
+  FunctionId writer = model::kInvalidId;  ///< kInvalidId = source
+  ResourceId writer_res = model::kInvalidId;
+  bool is_writer_last_write = false;
+  bool fifo = false;
+};
+
+}  // namespace
+
+model::ArchitectureDesc make_random_architecture(std::uint64_t seed,
+                                                 const RandomArchConfig& cfg) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ull + 0x2545f4914f6cdd1dull);
+  ArchitectureDesc d;
+
+  // Resource 0 is always concurrent: it is the safe fallback where
+  // same-resource reads cannot deadlock (no schedule gates).
+  std::vector<ResourceId> resources;
+  resources.push_back(
+      d.add_resource("R0", ResourcePolicy::kConcurrent, rng.uniform(5e8, 4e9)));
+  const std::size_t n_res =
+      1 + rng.next_below(std::max<std::size_t>(1, cfg.max_resources));
+  for (std::size_t r = 1; r < n_res; ++r) {
+    resources.push_back(d.add_resource(
+        "R" + std::to_string(r),
+        rng.chance(0.6) ? ResourcePolicy::kSequentialCyclic
+                        : ResourcePolicy::kConcurrent,
+        rng.uniform(5e8, 4e9)));
+  }
+
+  // Sources.
+  std::vector<OpenChannel> open;
+  const std::size_t n_sources =
+      rng.chance(cfg.second_source_probability) ? 2 : 1;
+  std::vector<ChannelId> source_channels;
+  for (std::size_t s = 0; s < n_sources; ++s) {
+    const ChannelId ch = d.add_rendezvous("in" + std::to_string(s));
+    source_channels.push_back(ch);
+    open.push_back({ch, model::kInvalidId, model::kInvalidId, true, false});
+  }
+
+  // Track per-resource schedule tails (the would-be predecessor) and the
+  // functions' last-write channels.
+  std::vector<FunctionId> tail(resources.size(), model::kInvalidId);
+
+  const std::size_t n_fn =
+      cfg.min_functions +
+      rng.next_below(cfg.max_functions - cfg.min_functions + 1);
+  int channel_seq = 0;
+  auto random_load = [&rng]() {
+    return model::linear_ops(rng.uniform_i64(100, 2000),
+                             rng.uniform_i64(0, 4));
+  };
+
+  for (std::size_t i = 0; i < n_fn; ++i) {
+    ResourceId res = resources[rng.next_below(resources.size())];
+    const bool sequential = d.resources()[res].policy ==
+                            ResourcePolicy::kSequentialCyclic;
+    const FunctionId pred = sequential ? tail[res] : model::kInvalidId;
+
+    // First-read candidates. On a sequential resource, a rendezvous whose
+    // writer shares the resource is only safe when it is the immediate
+    // predecessor's final write read as our first statement (the
+    // implied-gate handoff); FIFOs and cross-resource channels are always
+    // safe.
+    auto candidate_ok = [&](const OpenChannel& oc, bool first_read) {
+      if (oc.writer == model::kInvalidId) return true;           // source
+      if (oc.writer_res != res) return true;                     // cross-resource
+      if (!sequential) return true;                              // concurrent
+      if (oc.fifo) return true;                                  // non-blocking
+      return first_read && oc.writer == pred && oc.is_writer_last_write;
+    };
+
+    std::vector<std::size_t> firsts;
+    for (std::size_t c = 0; c < open.size(); ++c)
+      if (candidate_ok(open[c], true)) firsts.push_back(c);
+    if (firsts.empty()) {
+      // Fall back to the concurrent resource, where everything is safe.
+      res = resources[0];
+      firsts.clear();
+      for (std::size_t c = 0; c < open.size(); ++c) firsts.push_back(c);
+    }
+
+    const FunctionId f = d.add_function("F" + std::to_string(i), res);
+    if (d.resources()[res].policy == ResourcePolicy::kSequentialCyclic)
+      tail[res] = f;
+
+    // First read.
+    const std::size_t pick = firsts[rng.next_below(firsts.size())];
+    d.fn_read(f, open[pick].ch);
+    open.erase(open.begin() + static_cast<std::ptrdiff_t>(pick));
+    d.fn_execute(f, random_load());
+
+    // Optional second read (join).
+    if (!open.empty() && rng.chance(0.35)) {
+      std::vector<std::size_t> seconds;
+      for (std::size_t c = 0; c < open.size(); ++c)
+        if (candidate_ok(open[c], false)) seconds.push_back(c);
+      if (!seconds.empty()) {
+        const std::size_t p2 = seconds[rng.next_below(seconds.size())];
+        d.fn_read(f, open[p2].ch);
+        open.erase(open.begin() + static_cast<std::ptrdiff_t>(p2));
+        d.fn_execute(f, random_load());
+      }
+    }
+    if (rng.chance(0.25)) d.fn_execute(f, random_load());
+
+    // Writes. Only the *final* write may be a blocking rendezvous: a
+    // blocked mid-body writer can form a blocking cycle with the schedule
+    // gates of its readers' resources (see random_arch.hpp invariants), so
+    // mid-body writes always go through non-blocking FIFOs.
+    const std::size_t writes = rng.chance(0.3) ? 2 : 1;
+    for (std::size_t w = 0; w < writes; ++w) {
+      const bool last = w + 1 == writes;
+      const bool fifo = !last || rng.chance(cfg.fifo_probability);
+      const std::string name = "c" + std::to_string(channel_seq++);
+      const ChannelId ch =
+          fifo ? d.add_fifo(name, 1 + rng.next_below(3)) : d.add_rendezvous(name);
+      if (!last && rng.chance(0.5)) d.fn_execute(f, random_load());
+      d.fn_write(f, ch);
+      open.push_back({ch, f, res, last, fifo});
+    }
+  }
+
+  // Sinks consume every remaining open channel.
+  int sink_seq = 0;
+  for (const OpenChannel& oc : open) {
+    std::function<Duration(std::uint64_t)> delay;
+    if (rng.chance(cfg.slow_sink_probability)) {
+      const std::int64_t base = rng.uniform_i64(0, 4000);
+      const std::int64_t spread = rng.uniform_i64(1, 3000);
+      delay = [base, spread](std::uint64_t k) {
+        return Duration::ns(base + static_cast<std::int64_t>(
+                                        (k * 2654435761u) % spread));
+      };
+    }
+    d.add_sink("sink" + std::to_string(sink_seq++), oc.ch, delay);
+  }
+
+  // Source timing and attributes.
+  for (std::size_t s = 0; s < source_channels.size(); ++s) {
+    const std::uint64_t aseed = rng.next_u64();
+    auto attrs = [aseed](std::uint64_t k) {
+      Rng r(aseed ^ (k * 0xd1342543de82ef95ull));
+      TokenAttrs a;
+      a.size = r.uniform_i64(16, 4096);
+      a.params[0] = static_cast<double>(r.uniform_int(1, 8));
+      return a;
+    };
+    std::function<TimePoint(std::uint64_t)> earliest;
+    if (rng.chance(cfg.periodic_source_probability)) {
+      const Duration period = Duration::ns(rng.uniform_i64(500, 20000));
+      earliest = [period](std::uint64_t k) {
+        return TimePoint::origin() + period * static_cast<std::int64_t>(k);
+      };
+    } else {
+      earliest = [](std::uint64_t) { return TimePoint::origin(); };
+    }
+    std::function<Duration(std::uint64_t)> gap;
+    if (rng.chance(0.3)) {
+      const std::int64_t g = rng.uniform_i64(0, 2000);
+      gap = [g](std::uint64_t) { return Duration::ns(g); };
+    }
+    d.add_source("src" + std::to_string(s), source_channels[s], cfg.tokens,
+                 earliest, attrs, gap);
+  }
+
+  d.validate();
+  return d;
+}
+
+}  // namespace maxev::gen

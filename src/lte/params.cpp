@@ -1,0 +1,4 @@
+#include "lte/params.hpp"
+
+// Header-only definitions; this translation unit anchors the module.
+namespace maxev::lte {}

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.hpp"
+
+/// \file params.hpp
+/// LTE downlink physical-layer parameters for the paper's Section V case
+/// study: a receiver processing one subframe of 14 OFDM symbols per
+/// millisecond ("one complete LTE frame made of 14 symbols and spaced by a
+/// period of 71.42 µs"), with per-frame varying transmission parameters
+/// ("high flexibility according to transmitted frames' parameters").
+///
+/// The numeric workload constants are a calibrated synthetic model (the
+/// paper's constants, from its reference [14], are not published); see
+/// DESIGN.md §5 — they are chosen so the published observables hold: DSP
+/// demand steps around 4/8 GOPS, dedicated decoder demand around 75/150
+/// GOPS (Fig. 6 b/c).
+
+namespace maxev::lte {
+
+/// Modulation schemes and their bits per resource element.
+enum class Modulation : std::uint8_t { kQpsk = 2, kQam16 = 4, kQam64 = 6 };
+
+/// Symbols per subframe (normal cyclic prefix).
+inline constexpr int kSymbolsPerSubframe = 14;
+/// OFDM symbol spacing: 1 ms / 14.
+inline constexpr Duration kSymbolPeriod = Duration::ps(71'428'571);
+/// Subframe period.
+inline constexpr Duration kSubframePeriod = Duration::ms(1);
+/// Subcarriers per physical resource block.
+inline constexpr int kSubcarriersPerPrb = 12;
+/// FFT size (20 MHz numerology).
+inline constexpr int kFftSize = 2048;
+/// Cyclic-prefix samples (average, normal CP).
+inline constexpr int kCpSamples = 144;
+/// Number of control (PDCCH) symbols at the head of each subframe.
+inline constexpr int kControlSymbols = 3;
+
+/// Per-subframe transmission parameters.
+struct FrameParams {
+  int n_prb = 100;                      ///< allocated resource blocks (6..100)
+  Modulation modulation = Modulation::kQam64;
+  double code_rate = 0.75;              ///< effective channel-coding rate
+
+  /// Coded bits carried by one data symbol.
+  [[nodiscard]] std::int64_t coded_bits_per_symbol() const {
+    return static_cast<std::int64_t>(n_prb) * kSubcarriersPerPrb *
+           static_cast<int>(modulation);
+  }
+  /// Information bits per data symbol.
+  [[nodiscard]] std::int64_t info_bits_per_symbol() const {
+    return static_cast<std::int64_t>(
+        static_cast<double>(coded_bits_per_symbol()) * code_rate);
+  }
+};
+
+/// Attributes of one received OFDM symbol.
+struct SymbolInfo {
+  FrameParams frame;
+  int symbol_index = 0;  ///< 0..13 within the subframe
+
+  [[nodiscard]] bool is_control() const {
+    return symbol_index < kControlSymbols;
+  }
+};
+
+}  // namespace maxev::lte

@@ -1,0 +1,108 @@
+#include "lte/receiver.hpp"
+
+#include "lte/workload.hpp"
+#include "util/rng.hpp"
+
+namespace maxev::lte {
+
+using model::ArchitectureDesc;
+using model::ResourcePolicy;
+using model::TokenAttrs;
+
+FrameSchedule varying_frame_schedule(std::uint64_t seed) {
+  return [seed](std::uint64_t subframe) {
+    Rng rng(seed ^ (subframe * 0x9e3779b97f4a7c15ull + 17));
+    FrameParams p;
+    static constexpr int kPrbChoices[] = {25, 50, 75, 100};
+    static constexpr Modulation kModChoices[] = {
+        Modulation::kQpsk, Modulation::kQam16, Modulation::kQam64};
+    p.n_prb = kPrbChoices[rng.next_below(4)];
+    p.modulation = kModChoices[rng.next_below(3)];
+    p.code_rate = 0.75;
+    return p;
+  };
+}
+
+FrameSchedule fixed_frame_schedule(FrameParams params) {
+  return [params](std::uint64_t) { return params; };
+}
+
+model::ArchitectureDesc make_receiver(const ReceiverConfig& cfg) {
+  ArchitectureDesc d;
+  const double dsp_rate =
+      cfg.dsp_ops_per_second > 0 ? cfg.dsp_ops_per_second : kDspOpsPerSecond;
+  const double dec_rate = cfg.decoder_ops_per_second > 0
+                              ? cfg.decoder_ops_per_second
+                              : kDecoderOpsPerSecond;
+
+  const auto dsp =
+      d.add_resource("dsp", ResourcePolicy::kSequentialCyclic, dsp_rate);
+  const auto hw =
+      d.add_resource("turbo_dec", ResourcePolicy::kConcurrent, dec_rate);
+
+  const auto sym_in = d.add_rendezvous("sym_in");
+  const auto d1 = d.add_rendezvous("d1");
+  const auto d2 = d.add_rendezvous("d2");
+  const auto d3 = d.add_rendezvous("d3");
+  const auto d4 = d.add_rendezvous("d4");
+  const auto d5 = d.add_rendezvous("d5");
+  const auto d6 = d.add_rendezvous("d6");
+  const auto d7 = d.add_rendezvous("d7");
+  const auto dec_out = d.add_rendezvous("dec_out");
+
+  struct Stage {
+    const char* name;
+    std::int64_t (*ops)(const model::TokenAttrs&);
+  };
+  // The seven DSP stages in chain (and static schedule) order.
+  static constexpr Stage kDspStages[] = {
+      {"cp_removal", ops_cp_removal},
+      {"fft", ops_fft},
+      {"channel_estimation", ops_channel_estimation},
+      {"equalization", ops_equalization},
+      {"demapping", ops_demapping},
+      {"descrambling", ops_descrambling},
+      {"rate_dematching", ops_rate_dematching},
+  };
+  const model::ChannelId chain[] = {sym_in, d1, d2, d3, d4, d5, d6, d7};
+
+  for (int i = 0; i < 7; ++i) {
+    const auto f = d.add_function(kDspStages[i].name, dsp);
+    d.fn_read(f, chain[i]);
+    auto ops = kDspStages[i].ops;
+    d.fn_execute(f, [ops](const TokenAttrs& a, std::uint64_t) { return ops(a); });
+    d.fn_write(f, chain[i + 1]);
+  }
+
+  const auto dec = d.add_function("channel_decoding", hw);
+  d.fn_read(dec, d7);
+  d.fn_execute(dec, [](const TokenAttrs& a, std::uint64_t) {
+    return ops_channel_decoding(a);
+  });
+  d.fn_write(dec, dec_out);
+
+  // Environment: one token per OFDM symbol, strictly periodic, with frame
+  // parameters varying per subframe.
+  FrameSchedule sched =
+      cfg.schedule ? cfg.schedule : varying_frame_schedule(cfg.seed);
+  auto attrs = [sched](std::uint64_t k) {
+    SymbolInfo info;
+    info.frame = sched(k / kSymbolsPerSubframe);
+    info.symbol_index = static_cast<int>(k % kSymbolsPerSubframe);
+    return symbol_attrs(info);
+  };
+  auto earliest = [](std::uint64_t k) {
+    // Symbol i of subframe n arrives at n*1ms + i*71.428us (subframes are
+    // aligned to the millisecond grid, symbols spaced inside).
+    const auto n = static_cast<std::int64_t>(k / kSymbolsPerSubframe);
+    const auto i = static_cast<std::int64_t>(k % kSymbolsPerSubframe);
+    return TimePoint::origin() + kSubframePeriod * n + kSymbolPeriod * i;
+  };
+  d.add_source("antenna", sym_in, cfg.symbols, earliest, attrs);
+  d.add_sink("mac_layer", dec_out);
+
+  d.validate();
+  return d;
+}
+
+}  // namespace maxev::lte

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "lte/params.hpp"
+#include "model/desc.hpp"
+
+/// \file receiver.hpp
+/// The Section V case-study architecture: "an application made of eight
+/// functions and a platform based on two processing resources. The channel
+/// decoding function is ... a dedicated hardware resource whereas other
+/// application functions are allocated to a digital signal processor."
+///
+/// Receiver chain: cp_removal -> fft -> channel_estimation -> equalization
+/// -> demapping -> descrambling -> rate_dematching (DSP, static cyclic
+/// schedule in chain order) -> channel_decoding (dedicated hardware).
+/// The environment "periodically produces data frames with varying
+/// parameters": one token per OFDM symbol, 71.428 µs apart, attributes set
+/// per frame by a FrameSchedule.
+
+namespace maxev::lte {
+
+/// Frame parameters per subframe index (deterministic; shared by both
+/// execution paths and across repetitions).
+using FrameSchedule = std::function<FrameParams(std::uint64_t subframe)>;
+
+struct ReceiverConfig {
+  /// Total symbols to simulate (the paper's speed experiment uses 20000).
+  std::uint64_t symbols = 20000;
+  FrameSchedule schedule;  ///< defaults to varying_frame_schedule(seed)
+  std::uint64_t seed = 1;
+  double dsp_ops_per_second = 0;      ///< 0 = workload.hpp default
+  double decoder_ops_per_second = 0;  ///< 0 = workload.hpp default
+};
+
+/// A schedule that varies PRB allocation and modulation per subframe
+/// (uniformly over {25,50,75,100} PRBs x {QPSK,16QAM,64QAM}).
+[[nodiscard]] FrameSchedule varying_frame_schedule(std::uint64_t seed);
+
+/// A constant-parameters schedule.
+[[nodiscard]] FrameSchedule fixed_frame_schedule(FrameParams params);
+
+/// Build the validated receiver architecture.
+[[nodiscard]] model::ArchitectureDesc make_receiver(const ReceiverConfig& cfg);
+
+}  // namespace maxev::lte

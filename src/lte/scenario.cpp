@@ -1,0 +1,44 @@
+#include "lte/scenario.hpp"
+
+#include <algorithm>
+
+#include "lte/workload.hpp"
+#include "util/strings.hpp"
+
+namespace maxev::lte {
+
+SymbolGops per_symbol_gops(const trace::UsageTraceSet& usage) {
+  SymbolGops out;
+  if (const trace::UsageTrace* dsp = usage.find("dsp"))
+    out.dsp = dsp->windowed_rate(kSymbolPeriod);
+  if (const trace::UsageTrace* dec = usage.find("turbo_dec"))
+    out.decoder = dec->windowed_rate(kSymbolPeriod);
+  return out;
+}
+
+Feasibility dsp_feasibility(const trace::UsageTraceSet& usage) {
+  Feasibility f;
+  f.symbol_period_us = kSymbolPeriod.micros();
+  const trace::UsageTrace* dsp = usage.find("dsp");
+  if (dsp == nullptr) return f;
+
+  // Busy time inside each symbol window.
+  const auto windows = dsp->windowed_rate(kSymbolPeriod);
+  // windowed_rate gives GOPS = ops/ns; busy fraction = demand / capacity.
+  double worst_gops = 0.0;
+  for (const auto& w : windows) worst_gops = std::max(worst_gops, w.gops);
+  // Convert demand back to busy microseconds at the modeled DSP rate.
+  f.worst_symbol_busy_us =
+      worst_gops * 1e9 / kDspOpsPerSecond * f.symbol_period_us;
+  f.feasible = f.worst_symbol_busy_us <= f.symbol_period_us;
+  return f;
+}
+
+std::string Feasibility::to_string() const {
+  return format(
+      "DSP worst-case busy %.2fus per %.2fus symbol period => %s",
+      worst_symbol_busy_us, symbol_period_us,
+      feasible ? "real-time feasible" : "NOT real-time feasible");
+}
+
+}  // namespace maxev::lte

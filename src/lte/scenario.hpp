@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lte/receiver.hpp"
+#include "trace/usage.hpp"
+
+/// \file scenario.hpp
+/// Analysis helpers for the case-study experiments: per-symbol complexity
+/// summaries (the Fig. 6 observables) and real-time feasibility checks.
+
+namespace maxev::lte {
+
+/// Windowed GOPS per resource with the symbol period as the window — the
+/// quantity plotted in Fig. 6 (b)/(c).
+struct SymbolGops {
+  std::vector<trace::RatePoint> dsp;
+  std::vector<trace::RatePoint> decoder;
+};
+
+[[nodiscard]] SymbolGops per_symbol_gops(const trace::UsageTraceSet& usage);
+
+/// Real-time feasibility report for the DSP: the worst-case busy time per
+/// symbol period must stay below the period.
+struct Feasibility {
+  double worst_symbol_busy_us = 0.0;
+  double symbol_period_us = 0.0;
+  bool feasible = false;
+  std::string to_string() const;
+};
+
+[[nodiscard]] Feasibility dsp_feasibility(const trace::UsageTraceSet& usage);
+
+}  // namespace maxev::lte

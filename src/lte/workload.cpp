@@ -1,0 +1,79 @@
+#include "lte/workload.hpp"
+
+#include <cmath>
+
+namespace maxev::lte {
+
+model::TokenAttrs symbol_attrs(const SymbolInfo& info) {
+  model::TokenAttrs a;
+  const bool data = !info.is_control();
+  a.size = data ? info.frame.coded_bits_per_symbol() : 0;
+  a.params[0] = static_cast<double>(info.frame.n_prb);
+  a.params[1] = static_cast<double>(static_cast<int>(info.frame.modulation));
+  a.params[2] = data ? 1.0 : 0.0;
+  a.params[3] = info.frame.code_rate;
+  return a;
+}
+
+namespace {
+inline double prb(const model::TokenAttrs& a) { return a.params[0]; }
+inline double mod_bits(const model::TokenAttrs& a) { return a.params[1]; }
+inline bool is_data(const model::TokenAttrs& a) { return a.params[2] > 0.5; }
+inline double code_rate(const model::TokenAttrs& a) { return a.params[3]; }
+inline std::int64_t i64(double v) {
+  return static_cast<std::int64_t>(std::llround(v));
+}
+}  // namespace
+
+std::int64_t ops_cp_removal(const model::TokenAttrs&) {
+  // One pass over the time-domain samples.
+  return kFftSize + kCpSamples;
+}
+
+std::int64_t ops_fft(const model::TokenAttrs&) {
+  // ~5 N log2(N) real operations for a radix-2 FFT.
+  return i64(5.0 * kFftSize * std::log2(static_cast<double>(kFftSize)));
+}
+
+std::int64_t ops_channel_estimation(const model::TokenAttrs& a) {
+  // Pilot extraction + interpolation over the allocated band.
+  return i64(1500.0 * prb(a));
+}
+
+std::int64_t ops_equalization(const model::TokenAttrs& a) {
+  // MMSE per subcarrier on data symbols; PDCCH-region work on control.
+  return is_data(a) ? i64(1000.0 * prb(a)) : i64(250.0 * prb(a));
+}
+
+std::int64_t ops_demapping(const model::TokenAttrs& a) {
+  // Soft LLR generation per coded bit.
+  return is_data(a) ? i64(140.0 * prb(a) * mod_bits(a)) : i64(60.0 * prb(a));
+}
+
+std::int64_t ops_descrambling(const model::TokenAttrs& a) {
+  return is_data(a) ? i64(80.0 * prb(a) * mod_bits(a)) : i64(30.0 * prb(a));
+}
+
+std::int64_t ops_rate_dematching(const model::TokenAttrs& a) {
+  return is_data(a) ? i64(90.0 * prb(a) * mod_bits(a)) : i64(30.0 * prb(a));
+}
+
+std::int64_t ops_channel_decoding(const model::TokenAttrs& a) {
+  if (!is_data(a)) {
+    // PDCCH convolutional decoding: light.
+    return i64(12000.0 * prb(a));
+  }
+  // Turbo decoding: ~1500 operations per information bit (includes the
+  // iterative MAP passes).
+  const double info_bits =
+      static_cast<double>(a.size) * code_rate(a);
+  return i64(1500.0 * info_bits);
+}
+
+std::int64_t ops_dsp_total(const model::TokenAttrs& a) {
+  return ops_cp_removal(a) + ops_fft(a) + ops_channel_estimation(a) +
+         ops_equalization(a) + ops_demapping(a) + ops_descrambling(a) +
+         ops_rate_dematching(a);
+}
+
+}  // namespace maxev::lte

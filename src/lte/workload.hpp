@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+
+#include "lte/params.hpp"
+#include "model/token.hpp"
+
+/// \file workload.hpp
+/// Computation-load model of the receiver functions (operations per OFDM
+/// symbol). Calibrated so that, at the modeled resource rates (DSP 10
+/// GOPS, turbo decoder 150 GOPS), the windowed complexity-per-time-unit
+/// profiles reproduce the paper's Fig. 6: DSP around 4 GOPS on control
+/// symbols and around 8 GOPS on data symbols; decoder around 75 GOPS at
+/// 16QAM and toward 150 GOPS (saturation) at 64QAM.
+///
+/// Token attribute encoding (model::TokenAttrs):
+///   size      = coded bits carried by the symbol (0 for control symbols)
+///   params[0] = allocated PRBs
+///   params[1] = modulation bits per resource element
+///   params[2] = 1.0 for data symbols, 0.0 for control symbols
+///   params[3] = code rate
+
+namespace maxev::lte {
+
+/// Modeled DSP rate (operations per second).
+inline constexpr double kDspOpsPerSecond = 10e9;
+/// Modeled dedicated turbo-decoder rate.
+inline constexpr double kDecoderOpsPerSecond = 150e9;
+
+/// Pack a symbol description into token attributes.
+[[nodiscard]] model::TokenAttrs symbol_attrs(const SymbolInfo& info);
+
+/// \name Per-function operation counts
+/// All take the attribute encoding above. Control symbols exercise the
+/// front end (CP removal, FFT, channel estimation) plus PDCCH-weight
+/// processing in the remaining stages.
+/// @{
+[[nodiscard]] std::int64_t ops_cp_removal(const model::TokenAttrs& a);
+[[nodiscard]] std::int64_t ops_fft(const model::TokenAttrs& a);
+[[nodiscard]] std::int64_t ops_channel_estimation(const model::TokenAttrs& a);
+[[nodiscard]] std::int64_t ops_equalization(const model::TokenAttrs& a);
+[[nodiscard]] std::int64_t ops_demapping(const model::TokenAttrs& a);
+[[nodiscard]] std::int64_t ops_descrambling(const model::TokenAttrs& a);
+[[nodiscard]] std::int64_t ops_rate_dematching(const model::TokenAttrs& a);
+[[nodiscard]] std::int64_t ops_channel_decoding(const model::TokenAttrs& a);
+/// @}
+
+/// Total DSP operations for one symbol (everything except decoding).
+[[nodiscard]] std::int64_t ops_dsp_total(const model::TokenAttrs& a);
+
+}  // namespace maxev::lte

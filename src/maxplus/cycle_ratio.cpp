@@ -1,0 +1,86 @@
+#include "maxplus/cycle_ratio.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace maxev::mp {
+
+namespace {
+
+/// Bellman-Ford positive-cycle detection on weights w(a) - lambda * lag(a).
+/// Works on the whole graph at once by seeding every node with potential 0
+/// (equivalent to a virtual source with zero-weight arcs to all nodes).
+bool has_positive_cycle(std::size_t n, const std::vector<RatioArc>& arcs,
+                        double lambda) {
+  std::vector<double> dist(n, 0.0);
+  bool changed = false;
+  for (std::size_t pass = 0; pass < n; ++pass) {
+    changed = false;
+    for (const auto& a : arcs) {
+      const double w = a.weight - lambda * static_cast<double>(a.lag);
+      if (dist[a.src] + w > dist[a.dst] + 1e-12) {
+        dist[a.dst] = dist[a.src] + w;
+        changed = true;
+      }
+    }
+    if (!changed) return false;
+  }
+  return changed;  // still relaxing after n passes => positive cycle
+}
+
+}  // namespace
+
+CycleRatioResult max_cycle_ratio(std::size_t node_count,
+                                 const std::vector<RatioArc>& arcs,
+                                 double tolerance) {
+  CycleRatioResult result;
+  if (arcs.empty() || node_count == 0) return result;
+
+  for (const auto& a : arcs) {
+    if (a.src >= node_count || a.dst >= node_count)
+      throw Error("max_cycle_ratio: arc endpoint out of range");
+  }
+
+  // Zero-lag positive cycles are infeasible for every lambda.
+  std::vector<RatioArc> zero_lag;
+  for (const auto& a : arcs)
+    if (a.lag == 0) zero_lag.push_back(a);
+  if (has_positive_cycle(node_count, zero_lag, 0.0)) {
+    throw DescriptionError(
+        "max_cycle_ratio: positive-weight zero-lag cycle (instants not "
+        "computable)");
+  }
+
+  // Upper bound for lambda: the sum of all positive weights divided by the
+  // smallest nonzero lag is a safe cap; use total weight (lag >= 1 on any
+  // feasibility-relevant cycle).
+  double hi = 1.0;
+  for (const auto& a : arcs) hi += std::max(a.weight, 0.0);
+  double lo = 0.0;
+
+  if (!has_positive_cycle(node_count, arcs, lo)) {
+    // Even lambda = 0 is feasible: no cycle constrains the rate.
+    result.has_cycle = false;
+    result.max_ratio = 0.0;
+    return result;
+  }
+  result.has_cycle = true;
+
+  while (has_positive_cycle(node_count, arcs, hi)) hi *= 2.0;
+
+  while (hi - lo > tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    if (has_positive_cycle(node_count, arcs, mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  result.max_ratio = hi;
+  return result;
+}
+
+}  // namespace maxev::mp

@@ -1,0 +1,115 @@
+#include "maxplus/linear_system.hpp"
+
+#include "util/error.hpp"
+
+namespace maxev::mp {
+
+LinearSystem::LinearSystem(std::size_t n, std::size_t p, std::size_t q)
+    : n_(n), p_(p), q_(q) {}
+
+namespace {
+void put(std::vector<MatrixFn>& v, unsigned lag, MatrixFn fn) {
+  if (v.size() <= lag) v.resize(lag + 1);
+  v[lag] = std::move(fn);
+}
+}  // namespace
+
+void LinearSystem::set_a(unsigned lag, MatrixFn fn) { put(a_, lag, std::move(fn)); }
+void LinearSystem::set_b(unsigned lag, MatrixFn fn) { put(b_, lag, std::move(fn)); }
+void LinearSystem::set_c(unsigned lag, MatrixFn fn) { put(c_, lag, std::move(fn)); }
+void LinearSystem::set_d(unsigned lag, MatrixFn fn) { put(d_, lag, std::move(fn)); }
+
+void LinearSystem::set_a_const(unsigned lag, Matrix m) {
+  if (m.rows() != n_ || m.cols() != n_)
+    throw Error("LinearSystem::set_a_const: A must be n x n");
+  set_a(lag, [m = std::move(m)](std::uint64_t) { return m; });
+}
+
+void LinearSystem::set_b_const(unsigned lag, Matrix m) {
+  if (m.rows() != n_ || m.cols() != p_)
+    throw Error("LinearSystem::set_b_const: B must be n x p");
+  set_b(lag, [m = std::move(m)](std::uint64_t) { return m; });
+}
+
+void LinearSystem::set_c_const(unsigned lag, Matrix m) {
+  if (m.rows() != q_ || m.cols() != n_)
+    throw Error("LinearSystem::set_c_const: C must be q x n");
+  set_c(lag, [m = std::move(m)](std::uint64_t) { return m; });
+}
+
+void LinearSystem::set_d_const(unsigned lag, Matrix m) {
+  if (m.rows() != q_ || m.cols() != p_)
+    throw Error("LinearSystem::set_d_const: D must be q x p");
+  set_d(lag, [m = std::move(m)](std::uint64_t) { return m; });
+}
+
+Vector LinearSystem::past_x(unsigned lag) const {
+  // lag >= 1: hist_x_[lag-1] = X(k-lag); beyond recorded history the
+  // configured pre-history value applies.
+  if (lag >= 1 && lag <= hist_x_.size()) return hist_x_[lag - 1];
+  return Vector::filled(n_, prehistory_);
+}
+
+Vector LinearSystem::past_u(unsigned lag) const {
+  if (lag < hist_u_.size()) return hist_u_[lag];
+  return Vector::filled(p_, prehistory_);
+}
+
+LinearSystem::Step LinearSystem::step(const Vector& u) {
+  if (u.size() != p_)
+    throw Error("LinearSystem::step: input dimension mismatch");
+
+  // Push U(k) as the current input (hist_u_[0]).
+  hist_u_.insert(hist_u_.begin(), u);
+  const std::size_t max_u_hist =
+      std::max(b_.size(), d_.size()) + 1;
+  if (hist_u_.size() > max_u_hist) hist_u_.resize(max_u_hist);
+
+  // Accumulate the explicit part: rhs = ⊕_{i>=1} A_i X(k-i) ⊕ ⊕_j B_j U(k-j).
+  Vector rhs(n_);
+  for (unsigned lag = 1; lag < a_.size(); ++lag) {
+    if (!a_[lag]) continue;
+    rhs = rhs + a_[lag](k_) * past_x(lag);
+  }
+  for (unsigned lag = 0; lag < b_.size(); ++lag) {
+    if (!b_[lag]) continue;
+    rhs = rhs + b_[lag](k_) * past_u(lag);
+  }
+
+  // Resolve the implicit zero-lag part X = A0 X ⊕ rhs.
+  Vector x = rhs;
+  if (!a_.empty() && a_[0]) {
+    const Matrix a0 = a_[0](k_);
+    if (a0.rows() != n_ || a0.cols() != n_)
+      throw Error("LinearSystem: A(k,0) has wrong shape");
+    x = solve_implicit(a0, rhs);
+  }
+
+  // Output: Y(k) = ⊕_l C_l X(k-l) ⊕ ⊕_m D_m U(k-m). C(·,0) uses the fresh x.
+  Vector y(q_);
+  for (unsigned lag = 0; lag < c_.size(); ++lag) {
+    if (!c_[lag]) continue;
+    y = y + c_[lag](k_) * (lag == 0 ? x : past_x(lag));
+  }
+  for (unsigned lag = 0; lag < d_.size(); ++lag) {
+    if (!d_[lag]) continue;
+    y = y + d_[lag](k_) * past_u(lag);
+  }
+
+  // Push X(k) into history.
+  hist_x_.insert(hist_x_.begin(), x);
+  const std::size_t max_x_hist = std::max(a_.size(), c_.size());
+  if (hist_x_.size() > std::max<std::size_t>(max_x_hist, 1))
+    hist_x_.resize(std::max<std::size_t>(max_x_hist, 1));
+
+  ++k_;
+  return Step{std::move(x), std::move(y)};
+}
+
+void LinearSystem::reset() {
+  hist_x_.clear();
+  hist_u_.clear();
+  k_ = 0;
+}
+
+}  // namespace maxev::mp

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "maxplus/matrix.hpp"
+#include "maxplus/vector.hpp"
+
+/// \file linear_system.hpp
+/// The paper's linear evolution form, equations (7)-(10):
+///
+///   X(k) = ⊕_{i=0..a} A(k,i) ⊗ X(k-i)  ⊕  ⊕_{j=0..b} B(k,j) ⊗ U(k-j)
+///   Y(k) = ⊕_{l=0..c} C(k,l) ⊗ X(k-l)  ⊕  ⊕_{m=0..d} D(k,m) ⊗ U(k-m)
+///
+/// The zero-lag term A(k,0) ⊗ X(k) is implicit; it is resolved through the
+/// Kleene star A(k,0)* (valid because the zero-lag dependency matrix of an
+/// instant system is acyclic). This solver is used to cross-validate the
+/// temporal-dependency-graph engine: on linear architectures both must
+/// produce identical X(k), Y(k) sequences.
+
+namespace maxev::mp {
+
+/// Matrix provider: systems may be k-dependent because execution durations
+/// T(k) vary with data. Called once per iteration.
+using MatrixFn = std::function<Matrix(std::uint64_t k)>;
+
+/// A (possibly k-varying) linear (max,+) system with bounded history.
+class LinearSystem {
+ public:
+  /// \param n state dimension, \param p input dimension, \param q output dim.
+  LinearSystem(std::size_t n, std::size_t p, std::size_t q);
+
+  /// Register A(·,lag): state-from-state dependence at the given lag.
+  void set_a(unsigned lag, MatrixFn fn);
+  /// Register B(·,lag): state-from-input dependence at the given lag.
+  void set_b(unsigned lag, MatrixFn fn);
+  /// Register C(·,lag): output-from-state dependence at the given lag.
+  void set_c(unsigned lag, MatrixFn fn);
+  /// Register D(·,lag): output-from-input dependence at the given lag.
+  void set_d(unsigned lag, MatrixFn fn);
+
+  /// Convenience for constant matrices.
+  void set_a_const(unsigned lag, Matrix m);
+  void set_b_const(unsigned lag, Matrix m);
+  void set_c_const(unsigned lag, Matrix m);
+  void set_d_const(unsigned lag, Matrix m);
+
+  /// Value substituted for X(k-i)/U(k-j) entries before iteration 0.
+  /// Default ε (the algebraic convention: nothing happened before k = 0);
+  /// the TDG engine uses e (the simulation origin) — see tdg/graph.hpp.
+  void set_prehistory(Scalar s) { prehistory_ = s; }
+
+  [[nodiscard]] std::size_t state_size() const { return n_; }
+  [[nodiscard]] std::size_t input_size() const { return p_; }
+  [[nodiscard]] std::size_t output_size() const { return q_; }
+
+  /// Step result for one iteration.
+  struct Step {
+    Vector x;
+    Vector y;
+  };
+
+  /// Advance the recurrence with input U(k). History X(k-i), U(k-j) beyond
+  /// the recorded past is treated as ε (nothing happened before k = 0).
+  Step step(const Vector& u);
+
+  /// Reset all history (back to k = 0).
+  void reset();
+
+  /// Number of steps taken so far.
+  [[nodiscard]] std::uint64_t iteration() const { return k_; }
+
+ private:
+  [[nodiscard]] Vector past_x(unsigned lag) const;
+  [[nodiscard]] Vector past_u(unsigned lag) const;
+
+  Scalar prehistory_ = Scalar::eps();
+  std::size_t n_, p_, q_;
+  std::vector<MatrixFn> a_, b_, c_, d_;  // index = lag; empty fn = absent
+  std::vector<Vector> hist_x_;           // hist_x_[0] = X(k-1), ...
+  std::vector<Vector> hist_u_;           // hist_u_[0] = U(k),  ... (current first)
+  std::uint64_t k_ = 0;
+};
+
+}  // namespace maxev::mp

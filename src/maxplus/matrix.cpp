@@ -1,0 +1,152 @@
+#include "maxplus/matrix.hpp"
+
+#include <climits>
+
+#include "util/error.hpp"
+
+namespace maxev::mp {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), m_(rows * cols, Scalar::eps()) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) out.at(i, i) = Scalar::e();
+  return out;
+}
+
+Matrix Matrix::zero(std::size_t rows, std::size_t cols) {
+  return Matrix(rows, cols);
+}
+
+Matrix Matrix::of(
+    std::initializer_list<std::initializer_list<std::int64_t>> rows) {
+  const std::size_t r = rows.size();
+  const std::size_t c = r == 0 ? 0 : rows.begin()->size();
+  Matrix out(r, c);
+  std::size_t i = 0;
+  for (const auto& row : rows) {
+    if (row.size() != c) throw Error("mp::Matrix::of: ragged rows");
+    std::size_t j = 0;
+    for (auto v : row) {
+      out.at(i, j) = (v == INT64_MIN) ? Scalar::eps() : Scalar::of(v);
+      ++j;
+    }
+    ++i;
+  }
+  return out;
+}
+
+Scalar& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw Error("mp::Matrix index out of range");
+  return m_[r * cols_ + c];
+}
+
+const Scalar& Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw Error("mp::Matrix index out of range");
+  return m_[r * cols_ + c];
+}
+
+Matrix operator+(const Matrix& a, const Matrix& b) {
+  if (a.rows_ != b.rows_ || a.cols_ != b.cols_)
+    throw Error("mp::Matrix oplus: shape mismatch");
+  Matrix out(a.rows_, a.cols_);
+  for (std::size_t i = 0; i < a.m_.size(); ++i) out.m_[i] = a.m_[i] + b.m_[i];
+  return out;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  if (a.cols_ != b.rows_)
+    throw Error("mp::Matrix otimes: inner dimension mismatch");
+  Matrix out(a.rows_, b.cols_);
+  for (std::size_t i = 0; i < a.rows_; ++i) {
+    for (std::size_t k = 0; k < a.cols_; ++k) {
+      const Scalar aik = a.at(i, k);
+      if (aik.is_eps()) continue;
+      for (std::size_t j = 0; j < b.cols_; ++j) {
+        const Scalar bkj = b.at(k, j);
+        if (bkj.is_eps()) continue;
+        Scalar& dst = out.m_[i * out.cols_ + j];
+        dst = dst + aik * bkj;
+      }
+    }
+  }
+  return out;
+}
+
+Vector operator*(const Matrix& a, const Vector& x) {
+  if (a.cols_ != x.size())
+    throw Error("mp::Matrix otimes vector: dimension mismatch");
+  Vector out(a.rows_);
+  for (std::size_t i = 0; i < a.rows_; ++i) {
+    Scalar acc = Scalar::eps();
+    for (std::size_t k = 0; k < a.cols_; ++k) {
+      const Scalar aik = a.at(i, k);
+      if (aik.is_eps() || x[k].is_eps()) continue;
+      acc = acc + aik * x[k];
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::pow(unsigned n) const {
+  if (rows_ != cols_) throw Error("mp::Matrix::pow: non-square matrix");
+  Matrix result = Matrix::identity(rows_);
+  Matrix base = *this;
+  while (n > 0) {
+    if (n & 1u) result = result * base;
+    base = base * base;
+    n >>= 1u;
+  }
+  return result;
+}
+
+bool Matrix::is_zero() const {
+  for (const auto& s : m_)
+    if (!s.is_eps()) return false;
+  return true;
+}
+
+std::string Matrix::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    out += "[";
+    for (std::size_t j = 0; j < cols_; ++j) {
+      if (j) out += ", ";
+      out += at(i, j).to_string();
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+Matrix kleene_star(const Matrix& a) {
+  if (a.rows() != a.cols())
+    throw Error("mp::kleene_star: non-square matrix");
+  const std::size_t n = a.rows();
+  Matrix star = Matrix::identity(n);
+  Matrix power = Matrix::identity(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    power = power * a;  // A^(i+1)
+    star = star + power;
+  }
+  // If A^(n+1) still contributes beyond I ⊕ A ⊕ … ⊕ A^n, the series diverges,
+  // which happens exactly when A has a positive-weight cycle. (Zero-weight
+  // cycles converge and are legal algebraically; the TDG layer separately
+  // rejects zero-lag cycles because they make instants non-computable in
+  // evaluation order.)
+  const Matrix next = power * a;
+  if (!(star + next == star)) {
+    throw DescriptionError(
+        "mp::kleene_star: divergent star (positive-weight cycle in the "
+        "zero-lag dependency matrix)");
+  }
+  return star;
+}
+
+Vector solve_implicit(const Matrix& a, const Vector& b) {
+  return kleene_star(a) * b;
+}
+
+}  // namespace maxev::mp

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "maxplus/scalar.hpp"
+#include "maxplus/vector.hpp"
+
+/// \file matrix.hpp
+/// Dense matrices over the (max,+) semiring: the A(k,i), B(k,j), C(k,l)
+/// matrices of the paper's equations (7)-(10), plus the Kleene star needed to
+/// resolve the implicit X(k) = A0 ⊗ X(k) ⊕ b fixed point.
+
+namespace maxev::mp {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  /// rows × cols matrix, all entries ε (the ⊕-zero matrix).
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// The ⊗-identity: e on the diagonal, ε elsewhere.
+  static Matrix identity(std::size_t n);
+  /// The all-ε matrix (alias of the size constructor, for readability).
+  static Matrix zero(std::size_t rows, std::size_t cols);
+  /// Build from rows of raw int64 values (tests); INT64_MIN encodes ε.
+  static Matrix of(std::initializer_list<std::initializer_list<std::int64_t>> rows);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  /// Bounds-checked access.
+  [[nodiscard]] Scalar& at(std::size_t r, std::size_t c);
+  [[nodiscard]] const Scalar& at(std::size_t r, std::size_t c) const;
+
+  /// Entry-wise ⊕. \pre equal shapes
+  friend Matrix operator+(const Matrix& a, const Matrix& b);
+  /// ⊗ product: (A⊗B)(i,j) = ⊕_k A(i,k) ⊗ B(k,j). \pre a.cols() == b.rows()
+  friend Matrix operator*(const Matrix& a, const Matrix& b);
+  /// Matrix-vector ⊗ product. \pre a.cols() == x.size()
+  friend Vector operator*(const Matrix& a, const Vector& x);
+
+  /// ⊗-power; pow(0) is the identity. \pre square
+  [[nodiscard]] Matrix pow(unsigned n) const;
+
+  /// True if every entry is ε.
+  [[nodiscard]] bool is_zero() const;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Scalar> m_;  // row-major
+};
+
+/// Kleene star A* = I ⊕ A ⊕ A² ⊕ … . Converges (finitely) iff A has no
+/// cycle of positive weight; in evolution-instant systems A0 is acyclic
+/// (nilpotent), so A0* = I ⊕ A0 ⊕ … ⊕ A0^(n-1).
+/// Throws maxev::DescriptionError when a positive-weight cycle makes the
+/// star diverge (e.g. a zero-lag dependency cycle in the instant equations).
+[[nodiscard]] Matrix kleene_star(const Matrix& a);
+
+/// Solve x = A ⊗ x ⊕ b, i.e. x = A* ⊗ b, with the same divergence rules as
+/// kleene_star.
+[[nodiscard]] Vector solve_implicit(const Matrix& a, const Vector& b);
+
+}  // namespace maxev::mp

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "util/time.hpp"
+
+/// \file scalar.hpp
+/// The (max,+) semiring R_max = (Z ∪ {ε}, ⊕, ⊗) over integer picoseconds.
+///
+/// ⊕ is max (synchronization of processes), ⊗ is + (time lag by a duration),
+/// following Baccelli et al., "Synchronization and Linearity" (1992), the
+/// formalism the reproduced paper adopts in Section III-B.
+///
+/// ε (epsilon) = -∞ is the neutral element of ⊕ and absorbing for ⊗;
+/// e = 0 is the neutral element of ⊗. Following convention, we overload
+/// operator+ for ⊕ and operator* for ⊗, and also provide the named functions
+/// oplus() / otimes().
+
+namespace maxev::mp {
+
+/// One element of R_max. A regular value type: cheap to copy, totally
+/// ordered with ε below every finite value.
+class Scalar {
+ public:
+  /// Default-constructed scalars are ε, matching the algebraic convention
+  /// that an unknown/never-occurring instant is -∞.
+  constexpr Scalar() = default;
+
+  /// The ⊕-identity ε = -∞.
+  static constexpr Scalar eps() { return Scalar{}; }
+  /// The ⊗-identity e = 0.
+  static constexpr Scalar e() { return Scalar{0}; }
+  /// A finite element.
+  static constexpr Scalar of(std::int64_t v) { return Scalar{v}; }
+  /// Lift a simulated instant into the algebra.
+  static constexpr Scalar from_time(TimePoint t) { return Scalar{t.count()}; }
+  /// Lift a duration into the algebra (used as arc weight).
+  static constexpr Scalar from_duration(Duration d) { return Scalar{d.count()}; }
+
+  [[nodiscard]] constexpr bool is_eps() const { return eps_; }
+  [[nodiscard]] constexpr bool is_finite() const { return !eps_; }
+
+  /// Finite value accessor. \pre is_finite()
+  [[nodiscard]] std::int64_t value() const;
+
+  /// Convert a finite value back to a TimePoint. \pre is_finite()
+  [[nodiscard]] TimePoint to_time() const;
+
+  /// ⊕ : max with ε as identity.
+  friend constexpr Scalar operator+(Scalar a, Scalar b) {
+    if (a.eps_) return b;
+    if (b.eps_) return a;
+    return Scalar{a.v_ > b.v_ ? a.v_ : b.v_};
+  }
+
+  /// ⊗ : addition with ε absorbing. Throws maxev::OverflowError when the sum
+  /// of two finite values leaves the 64-bit range.
+  friend Scalar operator*(Scalar a, Scalar b);
+
+  Scalar& operator+=(Scalar o) { *this = *this + o; return *this; }
+  Scalar& operator*=(Scalar o) { *this = *this * o; return *this; }
+
+  friend constexpr bool operator==(Scalar a, Scalar b) {
+    return a.eps_ == b.eps_ && (a.eps_ || a.v_ == b.v_);
+  }
+  /// Total order with ε strictly below all finite values.
+  friend constexpr std::strong_ordering operator<=>(Scalar a, Scalar b) {
+    if (a.eps_ && b.eps_) return std::strong_ordering::equal;
+    if (a.eps_) return std::strong_ordering::less;
+    if (b.eps_) return std::strong_ordering::greater;
+    return a.v_ <=> b.v_;
+  }
+
+  /// "eps" or the integer value.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit Scalar(std::int64_t v) : v_(v), eps_(false) {}
+  std::int64_t v_ = 0;
+  bool eps_ = true;
+};
+
+/// Named aliases for the two semiring operations.
+[[nodiscard]] constexpr Scalar oplus(Scalar a, Scalar b) { return a + b; }
+[[nodiscard]] inline Scalar otimes(Scalar a, Scalar b) { return a * b; }
+
+}  // namespace maxev::mp

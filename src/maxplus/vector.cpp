@@ -1,0 +1,60 @@
+#include "maxplus/vector.hpp"
+
+#include "util/error.hpp"
+
+namespace maxev::mp {
+
+Vector Vector::filled(std::size_t n, Scalar fill) {
+  Vector out(n);
+  for (std::size_t i = 0; i < n; ++i) out.v_[i] = fill;
+  return out;
+}
+
+Vector Vector::of(std::initializer_list<std::int64_t> values) {
+  Vector out(values.size());
+  std::size_t i = 0;
+  for (auto v : values) out.v_[i++] = Scalar::of(v);
+  return out;
+}
+
+Scalar& Vector::at(std::size_t i) {
+  if (i >= v_.size()) throw Error("mp::Vector index out of range");
+  return v_[i];
+}
+
+const Scalar& Vector::at(std::size_t i) const {
+  if (i >= v_.size()) throw Error("mp::Vector index out of range");
+  return v_[i];
+}
+
+Vector operator+(const Vector& a, const Vector& b) {
+  if (a.size() != b.size())
+    throw Error("mp::Vector oplus: size mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector operator*(Scalar s, const Vector& a) {
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = s * a[i];
+  return out;
+}
+
+Scalar Vector::max_entry() const {
+  Scalar m = Scalar::eps();
+  for (const auto& x : v_) m = m + x;
+  return m;
+}
+
+std::string Vector::to_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    if (i) out += ", ";
+    out += v_[i].to_string();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace maxev::mp

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "maxplus/scalar.hpp"
+
+/// \file vector.hpp
+/// Column vectors over the (max,+) semiring. These are the X(k), U(k), Y(k)
+/// vectors of the paper's equations (7)-(10).
+
+namespace maxev::mp {
+
+class Vector {
+ public:
+  Vector() = default;
+  /// A vector of \p n entries, all ε.
+  explicit Vector(std::size_t n) : v_(n, Scalar::eps()) {}
+  Vector(std::initializer_list<Scalar> init) : v_(init) {}
+
+  /// A vector of n entries all equal to \p fill.
+  static Vector filled(std::size_t n, Scalar fill);
+  /// Lift of raw int64 values (for test ergonomics).
+  static Vector of(std::initializer_list<std::int64_t> values);
+
+  [[nodiscard]] std::size_t size() const { return v_.size(); }
+  [[nodiscard]] bool empty() const { return v_.empty(); }
+
+  /// Bounds-checked element access.
+  [[nodiscard]] Scalar& at(std::size_t i);
+  [[nodiscard]] const Scalar& at(std::size_t i) const;
+  Scalar& operator[](std::size_t i) { return v_[i]; }
+  const Scalar& operator[](std::size_t i) const { return v_[i]; }
+
+  /// Entry-wise ⊕. \pre equal sizes
+  friend Vector operator+(const Vector& a, const Vector& b);
+  /// Entry-wise scale: every entry ⊗ s.
+  friend Vector operator*(Scalar s, const Vector& a);
+
+  /// ⊕-reduction of all entries (ε for the empty vector).
+  [[nodiscard]] Scalar max_entry() const;
+
+  friend bool operator==(const Vector&, const Vector&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Scalar> v_;
+};
+
+}  // namespace maxev::mp

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/desc.hpp"
+#include "model/gates.hpp"
+#include "model/token.hpp"
+#include "sim/channel.hpp"
+#include "sim/kernel.hpp"
+#include "trace/instants.hpp"
+#include "trace/usage.hpp"
+
+/// \file baseline.hpp
+/// Event-driven execution of an architecture description.
+///
+/// ModelRuntime simulates every (non-skipped) application function as a
+/// kernel process that interprets its statement list, with every channel
+/// synchronization going through the simulation kernel. With an empty skip
+/// set this *is* the paper's baseline model ("obtained by exhibiting all
+/// relations among application functions"). The equivalent model
+/// (core/equivalent_model.hpp) reuses this runtime with the abstracted
+/// function group skipped: internal channels are never constructed and the
+/// group's behaviour is reproduced by dynamically computed instants.
+
+namespace maxev::model {
+
+/// Runtime instance of a channel (one of the two kinds).
+struct ChannelRt {
+  ChannelKind kind = ChannelKind::kRendezvous;
+  std::unique_ptr<sim::Rendezvous<Token>> rendezvous;
+  std::unique_ptr<sim::Fifo<Token>> fifo;
+};
+
+class ModelRuntime {
+ public:
+  /// \param skip functions to exclude from simulation (abstraction group);
+  ///        empty = full baseline. Channels with both endpoints in the skip
+  ///        set are not constructed at all — their events are "saved".
+  /// \param observe record instant and usage traces (accuracy-check mode).
+  ///        Disable for pure simulation-speed measurements.
+  explicit ModelRuntime(const ArchitectureDesc& desc,
+                        std::vector<bool> skip = {}, bool observe = true);
+  /// The runtime keeps a reference to the description for its whole
+  /// lifetime; passing a temporary is a guaranteed dangling pointer.
+  explicit ModelRuntime(ArchitectureDesc&&, std::vector<bool> = {},
+                        bool = true) = delete;
+
+  ModelRuntime(const ModelRuntime&) = delete;
+  ModelRuntime& operator=(const ModelRuntime&) = delete;
+
+  /// Outcome of a run.
+  struct Outcome {
+    bool idle = false;       ///< event queue drained
+    bool completed = false;  ///< all tokens flowed through to the sinks
+    std::string stall_report;  ///< non-empty when idle but not completed
+  };
+
+  /// Execute until the event queue drains (or the horizon passes).
+  Outcome run(std::optional<TimePoint> until = std::nullopt);
+
+  [[nodiscard]] sim::Kernel& kernel() { return kernel_; }
+  [[nodiscard]] const sim::KernelStats& kernel_stats() const {
+    return kernel_.stats();
+  }
+
+  /// Runtime channel object; nullptr when the channel is internal to the
+  /// skipped group (it does not exist at simulation level).
+  [[nodiscard]] ChannelRt* channel(ChannelId ch);
+
+  /// Total completed relation events across constructed channels
+  /// (rendezvous transfers; FIFO writes + reads). This is the paper's
+  /// event-ratio numerator/denominator.
+  [[nodiscard]] std::uint64_t relation_events() const;
+
+  [[nodiscard]] const trace::InstantTraceSet& instants() const { return instants_; }
+  [[nodiscard]] trace::InstantTraceSet& mutable_instants() { return instants_; }
+  [[nodiscard]] const trace::UsageTraceSet& usage() const { return usage_; }
+  [[nodiscard]] trace::UsageTraceSet& mutable_usage() { return usage_; }
+
+  [[nodiscard]] TimePoint end_time() const { return kernel_.now(); }
+  [[nodiscard]] const ArchitectureDesc& desc() const { return *desc_; }
+  [[nodiscard]] std::uint64_t sink_received(SinkId s) const;
+  [[nodiscard]] bool function_skipped(FunctionId f) const;
+
+ private:
+  sim::Process function_proc(FunctionId f);
+  sim::Process source_proc(SourceId s);
+  sim::Process sink_proc(SinkId s);
+
+  /// True when f's schedule-predecessor gate is implied by f's first
+  /// statement (a read of the predecessor's final write over a channel),
+  /// in which case an explicit gate would deadlock.
+  [[nodiscard]] bool gate_implied_by_first_read(FunctionId f,
+                                                FunctionId pred) const;
+
+  const ArchitectureDesc* desc_;
+  std::vector<bool> skip_;
+  bool observe_;
+  sim::Kernel kernel_;
+  std::vector<std::unique_ptr<ChannelRt>> channels_;
+  std::vector<std::unique_ptr<CompletionCounter>> counters_;  // per function
+  std::vector<std::uint64_t> sink_received_;
+  std::uint64_t sources_finished_ = 0;
+  trace::InstantTraceSet instants_;
+  trace::UsageTraceSet usage_;
+  std::vector<trace::UsageTrace*> usage_by_resource_;  // hot-path cache
+};
+
+}  // namespace maxev::model

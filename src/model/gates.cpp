@@ -1,0 +1,4 @@
+#include "model/gates.hpp"
+
+// Header-only definitions; this translation unit anchors the module.
+namespace maxev::model {}

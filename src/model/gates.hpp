@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/event.hpp"
+#include "sim/kernel.hpp"
+
+/// \file gates.hpp
+/// Static-schedule gating for sequential resources.
+///
+/// A sequential resource runs its mapped functions in a fixed cyclic order
+/// with no preemption (the paper's assumption). Each function publishes an
+/// iteration-completion counter; its schedule successor waits on it before
+/// starting an iteration. See model/desc.hpp for the exact gating rule and
+/// model/baseline.cpp for when the gate is implied by a rendezvous and must
+/// be omitted to avoid a false cycle.
+
+namespace maxev::model {
+
+/// Monotone counter of completed iterations with a wake-up event.
+class CompletionCounter {
+ public:
+  CompletionCounter(sim::Kernel& kernel, std::string name)
+      : event_(kernel, std::move(name)) {}
+
+  /// Mark one more iteration complete and wake waiters.
+  void mark() {
+    ++count_;
+    event_.notify();
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] sim::Event& event() { return event_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  sim::Event event_;
+};
+
+}  // namespace maxev::model

@@ -1,0 +1,41 @@
+#include "model/load.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace maxev::model {
+
+LoadFn constant_ops(std::int64_t ops) {
+  if (ops < 0) throw DescriptionError("constant_ops: negative ops");
+  return [ops](const TokenAttrs&, std::uint64_t) { return ops; };
+}
+
+LoadFn linear_ops(std::int64_t base, std::int64_t per_unit) {
+  if (base < 0) throw DescriptionError("linear_ops: negative base");
+  return [base, per_unit](const TokenAttrs& a, std::uint64_t) {
+    const std::int64_t ops = base + per_unit * a.size;
+    return ops < 0 ? std::int64_t{0} : ops;
+  };
+}
+
+LoadFn param_ops(std::int64_t base, double scale, std::size_t param_index) {
+  if (param_index >= std::tuple_size_v<decltype(TokenAttrs::params)>)
+    throw DescriptionError("param_ops: param index out of range");
+  return [base, scale, param_index](const TokenAttrs& a, std::uint64_t) {
+    const auto ops =
+        base + static_cast<std::int64_t>(std::llround(scale * a.params[param_index]));
+    return ops < 0 ? std::int64_t{0} : ops;
+  };
+}
+
+LoadFn cyclic_ops(std::vector<std::int64_t> table) {
+  if (table.empty()) throw DescriptionError("cyclic_ops: empty table");
+  for (auto v : table)
+    if (v < 0) throw DescriptionError("cyclic_ops: negative ops");
+  return [table = std::move(table)](const TokenAttrs&, std::uint64_t k) {
+    return table[k % table.size()];
+  };
+}
+
+}  // namespace maxev::model

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "model/token.hpp"
+
+/// \file load.hpp
+/// Computation-load expressions: how many operations an execute statement
+/// costs as a function of the token attributes and the iteration index.
+/// The same expression object is evaluated by the event-driven baseline
+/// (with the live token) and by the dynamic computation method (with the
+/// statically known provenance attributes), so both paths see identical
+/// durations by construction.
+
+namespace maxev::model {
+
+/// Operations demanded by an execute statement for iteration k.
+using LoadFn = std::function<std::int64_t(const TokenAttrs&, std::uint64_t k)>;
+
+/// A constant number of operations.
+[[nodiscard]] LoadFn constant_ops(std::int64_t ops);
+
+/// base + per_unit * attrs.size operations (the classic data-size-dependent
+/// load of the paper's didactic example).
+[[nodiscard]] LoadFn linear_ops(std::int64_t base, std::int64_t per_unit);
+
+/// Affine form over one of the attrs.params entries:
+/// base + scale * attrs.params[index].
+[[nodiscard]] LoadFn param_ops(std::int64_t base, double scale,
+                               std::size_t param_index);
+
+/// Cycle through a fixed table by iteration index: ops = table[k % size].
+[[nodiscard]] LoadFn cyclic_ops(std::vector<std::int64_t> table);
+
+}  // namespace maxev::model

@@ -1,0 +1,13 @@
+#include "model/token.hpp"
+
+#include "util/strings.hpp"
+
+namespace maxev::model {
+
+std::string TokenAttrs::to_string() const {
+  return format("{size=%lld params=[%g,%g,%g,%g]}",
+                static_cast<long long>(size), params[0], params[1], params[2],
+                params[3]);
+}
+
+}  // namespace maxev::model

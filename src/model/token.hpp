@@ -1,0 +1,43 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+/// \file token.hpp
+/// Workload tokens. Performance models do not carry functional payloads —
+/// only the attributes that determine computation and communication loads
+/// (the paper: "workload models are used to express computation and
+/// communication loads"). Execution durations may depend on these attributes
+/// ("execution durations are typically variable and can depend on data size
+/// information").
+
+namespace maxev::model {
+
+/// Attributes attached to a token by its source and carried unchanged along
+/// the processing chain.
+struct TokenAttrs {
+  /// Generic payload size (bits, bytes, samples — model-defined unit).
+  std::int64_t size = 0;
+  /// Domain-specific parameters; meaning is defined per application
+  /// (the LTE model uses PRB count, modulation order, code rate, symbol
+  /// index within the frame).
+  std::array<double, 4> params{};
+
+  friend bool operator==(const TokenAttrs&, const TokenAttrs&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A token travelling through the architecture model.
+struct Token {
+  /// Iteration index assigned by the source (k in the paper's equations).
+  std::uint64_t k = 0;
+  /// Index of the source that emitted the token (provenance).
+  std::int32_t source = 0;
+  TokenAttrs attrs;
+
+  friend bool operator==(const Token&, const Token&) = default;
+};
+
+}  // namespace maxev::model

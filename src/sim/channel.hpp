@@ -1,0 +1,330 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "sim/kernel.hpp"
+#include "sim/process.hpp"
+#include "util/error.hpp"
+
+/// \file channel.hpp
+/// Point-to-point channels (one writer, one reader), the "relations" of the
+/// reproduced paper's architecture models.
+///
+/// Rendezvous<T> implements the paper's rendezvous protocol: a transfer
+/// completes at max(writer-offer instant, reader-ready instant) and both
+/// sides proceed from that instant. Fifo<T> is a bounded FIFO: a write
+/// completes as soon as a slot is free, a read as soon as an item exists.
+///
+/// Both channels count completed transfers ("events occurring when data are
+/// exchanged through relations", the paper's event-ratio metric) and can
+/// report each transfer instant to a hook for exact accuracy comparison.
+///
+/// Rendezvous<T> additionally supports a *gated reader*: instead of a
+/// process co_awaiting read(), a callback receives each offer (time, value)
+/// and returns the instant at which the transfer must complete. This is how
+/// the equivalent model accepts input tokens at dynamically *computed*
+/// instants without simulating the abstracted processes (and preserves the
+/// producer's back-pressure exactly).
+
+namespace maxev::sim {
+
+/// Transfer notification: iteration index, completion instant, token.
+template <typename T>
+using TransferHook = std::function<void(std::uint64_t k, TimePoint t, const T&)>;
+
+template <typename T>
+class Rendezvous {
+ public:
+  /// Gated-reader callback: maps (offer instant, token) to the completion
+  /// instant (>= offer). May return std::nullopt when the completion is not
+  /// yet determined (it depends on a pending external event, e.g. a slow
+  /// environment still holding a previous output); the offer then stays
+  /// parked until resolve_gated() supplies the instant.
+  using Gate = std::function<std::optional<TimePoint>(TimePoint, const T&)>;
+
+  Rendezvous(Kernel& kernel, std::string name)
+      : kernel_(&kernel), name_(std::move(name)) {}
+
+  Rendezvous(const Rendezvous&) = delete;
+  Rendezvous& operator=(const Rendezvous&) = delete;
+
+  /// Writer side: co_await ch.write(token).
+  [[nodiscard]] auto write(T value) {
+    struct Awaiter {
+      Rendezvous* ch;
+      T value;
+
+      bool await_ready() const noexcept { return false; }
+      bool await_suspend(std::coroutine_handle<Process::promise_type> h) {
+        return ch->on_write_offer(Process::Handle::from_address(h.address()),
+                                  std::move(value));
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, std::move(value)};
+  }
+
+  /// Reader side: T token = co_await ch.read().
+  [[nodiscard]] auto read() {
+    struct Awaiter {
+      Rendezvous* ch;
+
+      bool await_ready() const noexcept { return false; }
+      bool await_suspend(std::coroutine_handle<Process::promise_type> h) {
+        return ch->on_read_ready(Process::Handle::from_address(h.address()));
+      }
+      T await_resume() { return ch->take_delivery(); }
+    };
+    return Awaiter{this};
+  }
+
+  /// Install the gated reader (equivalent-model input mode). No process may
+  /// co_await read() in this mode.
+  void set_gated_reader(Gate gate) { gate_ = std::move(gate); }
+
+  /// Complete a parked gated offer at instant \p t (>= the offer instant).
+  void resolve_gated(TimePoint t) {
+    if (!gate_ || !pending_writer_)
+      throw SimulationError("resolve_gated without parked offer on '" +
+                            name_ + "'");
+    complete(t, pending_writer_->value);
+    kernel_->schedule_resume(pending_writer_->writer, t);
+    pending_writer_.reset();
+  }
+
+  /// Observation hooks, each called once per completed transfer (appended;
+  /// multiple subscribers allowed).
+  void on_transfer(TransferHook<T> hook) {
+    hooks_.push_back(std::move(hook));
+  }
+
+  [[nodiscard]] std::uint64_t transfers() const { return transfers_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool writer_blocked() const { return pending_writer_.has_value(); }
+  [[nodiscard]] bool reader_blocked() const { return static_cast<bool>(reader_); }
+
+ private:
+  struct PendingWrite {
+    Process::Handle writer;
+    T value;
+  };
+
+  /// Returns true when the writer must suspend.
+  bool on_write_offer(Process::Handle writer, T&& value) {
+    const TimePoint offer = kernel_->now();
+    if (gate_) {
+      if (pending_writer_)
+        throw SimulationError("second writer on gated channel '" + name_ + "'");
+      // Park first: the gate may resolve synchronously through a callback
+      // that calls resolve_gated() re-entrantly.
+      pending_writer_ = PendingWrite{writer, std::move(value)};
+      const std::optional<TimePoint> done = gate_(offer, pending_writer_->value);
+      if (!done) return true;  // parked until resolve_gated()
+      if (*done < offer)
+        throw SimulationError("gated reader returned completion < offer on '" +
+                              name_ + "'");
+      complete(*done, pending_writer_->value);
+      const bool immediate = *done == offer;
+      if (!immediate) kernel_->schedule_resume(writer, *done);
+      pending_writer_.reset();
+      return !immediate;  // continue inline when completing at the offer
+    }
+    if (reader_) {
+      // Reader arrived first: transfer completes now, at the offer instant.
+      delivery_ = std::move(value);
+      complete(offer, *delivery_);
+      kernel_->schedule_resume(reader_, offer);
+      reader_ = {};
+      return false;  // writer continues without a context switch
+    }
+    if (pending_writer_)
+      throw SimulationError("second writer on rendezvous channel '" + name_ +
+                            "'");
+    pending_writer_ = PendingWrite{writer, std::move(value)};
+    return true;
+  }
+
+  /// Returns true when the reader must suspend.
+  bool on_read_ready(Process::Handle reader) {
+    if (gate_)
+      throw SimulationError("co_await read() on gated channel '" + name_ + "'");
+    const TimePoint ready = kernel_->now();
+    if (pending_writer_) {
+      // Writer arrived first: transfer completes now, at the ready instant.
+      delivery_ = std::move(pending_writer_->value);
+      complete(ready, *delivery_);
+      kernel_->schedule_resume(pending_writer_->writer, ready);
+      pending_writer_.reset();
+      return false;  // reader continues; await_resume picks up the token
+    }
+    if (reader_)
+      throw SimulationError("second reader on rendezvous channel '" + name_ +
+                            "'");
+    reader_ = reader;
+    return true;
+  }
+
+  T take_delivery() {
+    if (!delivery_)
+      throw SimulationError("rendezvous '" + name_ + "': no delivery");
+    T out = std::move(*delivery_);
+    delivery_.reset();
+    return out;
+  }
+
+  void complete(TimePoint t, const T& value) {
+    const std::uint64_t k = transfers_++;
+    for (const auto& hook : hooks_) hook(k, t, value);
+  }
+
+  Kernel* kernel_;
+  std::string name_;
+  std::optional<PendingWrite> pending_writer_;
+  Process::Handle reader_{};
+  std::optional<T> delivery_;
+  std::uint64_t transfers_ = 0;
+  std::vector<TransferHook<T>> hooks_;
+  Gate gate_;
+};
+
+/// Bounded FIFO channel. Writes complete at the enqueue instant (blocking
+/// only when full); reads complete at the dequeue instant (blocking only
+/// when empty). Write and read instants are therefore distinct series; both
+/// can be observed through separate hooks.
+template <typename T>
+class Fifo {
+ public:
+  Fifo(Kernel& kernel, std::string name, std::size_t capacity)
+      : kernel_(&kernel), name_(std::move(name)), capacity_(capacity) {
+    if (capacity_ == 0)
+      throw DescriptionError("fifo '" + name_ + "': capacity must be >= 1");
+  }
+
+  Fifo(const Fifo&) = delete;
+  Fifo& operator=(const Fifo&) = delete;
+
+  [[nodiscard]] auto write(T value) {
+    struct Awaiter {
+      Fifo* ch;
+      T value;
+
+      bool await_ready() const noexcept { return false; }
+      bool await_suspend(std::coroutine_handle<Process::promise_type> h) {
+        return ch->on_write(Process::Handle::from_address(h.address()),
+                            std::move(value));
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, std::move(value)};
+  }
+
+  [[nodiscard]] auto read() {
+    struct Awaiter {
+      Fifo* ch;
+
+      bool await_ready() const noexcept { return false; }
+      bool await_suspend(std::coroutine_handle<Process::promise_type> h) {
+        return ch->on_read(Process::Handle::from_address(h.address()));
+      }
+      T await_resume() { return ch->take_delivery(); }
+    };
+    return Awaiter{this};
+  }
+
+  void on_write_complete(TransferHook<T> hook) {
+    write_hooks_.push_back(std::move(hook));
+  }
+  void on_read_complete(TransferHook<T> hook) {
+    read_hooks_.push_back(std::move(hook));
+  }
+
+  [[nodiscard]] std::uint64_t writes_completed() const { return writes_; }
+  [[nodiscard]] std::uint64_t reads_completed() const { return reads_; }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool writer_blocked() const { return pending_writer_.has_value(); }
+  [[nodiscard]] bool reader_blocked() const { return static_cast<bool>(reader_); }
+
+ private:
+  struct PendingWrite {
+    Process::Handle writer;
+    T value;
+  };
+
+  bool on_write(Process::Handle writer, T&& value) {
+    if (items_.size() < capacity_) {
+      enqueue(std::move(value));
+      return false;  // write completes immediately
+    }
+    if (pending_writer_)
+      throw SimulationError("second writer on fifo '" + name_ + "'");
+    pending_writer_ = PendingWrite{writer, std::move(value)};
+    return true;
+  }
+
+  bool on_read(Process::Handle reader) {
+    if (!items_.empty()) {
+      pop_to_delivery();
+      return false;
+    }
+    if (reader_) throw SimulationError("second reader on fifo '" + name_ + "'");
+    reader_ = reader;
+    return true;
+  }
+
+  void enqueue(T&& value) {
+    const std::uint64_t k = writes_++;
+    for (const auto& hook : write_hooks_) hook(k, kernel_->now(), value);
+    items_.push_back(std::move(value));
+    if (reader_) {
+      // Wake the blocked reader; it will dequeue when resumed.
+      auto r = reader_;
+      reader_ = {};
+      kernel_->schedule_resume(r, kernel_->now());
+    }
+  }
+
+  void pop_to_delivery() {
+    delivery_ = std::move(items_.front());
+    items_.pop_front();
+    const std::uint64_t k = reads_++;
+    for (const auto& hook : read_hooks_) hook(k, kernel_->now(), *delivery_);
+    if (pending_writer_) {
+      // A slot is free: the blocked write completes at this very instant.
+      enqueue(std::move(pending_writer_->value));
+      auto w = pending_writer_->writer;
+      pending_writer_.reset();
+      kernel_->schedule_resume(w, kernel_->now());
+    }
+  }
+
+  T take_delivery() {
+    if (!delivery_) {
+      // Woken by enqueue(): the item is still in the queue.
+      pop_to_delivery();
+    }
+    T out = std::move(*delivery_);
+    delivery_.reset();
+    return out;
+  }
+
+  Kernel* kernel_;
+  std::string name_;
+  std::size_t capacity_;
+  std::deque<T> items_;
+  std::optional<PendingWrite> pending_writer_;
+  Process::Handle reader_{};
+  std::optional<T> delivery_;
+  std::uint64_t writes_ = 0;
+  std::uint64_t reads_ = 0;
+  std::vector<TransferHook<T>> write_hooks_;
+  std::vector<TransferHook<T>> read_hooks_;
+};
+
+}  // namespace maxev::sim

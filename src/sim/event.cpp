@@ -1,0 +1,21 @@
+#include "sim/event.hpp"
+
+namespace maxev::sim {
+
+void Event::notify() {
+  // Swap into a scratch buffer first: a resumed process may immediately
+  // wait again, and that new wait belongs to the *next* notification.
+  // Swapping buffers (instead of constructing a fresh vector) keeps the
+  // hot notify path allocation-free.
+  scratch_.swap(waiters_);
+  for (auto h : scratch_) kernel_->schedule_resume(h, kernel_->now());
+  scratch_.clear();
+}
+
+void Event::notify_at(TimePoint t) {
+  kernel_->schedule_call(t, [this] { notify(); });
+}
+
+void Event::notify_in(Duration d) { notify_at(kernel_->now() + d); }
+
+}  // namespace maxev::sim

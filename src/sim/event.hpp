@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "sim/process.hpp"
+
+/// \file event.hpp
+/// SystemC-style notification event: processes co_await an Event, and a
+/// notify wakes every process waiting at the notification instant.
+
+namespace maxev::sim {
+
+class Event {
+ public:
+  explicit Event(Kernel& kernel, std::string name = {})
+      : kernel_(&kernel), name_(std::move(name)) {}
+
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  /// Awaitable: suspend the calling process until the next notification.
+  [[nodiscard]] auto wait() {
+    struct Awaiter {
+      Event* ev;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<Process::promise_type> h) {
+        ev->waiters_.push_back(Process::Handle::from_address(h.address()));
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  /// Wake all processes currently waiting; they resume at the present
+  /// simulation time (through the queue, preserving deterministic order).
+  void notify();
+
+  /// Wake, at absolute time \p t, whoever is waiting at that instant
+  /// (including processes that start waiting between now and t).
+  void notify_at(TimePoint t);
+
+  /// notify_at(now + d).
+  void notify_in(Duration d);
+
+  [[nodiscard]] std::size_t waiter_count() const { return waiters_.size(); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  Kernel* kernel_;
+  std::string name_;
+  std::vector<Process::Handle> waiters_;
+  std::vector<Process::Handle> scratch_;  // notify() reuse, no allocation
+};
+
+}  // namespace maxev::sim

@@ -1,0 +1,138 @@
+#include "sim/kernel.hpp"
+
+#include <cassert>
+
+#include "util/error.hpp"
+
+namespace maxev::sim {
+
+Kernel::~Kernel() {
+  // Destroy still-suspended coroutine frames; done frames are destroyed in
+  // reap(), so only live ones remain. Reverse order of creation so that
+  // later-spawned processes (which may reference state touched by earlier
+  // ones) unwind first.
+  for (auto it = procs_.rbegin(); it != procs_.rend(); ++it) {
+    if (it->handle) {
+      it->handle.destroy();
+      it->handle = {};
+    }
+  }
+}
+
+std::uint32_t Kernel::spawn(std::string name,
+                            std::function<Process()> factory) {
+  factories_.push_back(
+      std::make_unique<std::function<Process()>>(std::move(factory)));
+  Process p = (*factories_.back())();
+  const auto id = static_cast<std::uint32_t>(procs_.size());
+  auto h = p.handle();
+  h.promise().kernel = this;
+  h.promise().id = id;
+  procs_.push_back(ProcInfo{std::move(name), h, /*queued=*/false});
+  ++stats_.processes_spawned;
+  schedule_resume(h, now_);
+  return id;
+}
+
+void Kernel::schedule_resume(Process::Handle h, TimePoint t) {
+  assert(t >= now_ && "cannot schedule in the past");
+  QueueEntry e;
+  e.t = t.count();
+  e.seq = seq_++;
+  e.h = h;
+  queue_.push(e);
+  procs_[h.promise().id].queued = true;
+  ++stats_.events_scheduled;
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+}
+
+void Kernel::schedule_call(TimePoint t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule in the past");
+  QueueEntry e;
+  e.t = t.count();
+  e.seq = seq_++;
+  if (free_call_slots_.empty()) {
+    e.call_idx = static_cast<std::int32_t>(pending_calls_.size());
+    pending_calls_.push_back(std::move(fn));
+  } else {
+    e.call_idx = free_call_slots_.back();
+    free_call_slots_.pop_back();
+    pending_calls_[static_cast<std::size_t>(e.call_idx)] = std::move(fn);
+  }
+  queue_.push(e);
+  ++stats_.events_scheduled;
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+}
+
+void Kernel::reap(std::uint32_t id) {
+  ProcInfo& info = procs_[id];
+  if (!info.handle) return;
+  std::exception_ptr error = info.handle.promise().error;
+  info.handle.destroy();
+  info.handle = {};
+  ++stats_.processes_finished;
+  if (error) {
+    try {
+      std::rethrow_exception(error);
+    } catch (const std::exception& e) {
+      throw SimulationError("process '" + info.name +
+                            "' terminated with exception: " + e.what());
+    }
+  }
+}
+
+Kernel::RunResult Kernel::run(std::optional<TimePoint> until) {
+  while (!queue_.empty()) {
+    const QueueEntry& top = queue_.top();
+    const TimePoint t = TimePoint::at_ps(top.t);
+    if (until && t > *until) {
+      now_ = *until;
+      return RunResult::kTimeLimit;
+    }
+    // Copy out what we need before popping.
+    Process::Handle h = top.h;
+    const std::int32_t call_idx = top.call_idx;
+    queue_.pop();
+    now_ = t;
+
+    if (event_overhead_.count() > 0) {
+      const auto spin_until =
+          std::chrono::steady_clock::now() + event_overhead_;
+      while (std::chrono::steady_clock::now() < spin_until) {
+      }
+    }
+
+    if (h) {
+      const std::uint32_t id = h.promise().id;
+      procs_[id].queued = false;
+      ++stats_.resumes;
+      h.resume();
+      if (h.promise().done) reap(id);
+    } else {
+      ++stats_.callbacks;
+      std::function<void()> fn =
+          std::move(pending_calls_[static_cast<std::size_t>(call_idx)]);
+      free_call_slots_.push_back(call_idx);
+      fn();
+    }
+  }
+  return RunResult::kIdle;
+}
+
+std::vector<std::string> Kernel::blocked_process_names() const {
+  std::vector<std::string> names;
+  for (const auto& p : procs_) {
+    if (p.handle && !p.handle.promise().done && !p.queued)
+      names.push_back(p.name);
+  }
+  return names;
+}
+
+std::size_t Kernel::live_process_count() const {
+  std::size_t n = 0;
+  for (const auto& p : procs_)
+    if (p.handle && !p.handle.promise().done) ++n;
+  return n;
+}
+
+}  // namespace maxev::sim

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+
+/// \file process.hpp
+/// The coroutine process type of the simulation kernel.
+///
+/// A sim::Process plays the role of an SC_THREAD in SystemC: a cooperative
+/// process that suspends on timed waits, event waits and channel
+/// synchronizations. Every suspension/resumption goes through the kernel's
+/// event queue, so the number of kernel events and context switches — the
+/// quantity the reproduced paper's method reduces — is precisely countable.
+
+namespace maxev::sim {
+
+class Kernel;
+
+/// Coroutine handle wrapper returned by process bodies. Fire-and-forget:
+/// the Kernel takes ownership of the frame at spawn time.
+class Process {
+ public:
+  struct promise_type {
+    Kernel* kernel = nullptr;  ///< set by Kernel::spawn after creation
+    std::uint32_t id = 0;      ///< kernel-side process index
+    bool done = false;
+    std::exception_ptr error;
+
+    Process get_return_object() noexcept {
+      return Process{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    /// Suspend at creation; the kernel schedules the first resume itself.
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    /// Suspend at the end so the kernel can observe completion and reclaim
+    /// the frame at a safe point (destroying the frame from inside its own
+    /// final awaiter would be use-after-free of the awaiter object).
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
+        h.promise().done = true;
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { error = std::current_exception(); }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Process() = default;
+  explicit Process(Handle h) noexcept : h_(h) {}
+
+  [[nodiscard]] Handle handle() const noexcept { return h_; }
+
+ private:
+  Handle h_;
+};
+
+}  // namespace maxev::sim

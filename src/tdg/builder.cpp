@@ -1,0 +1,40 @@
+#include "tdg/builder.hpp"
+
+#include "util/error.hpp"
+
+namespace maxev::tdg {
+
+GraphBuilder& GraphBuilder::input(const std::string& name) {
+  g_.add_node({name, NodeKind::kInput, model::kInvalidId, false, {}});
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::instant(const std::string& name,
+                                    const std::string& record) {
+  g_.add_node({name, NodeKind::kInstant, model::kInvalidId, false, record});
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::output(const std::string& name) {
+  g_.add_node({name, NodeKind::kOutput, model::kInvalidId, false, {}});
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::external(const std::string& name) {
+  g_.add_node({name, NodeKind::kExternal, model::kInvalidId, false, {}});
+  return *this;
+}
+
+GraphBuilder::ArcRef GraphBuilder::arc(const std::string& src,
+                                       const std::string& dst) {
+  return ArcRef{*this, id(src), id(dst)};
+}
+
+NodeId GraphBuilder::id(const std::string& name) const {
+  const NodeId n = g_.find(name);
+  if (n == kNoNode)
+    throw DescriptionError("GraphBuilder: unknown node '" + name + "'");
+  return n;
+}
+
+}  // namespace maxev::tdg

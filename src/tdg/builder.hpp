@@ -1,0 +1,83 @@
+#pragma once
+
+#include <string>
+
+#include "tdg/graph.hpp"
+
+/// \file builder.hpp
+/// Hand-construction helper for temporal dependency graphs, mirroring how
+/// the paper writes the instant equations. Example — equation (2),
+/// xM2(k) = xM1(k) ⊗ Ti1(k) ⊕ xM5(k-1):
+///
+///   GraphBuilder b;
+///   b.input("u");
+///   b.instant("xM1"); ... ;
+///   b.arc("xM1", "xM2").fixed(Duration::us(5));   // Ti1 constant
+///   b.arc("xM5", "xM2").lag(1);                   // e-weighted history arc
+///   Graph g = b.take();
+///
+/// Used by the unit tests and the maxplus_playground example; the
+/// production path derives graphs automatically (tdg/derive.hpp).
+
+namespace maxev::tdg {
+
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+  /// With a description, arcs may carry execute segments.
+  explicit GraphBuilder(const model::ArchitectureDesc* desc) : g_(desc) {}
+
+  /// Add an input node (externally fed offer instant).
+  GraphBuilder& input(const std::string& name);
+  /// Add a computed instant node; \p record as this series when non-empty.
+  GraphBuilder& instant(const std::string& name,
+                        const std::string& record = {});
+  /// Add a computed output-offer node.
+  GraphBuilder& output(const std::string& name);
+  /// Add an externally fed actual-instant node.
+  GraphBuilder& external(const std::string& name);
+
+  /// Fluent arc construction; the arc is committed when the ArcRef goes out
+  /// of scope (or on the next builder call).
+  class ArcRef {
+   public:
+    ArcRef(GraphBuilder& b, NodeId src, NodeId dst) : b_(&b) {
+      arc_.src = src;
+      arc_.dst = dst;
+    }
+    ArcRef(const ArcRef&) = delete;
+    ArcRef& operator=(const ArcRef&) = delete;
+    ~ArcRef() { b_->g_.add_arc(std::move(arc_)); }
+
+    ArcRef& lag(unsigned l) { arc_.lag = l; return *this; }
+    ArcRef& fixed(Duration d) {
+      arc_.segments.push_back(Segment{d, nullptr, model::kInvalidId, {}});
+      return *this;
+    }
+    ArcRef& exec(model::ResourceId r, model::LoadFn load, std::string label) {
+      arc_.segments.push_back(
+          Segment{Duration{}, std::move(load), r, std::move(label)});
+      return *this;
+    }
+    ArcRef& from_source(model::SourceId s) { arc_.attr_source = s; return *this; }
+    ArcRef& when(GuardFn g) { arc_.guard = std::move(g); return *this; }
+
+   private:
+    GraphBuilder* b_;
+    Arc arc_;
+  };
+
+  /// Start an arc between two previously declared nodes (by name).
+  [[nodiscard]] ArcRef arc(const std::string& src, const std::string& dst);
+
+  /// Node id by name; throws if absent.
+  [[nodiscard]] NodeId id(const std::string& name) const;
+
+  /// Finish: returns the (unfrozen) graph.
+  [[nodiscard]] Graph take() { return std::move(g_); }
+
+ private:
+  Graph g_;
+};
+
+}  // namespace maxev::tdg

@@ -1,0 +1,331 @@
+#include "tdg/derive.hpp"
+
+#include <optional>
+
+#include "util/error.hpp"
+
+namespace maxev::tdg {
+
+namespace {
+
+using model::ArchitectureDesc;
+using model::ChannelEndpoints;
+using model::ChannelId;
+using model::ChannelKind;
+using model::FunctionId;
+using model::kInvalidId;
+using model::ResourcePolicy;
+using model::SourceId;
+using model::StatementDesc;
+using model::StatementKind;
+
+/// Per-channel node ids created for the derivation.
+struct ChannelNodes {
+  NodeId u = kNoNode;        ///< input offer (rendezvous input)
+  NodeId x = kNoNode;        ///< rendezvous completion instant
+  NodeId y = kNoNode;        ///< output offer
+  NodeId actual = kNoNode;   ///< external actual completion (output)
+  NodeId xw = kNoNode;       ///< fifo write instant
+  NodeId xr = kNoNode;       ///< fifo read instant
+  NodeId xr_actual = kNoNode;  ///< fifo external read instant (output fifo)
+};
+
+/// Same rule as ModelRuntime::gate_implied_by_first_read: the schedule gate
+/// is implied when f's first statement reads the predecessor's final write.
+bool gate_implied_by_first_read(const ArchitectureDesc& desc, FunctionId f,
+                                FunctionId pred) {
+  const auto& fn = desc.functions()[f];
+  const StatementDesc& first = fn.body.front();
+  if (first.kind != StatementKind::kRead) return false;
+  const ChannelEndpoints& ep = desc.endpoints(first.channel);
+  if (ep.writer_fn != pred) return false;
+  const auto& pf = desc.functions()[pred];
+  return ep.writer_stmt == static_cast<std::int32_t>(pf.body.size()) - 1;
+}
+
+}  // namespace
+
+DerivedTdg derive_tdg(const model::ArchitectureDesc& desc,
+                      const std::vector<bool>& group_in) {
+  if (!desc.validated())
+    throw DescriptionError("derive_tdg: description must be validated");
+  std::vector<bool> group = group_in;
+  group.resize(desc.functions().size(), false);
+  if (std::none_of(group.begin(), group.end(), [](bool b) { return b; }))
+    throw DescriptionError("derive_tdg: empty abstraction group");
+
+  // Rule: a sequential resource's schedule is a single timing domain — the
+  // group must contain all of its functions or none of them.
+  for (model::ResourceId r = 0;
+       r < static_cast<model::ResourceId>(desc.resources().size()); ++r) {
+    const auto& sched = desc.schedule(r);
+    if (sched.empty()) continue;
+    bool any = false, all = true;
+    for (FunctionId f : sched) {
+      any = any || group[f];
+      all = all && group[f];
+    }
+    if (any && !all &&
+        desc.resources()[r].policy == ResourcePolicy::kSequentialCyclic) {
+      throw DescriptionError(
+          "derive_tdg: abstraction group splits sequential resource '" +
+          desc.resources()[r].name +
+          "' — instants would depend on unsimulated schedule state");
+    }
+  }
+
+  // Group functions must read before executing or writing (loads need a
+  // token provenance; the paper's functions all begin with a read).
+  for (FunctionId f = 0; f < static_cast<FunctionId>(desc.functions().size());
+       ++f) {
+    if (!group[f]) continue;
+    if (desc.functions()[f].body.front().kind != StatementKind::kRead)
+      throw DescriptionError("derive_tdg: function '" +
+                             desc.functions()[f].name +
+                             "' must read before executing or writing");
+  }
+
+  // Token provenance: which source's attributes parametrize each statement.
+  // Fixpoint over all functions (tokens are forwarded unchanged).
+  std::vector<std::optional<SourceId>> ch_prov(desc.channels().size());
+  for (SourceId s = 0; s < static_cast<SourceId>(desc.sources().size()); ++s)
+    ch_prov[desc.sources()[s].channel] = s;
+  // stmt_prov[f][j]: provenance of the function's current token when
+  // statement j runs.
+  std::vector<std::vector<std::optional<SourceId>>> stmt_prov(
+      desc.functions().size());
+  for (std::size_t f = 0; f < desc.functions().size(); ++f)
+    stmt_prov[f].resize(desc.functions()[f].body.size());
+  bool changed = true;
+  for (std::size_t pass = 0; changed && pass <= desc.functions().size();
+       ++pass) {
+    changed = false;
+    for (FunctionId f = 0;
+         f < static_cast<FunctionId>(desc.functions().size()); ++f) {
+      std::optional<SourceId> cur;
+      const auto& body = desc.functions()[f].body;
+      for (std::size_t j = 0; j < body.size(); ++j) {
+        const StatementDesc& s = body[j];
+        if (s.kind == StatementKind::kRead) cur = ch_prov[s.channel];
+        if (cur && !stmt_prov[f][j]) {
+          stmt_prov[f][j] = cur;
+          changed = true;
+        }
+        if (s.kind == StatementKind::kWrite && cur &&
+            !ch_prov[s.channel]) {
+          ch_prov[s.channel] = cur;
+          changed = true;
+        }
+      }
+    }
+  }
+  for (FunctionId f = 0; f < static_cast<FunctionId>(desc.functions().size());
+       ++f) {
+    if (!group[f]) continue;
+    for (std::size_t j = 0; j < desc.functions()[f].body.size(); ++j) {
+      if (!stmt_prov[f][j]) {
+        throw DescriptionError(
+            "derive_tdg: cannot resolve token provenance for '" +
+            desc.functions()[f].name +
+            "' — data-flow cycle or unreachable input");
+      }
+    }
+  }
+
+  DerivedTdg out{Graph{&desc}, {}, {}};
+  Graph& g = out.graph;
+
+  // ---- Pass 1: channel nodes -------------------------------------------
+  std::vector<ChannelNodes> cn(desc.channels().size());
+  for (ChannelId c = 0; c < static_cast<ChannelId>(desc.channels().size());
+       ++c) {
+    const ChannelEndpoints& ep = desc.endpoints(c);
+    const bool writer_in = ep.writer_fn != kInvalidId && group[ep.writer_fn];
+    const bool reader_in = ep.reader_fn != kInvalidId && group[ep.reader_fn];
+    if (!writer_in && !reader_in) continue;
+    const auto& cd = desc.channels()[c];
+    const SourceId prov = ch_prov[c].value_or(0);
+
+    if (cd.kind == ChannelKind::kRendezvous) {
+      if (writer_in && reader_in) {
+        cn[c].x = g.add_node({cd.name, NodeKind::kInstant, c, false, cd.name});
+      } else if (reader_in) {  // input boundary
+        cn[c].u = g.add_node({"u:" + cd.name, NodeKind::kInput, c, false, {}});
+        cn[c].x = g.add_node({cd.name, NodeKind::kInstant, c, false, {}});
+        g.add_arc({cn[c].u, cn[c].x, 0, {}, prov, nullptr});
+        out.inputs.push_back(
+            {c, false, "u:" + cd.name, cd.name, {}, {}, prov});
+      } else {  // output boundary
+        const bool always_ready =
+            ep.read_by_sink() &&
+            desc.sinks()[ep.reader_sink].consume_delay == nullptr;
+        BoundaryOutput bo;
+        bo.channel = c;
+        bo.provenance = prov;
+        if (always_ready) {
+          // Completion provably equals the offer: one node, as in Fig. 3.
+          cn[c].y = g.add_node({cd.name, NodeKind::kOutput, c, false, {}});
+          cn[c].actual = cn[c].y;
+          bo.offer_node = cd.name;
+        } else {
+          cn[c].y = g.add_node({"y:" + cd.name, NodeKind::kOutput, c, false, {}});
+          cn[c].actual =
+              g.add_node({cd.name + ".actual", NodeKind::kExternal, c, false, {}});
+          bo.offer_node = "y:" + cd.name;
+          bo.actual_node = cd.name + ".actual";
+        }
+        out.outputs.push_back(std::move(bo));
+      }
+    } else {  // FIFO
+      if (writer_in && reader_in) {
+        cn[c].xw =
+            g.add_node({cd.name + ".w", NodeKind::kInstant, c, false, cd.name + ".w"});
+        cn[c].xr =
+            g.add_node({cd.name + ".r", NodeKind::kInstant, c, true, cd.name + ".r"});
+        // Data availability and slot recycling.
+        g.add_arc({cn[c].xw, cn[c].xr, 0, {}, prov, nullptr});
+        g.add_arc({cn[c].xr, cn[c].xw, static_cast<unsigned>(cd.capacity),
+                   {}, prov, nullptr});
+      } else if (reader_in) {  // input fifo: write instants observed live
+        cn[c].xw = g.add_node({cd.name + ".w", NodeKind::kExternal, c, false, {}});
+        cn[c].xr = g.add_node({cd.name + ".r", NodeKind::kInstant, c, true, {}});
+        g.add_arc({cn[c].xw, cn[c].xr, 0, {}, prov, nullptr});
+        out.inputs.push_back(
+            {c, true, {}, {}, cd.name + ".w", cd.name + ".r", prov});
+      } else {  // output fifo: offer computed; both instants observed live
+        cn[c].y =
+            g.add_node({"y:" + cd.name + ".w", NodeKind::kOutput, c, false, {}});
+        cn[c].xw = g.add_node({cd.name + ".w", NodeKind::kExternal, c, false, {}});
+        cn[c].actual = cn[c].xw;
+        cn[c].xr_actual =
+            g.add_node({cd.name + ".r", NodeKind::kExternal, c, true, {}});
+        BoundaryOutput bo;
+        bo.channel = c;
+        bo.fifo = true;
+        bo.provenance = prov;
+        bo.offer_node = "y:" + cd.name + ".w";
+        bo.actual_node = cd.name + ".w";
+        bo.xr_actual_node = cd.name + ".r";
+        out.outputs.push_back(std::move(bo));
+      }
+    }
+  }
+
+  // ---- Pass 2: per-statement nodes and completion map --------------------
+  // stmt_node[f][j]: the instant node at which statement j completes.
+  std::vector<std::vector<NodeId>> stmt_node(desc.functions().size());
+  std::vector<NodeId> completion(desc.functions().size(), kNoNode);
+  for (FunctionId f = 0; f < static_cast<FunctionId>(desc.functions().size());
+       ++f) {
+    if (!group[f]) continue;
+    const auto& fn = desc.functions()[f];
+    stmt_node[f].resize(fn.body.size(), kNoNode);
+    for (std::size_t j = 0; j < fn.body.size(); ++j) {
+      const StatementDesc& s = fn.body[j];
+      switch (s.kind) {
+        case StatementKind::kRead:
+          stmt_node[f][j] = desc.channels()[s.channel].kind ==
+                                    ChannelKind::kRendezvous
+                                ? cn[s.channel].x
+                                : cn[s.channel].xr;
+          break;
+        case StatementKind::kWrite:
+          if (desc.channels()[s.channel].kind == ChannelKind::kRendezvous) {
+            // Internal write: x; output write: the function proceeds from
+            // the actual completion.
+            stmt_node[f][j] = cn[s.channel].x != kNoNode ? cn[s.channel].x
+                                                         : cn[s.channel].actual;
+          } else {
+            stmt_node[f][j] = cn[s.channel].actual != kNoNode
+                                  ? cn[s.channel].actual
+                                  : cn[s.channel].xw;
+          }
+          break;
+        case StatementKind::kExecute:
+          stmt_node[f][j] = g.add_node(
+              {fn.name + ".c" + std::to_string(j), NodeKind::kCompletion,
+               kInvalidId, false, {}});
+          break;
+      }
+    }
+    completion[f] = stmt_node[f].back();
+  }
+
+  // ---- Pass 3: arcs -------------------------------------------------------
+  for (FunctionId f = 0; f < static_cast<FunctionId>(desc.functions().size());
+       ++f) {
+    if (!group[f]) continue;
+    const auto& fn = desc.functions()[f];
+    const auto& res = desc.resources()[fn.resource];
+    const auto& sched = desc.schedule(fn.resource);
+
+    // First-statement readiness reference (see header).
+    NodeId ready_node = kNoNode;
+    unsigned ready_lag = 0;
+    if (res.policy == ResourcePolicy::kSequentialCyclic && sched.size() >= 2) {
+      const std::size_t pos = desc.schedule_position(f);
+      const FunctionId pred = sched[(pos + sched.size() - 1) % sched.size()];
+      if (!gate_implied_by_first_read(desc, f, pred)) {
+        ready_node = completion[pred];
+        ready_lag = pos == 0 ? 1 : 0;
+      }
+      // Own-previous-iteration readiness is dominated by the gate chain on
+      // multi-function sequential resources and is elided (DESIGN.md §3).
+    } else {
+      ready_node = completion[f];
+      ready_lag = 1;
+    }
+
+    NodeId prev = ready_node;  // kNoNode = no readiness constraint
+    unsigned prev_lag = ready_lag;
+    std::vector<Segment> pending;  // exec segments between instants (none in
+                                   // the raw graph; kept for clarity)
+    for (std::size_t j = 0; j < fn.body.size(); ++j) {
+      const StatementDesc& s = fn.body[j];
+      const SourceId prov = stmt_prov[f][j].value_or(0);
+      const NodeId target = stmt_node[f][j];
+      switch (s.kind) {
+        case StatementKind::kRead:
+        case StatementKind::kWrite: {
+          // Chain arc from the previous instant (reader-ready or
+          // writer-offer side of the transfer).
+          if (prev != kNoNode) {
+            NodeId dst = target;
+            if (s.kind == StatementKind::kWrite) {
+              // Writer-offer arcs land on the offer node for boundary
+              // outputs (the actual node is external).
+              const ChannelNodes& nodes = cn[s.channel];
+              if (nodes.y != kNoNode) dst = nodes.y;
+            }
+            if (dst != prev || prev_lag != 0)  // drop weightless self-loops
+              g.add_arc({prev, dst, prev_lag, std::move(pending), prov, nullptr});
+            pending = {};
+          }
+          prev = target;
+          prev_lag = 0;
+          break;
+        }
+        case StatementKind::kExecute: {
+          std::vector<Segment> segs = std::move(pending);
+          pending = {};
+          segs.push_back(Segment{Duration{}, s.load, fn.resource, s.label});
+          if (prev == kNoNode)
+            throw DescriptionError("derive_tdg: execute without readiness");
+          g.add_arc({prev, target, prev_lag, std::move(segs), prov, nullptr});
+          prev = target;
+          prev_lag = 0;
+          break;
+        }
+      }
+    }
+  }
+
+  return out;
+}
+
+DerivedTdg derive_full_tdg(const model::ArchitectureDesc& desc) {
+  return derive_tdg(desc,
+                    std::vector<bool>(desc.functions().size(), true));
+}
+
+}  // namespace maxev::tdg

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/desc.hpp"
+#include "tdg/graph.hpp"
+
+/// \file derive.hpp
+/// Automatic derivation of the temporal dependency graph from an
+/// architecture description (the paper's conclusion names this as the tool
+/// under development: "automatic generation of temporal dependency graphs").
+///
+/// Given the abstraction group (the set of functions to be replaced by the
+/// equivalent model), derivation emits one node per evolution instant and
+/// arcs that reproduce the paper's equations. For the didactic example of
+/// Fig. 1 the derived (and folded) graph is exactly Fig. 3 / equations
+/// (1)-(6), with provably redundant reader-ready terms elided (e.g. the
+/// ⊕ xM4(k-1) term of equation (3), dominated by xM2(k) ⊗ Tj1(k) through
+/// equation (1); the paper itself notes such redundancies).
+///
+/// Rules (see DESIGN.md §3 for the operational contract they mirror):
+///  * every channel with at least one endpoint in the group yields instant
+///    node(s): x_ch for rendezvous, x_ch.w / x_ch.r for FIFOs;
+///  * an input-boundary rendezvous adds an offer node u:ch (fed by the live
+///    gated channel); an input-boundary FIFO write instant is external;
+///  * an output-boundary channel yields a computed offer node; when the
+///    environment can postpone completion (a sink with a consume delay, a
+///    FIFO, or a simulated reader function) an external "actual" node
+///    receives the live completion instant and carries the history;
+///  * execute statements become completion nodes linked by weighted arcs
+///    (fold_pass_through() then folds them into arc weights, Fig. 3 style);
+///  * static-schedule gates: position 0 of a sequential resource gets an
+///    explicit arc from the last scheduled function's completion (lag 1);
+///    later positions get one from their predecessor's completion (lag 0)
+///    unless the gate is implied by their first read; own-previous-iteration
+///    readiness arcs are added only where not dominated (single-function
+///    resources and concurrent resources).
+///
+/// Derivation requires group functions to read before their first execute or
+/// write (so every duration has a token provenance) and rejects data-flow
+/// cycles within the group.
+
+namespace maxev::tdg {
+
+/// Boundary metadata of a derived graph. Nodes are referenced by name so
+/// the references survive fold/pad transforms (which rebuild the graph).
+struct BoundaryInput {
+  model::ChannelId channel = model::kInvalidId;
+  bool fifo = false;
+  std::string u_node;        ///< rendezvous: offer node (kInput)
+  std::string x_node;        ///< rendezvous: completion node (computed; the gate value)
+  std::string xw_node;       ///< fifo: external write-instant node
+  std::string xr_node;       ///< fifo: computed read-instant node (virtual reader)
+  model::SourceId provenance = 0;  ///< source whose attrs arrive with the token
+};
+
+struct BoundaryOutput {
+  model::ChannelId channel = model::kInvalidId;
+  bool fifo = false;
+  std::string offer_node;     ///< computed write-offer node y (kOutput)
+  std::string actual_node;    ///< external actual-completion node; empty when
+                              ///< the offer provably equals the completion
+                              ///< (always-ready sink on a rendezvous)
+  std::string xr_actual_node; ///< fifo: external read-instant node
+  model::SourceId provenance = 0;  ///< provenance of the emitted tokens
+};
+
+struct DerivedTdg {
+  Graph graph;  ///< not frozen; apply fold/pad, then freeze()
+  std::vector<BoundaryInput> inputs;
+  std::vector<BoundaryOutput> outputs;
+};
+
+/// Derive the TDG of the given abstraction group.
+/// \param group per-function flags; true = abstracted by the equivalent model.
+/// \throws maxev::DescriptionError on rule violations (group splitting a
+///         sequential resource, write/execute before first read, data cycles).
+[[nodiscard]] DerivedTdg derive_tdg(const model::ArchitectureDesc& desc,
+                                    const std::vector<bool>& group);
+
+/// Convenience: abstract every function.
+[[nodiscard]] DerivedTdg derive_full_tdg(const model::ArchitectureDesc& desc);
+
+}  // namespace maxev::tdg

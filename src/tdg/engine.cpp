@@ -1,0 +1,269 @@
+#include "tdg/engine.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace maxev::tdg {
+
+Engine::Engine(const Graph& g, Options opts) : graph_(&g), opts_(opts) {
+  if (!g.frozen()) throw DescriptionError("tdg::Engine: graph must be frozen");
+
+  n_sources_ = 1;
+  if (g.desc() != nullptr)
+    n_sources_ = std::max<std::size_t>(1, g.desc()->sources().size());
+  for (const Arc& a : g.arcs())
+    n_sources_ = std::max(n_sources_, static_cast<std::size_t>(a.attr_source) + 1);
+
+  callbacks_.resize(g.node_count());
+  next_flush_.assign(g.node_count(), 0);
+
+  arc_needs_attrs_.resize(g.arc_count(), 0);
+  attr_arcs_by_source_.resize(n_sources_);
+  for (std::size_t i = 0; i < g.arc_count(); ++i) {
+    const Arc& a = g.arcs()[i];
+    bool needs = static_cast<bool>(a.guard);
+    for (const Segment& s : a.segments) needs = needs || s.is_exec();
+    arc_needs_attrs_[i] = needs ? 1 : 0;
+    if (needs) {
+      attr_arcs_by_source_[static_cast<std::size_t>(a.attr_source)].push_back(
+          static_cast<std::int32_t>(i));
+    }
+  }
+
+  // Resolve sinks once (map lookups are off the hot path).
+  record_series_.assign(g.node_count(), nullptr);
+  if (opts_.instant_sink != nullptr) {
+    for (NodeId n = 0; n < static_cast<NodeId>(g.node_count()); ++n) {
+      const Node& node = g.node(n);
+      if (!node.record_series.empty())
+        record_series_[n] = &opts_.instant_sink->series(node.record_series);
+    }
+  }
+  if (opts_.usage_sink != nullptr && g.desc() != nullptr) {
+    for (const auto& r : g.desc()->resources())
+      usage_by_resource_.push_back(&opts_.usage_sink->trace(r.name));
+  }
+}
+
+void Engine::init_frame(Frame& f, std::uint64_t k) {
+  std::fill(f.value.begin(), f.value.end(), mp::Scalar::eps());
+  std::fill(f.known.begin(), f.known.end(), std::uint8_t{0});
+  std::fill(f.attr_known.begin(), f.attr_known.end(), std::uint8_t{0});
+  f.known_count = 0;
+
+  const auto& arcs = graph_->arcs();
+  for (NodeId n = 0; n < static_cast<NodeId>(graph_->node_count()); ++n) {
+    const NodeKind kind = graph_->node(n).kind;
+    if (kind == NodeKind::kInput || kind == NodeKind::kExternal) {
+      f.pending[n] = -1;  // externally fed, never computed
+      continue;
+    }
+    std::int32_t p = 0;
+    for (std::int32_t ai : graph_->in_arcs(n)) {
+      const Arc& a = arcs[static_cast<std::size_t>(ai)];
+      if (arc_needs_attrs_[static_cast<std::size_t>(ai)]) ++p;  // attrs unset
+      if (a.lag > k) continue;  // pre-history: simulation origin, resolved
+      const Frame* sf = frame_at(k - a.lag);
+      if (sf == nullptr || !sf->known[a.src]) ++p;
+    }
+    f.pending[n] = p;
+    if (p == 0) worklist_.push_back({n, k});
+  }
+}
+
+Engine::Frame& Engine::ensure_frame(std::uint64_t k) {
+  if (k < base_k_)
+    throw Error("tdg::Engine: iteration " + std::to_string(k) +
+                " already pruned");
+  while (k >= base_k_ + frames_.size()) {
+    if (frame_pool_.empty()) {
+      Frame f;
+      f.value.resize(graph_->node_count());
+      f.known.resize(graph_->node_count());
+      f.pending.resize(graph_->node_count());
+      f.attr_known.resize(n_sources_);
+      f.attrs.resize(n_sources_);
+      frames_.push_back(std::move(f));
+    } else {
+      frames_.push_back(std::move(frame_pool_.back()));
+      frame_pool_.pop_back();
+    }
+    init_frame(frames_.back(), base_k_ + frames_.size() - 1);
+  }
+  return frames_[k - base_k_];
+}
+
+Engine::Frame* Engine::frame_at(std::uint64_t k) {
+  if (k < base_k_ || k >= base_k_ + frames_.size()) return nullptr;
+  return &frames_[k - base_k_];
+}
+
+const Engine::Frame* Engine::frame_at(std::uint64_t k) const {
+  if (k < base_k_ || k >= base_k_ + frames_.size()) return nullptr;
+  return &frames_[k - base_k_];
+}
+
+void Engine::set_external(NodeId n, std::uint64_t k, TimePoint value) {
+  const Node& node = graph_->node(n);
+  if (node.kind != NodeKind::kInput && node.kind != NodeKind::kExternal)
+    throw Error("tdg::Engine: set_external on computed node '" + node.name +
+                "'");
+  Frame& f = ensure_frame(k);
+  if (f.known[n])
+    throw Error("tdg::Engine: instance (" + node.name + ", " +
+                std::to_string(k) + ") already known");
+  mark_known(f, n, k, mp::Scalar::from_time(value));
+  resolve_dependents(n, k);
+  drain();
+}
+
+void Engine::set_attrs(model::SourceId s, std::uint64_t k,
+                       const model::TokenAttrs& attrs) {
+  if (s < 0 || static_cast<std::size_t>(s) >= n_sources_)
+    throw Error("tdg::Engine: set_attrs with bad source id");
+  Frame& f = ensure_frame(k);
+  if (f.attr_known[s]) return;  // idempotent (several inputs, one source)
+  f.attrs[s] = attrs;
+  f.attr_known[s] = 1;
+  const auto& arcs = graph_->arcs();
+  for (std::int32_t ai : attr_arcs_by_source_[static_cast<std::size_t>(s)])
+    decrement(f, arcs[static_cast<std::size_t>(ai)].dst, k);
+  drain();
+}
+
+void Engine::mark_known(Frame& f, NodeId n, std::uint64_t k, mp::Scalar v) {
+  f.value[n] = v;
+  f.known[n] = 1;
+  ++f.known_count;
+  if (record_series_[n] != nullptr) flush_instants(n);
+  if (callbacks_[n] && v.is_finite()) callbacks_[n](k, v.to_time());
+}
+
+void Engine::flush_instants(NodeId n) {
+  trace::InstantSeries& series = *record_series_[n];
+  while (true) {
+    const Frame* f = frame_at(next_flush_[n]);
+    if (f == nullptr || !f->known[n]) break;
+    const mp::Scalar v = f->value[n];
+    if (v.is_finite()) series.push(v.to_time());
+    ++next_flush_[n];
+  }
+}
+
+void Engine::decrement(Frame& f, NodeId n, std::uint64_t k) {
+  if (f.known[n]) return;
+  if (--f.pending[n] == 0) worklist_.push_back({n, k});
+}
+
+void Engine::resolve_dependents(NodeId n, std::uint64_t k) {
+  const auto& arcs = graph_->arcs();
+  for (std::int32_t ai : graph_->out_arcs(n)) {
+    const Arc& a = arcs[static_cast<std::size_t>(ai)];
+    const std::uint64_t kk = k + a.lag;
+    // If the target frame does not exist yet, its init will see this
+    // instance as already known and not count it.
+    if (Frame* tf = frame_at(kk)) decrement(*tf, a.dst, kk);
+  }
+}
+
+void Engine::drain() {
+  if (draining_) return;  // single drain loop; nested calls just enqueue
+  draining_ = true;
+  while (!worklist_.empty()) {
+    auto [n, k] = worklist_.back();
+    worklist_.pop_back();
+    compute(n, k);
+  }
+  draining_ = false;
+  prune();
+}
+
+void Engine::compute(NodeId n, std::uint64_t k) {
+  Frame& f = *frame_at(k);
+  if (f.known[n]) return;
+
+  // Every prerequisite is resolved: ⊕ over arcs of src ⊗ (composed segment
+  // weights), emitting busy intervals as segment positions are determined
+  // (the paper's observation time). Loads are evaluated exactly once.
+  mp::Scalar acc = mp::Scalar::eps();
+  const model::ArchitectureDesc* desc = graph_->desc();
+  const auto& arcs = graph_->arcs();
+  for (std::int32_t ai : graph_->in_arcs(n)) {
+    const Arc& a = arcs[static_cast<std::size_t>(ai)];
+    const model::TokenAttrs& attrs = f.attrs[a.attr_source];
+    if (a.guard && !a.guard(attrs, k)) continue;
+    mp::Scalar cursor;
+    if (a.lag > k) {
+      cursor = mp::Scalar::e();  // simulation origin
+    } else {
+      cursor = frame_at(k - a.lag)->value[a.src];
+    }
+    ++arc_terms_;
+    if (cursor.is_eps()) continue;  // guarded-off upstream
+    for (const Segment& seg : a.segments) {
+      if (seg.is_exec()) {
+        const std::int64_t ops = seg.load(attrs, k);
+        const Duration d = desc->resources()[seg.resource].duration_for(ops);
+        const mp::Scalar end = cursor * mp::Scalar::from_duration(d);
+        if (!usage_by_resource_.empty() && !seg.label.empty()) {
+          usage_by_resource_[static_cast<std::size_t>(seg.resource)]->add(
+              trace::BusyInterval{cursor.to_time(), end.to_time(), ops,
+                                  seg.label});
+        }
+        cursor = end;
+      } else if (!seg.fixed.is_zero()) {
+        cursor = cursor * mp::Scalar::from_duration(seg.fixed);
+      }
+    }
+    acc = acc + cursor;
+  }
+
+  ++computed_;
+  mark_known(f, n, k, acc);
+  resolve_dependents(n, k);
+}
+
+void Engine::prune() {
+  const std::size_t window = static_cast<std::size_t>(graph_->max_lag()) + 1;
+  // Hysteresis: batch reclamation instead of churning one frame at a time.
+  if (frames_.size() <= window + 8) return;
+  while (frames_.size() > window && base_k_ < retain_floor_) {
+    bool droppable = true;
+    for (std::size_t i = 0; i <= graph_->max_lag() && droppable; ++i)
+      droppable = frames_[i].known_count == graph_->node_count();
+    if (!droppable) break;
+    frame_pool_.push_back(std::move(frames_.front()));
+    frames_.pop_front();
+    ++base_k_;
+  }
+}
+
+std::optional<TimePoint> Engine::value(NodeId n, std::uint64_t k) const {
+  const Frame* f = frame_at(k);
+  if (f == nullptr || !f->known[n] || !f->value[n].is_finite())
+    return std::nullopt;
+  return f->value[n].to_time();
+}
+
+std::optional<model::TokenAttrs> Engine::attrs_of(model::SourceId s,
+                                                  std::uint64_t k) const {
+  if (s < 0 || static_cast<std::size_t>(s) >= n_sources_) return std::nullopt;
+  const Frame* f = frame_at(k);
+  if (f == nullptr || !f->attr_known[s]) return std::nullopt;
+  return f->attrs[s];
+}
+
+void Engine::set_retain_floor(std::uint64_t k) {
+  retain_floor_ = std::max(retain_floor_, k);
+  prune();
+}
+
+void Engine::on_known(NodeId n,
+                      std::function<void(std::uint64_t, TimePoint)> cb) {
+  if (n < 0 || static_cast<std::size_t>(n) >= callbacks_.size())
+    throw Error("tdg::Engine: on_known with bad node id");
+  callbacks_[n] = std::move(cb);
+}
+
+}  // namespace maxev::tdg

@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "maxplus/scalar.hpp"
+#include "model/token.hpp"
+#include "tdg/graph.hpp"
+#include "trace/instants.hpp"
+#include "trace/usage.hpp"
+
+/// \file engine.hpp
+/// The ComputeInstant() machine (paper Section III-C / IV).
+///
+/// The engine evaluates the temporal dependency graph incrementally, in zero
+/// simulated time: whenever an external value arrives — an input offer u(k),
+/// or the actual completion instant of a boundary output — every instant
+/// that becomes determined is computed by propagation. Iterations pipeline:
+/// iteration k+1 can start (and largely complete) while an output of
+/// iteration k still waits for a slow environment, exactly as the simulated
+/// processes would.
+///
+/// Instances are identified by (node, k). A value is computed exactly once:
+///
+///   value(n, k) = ⊕ over in-arcs a with guard true of
+///                 value(a.src, k - a.lag) ⊗ weight_a(k)
+///
+/// with value(·, k<0) = e (simulation origin; see graph.hpp). Instants of
+/// internal channels are recorded to the instant sink in iteration order;
+/// execute segments emit busy intervals to the usage sink at their computed
+/// positions — this is the paper's "observation time": full-resolution
+/// resource usage with no simulator involvement.
+
+namespace maxev::tdg {
+
+class Engine {
+ public:
+  struct Options {
+    trace::InstantTraceSet* instant_sink = nullptr;
+    trace::UsageTraceSet* usage_sink = nullptr;
+  };
+
+  /// \pre g.frozen()
+  explicit Engine(const Graph& g) : Engine(g, Options{}) {}
+  Engine(const Graph& g, Options opts);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Feed an externally determined instant: an input offer (kInput nodes)
+  /// or an actual boundary completion (kExternal nodes). Triggers
+  /// propagation. Each (node, k) may be fed exactly once.
+  void set_external(NodeId n, std::uint64_t k, TimePoint value);
+
+  /// Provide the token attributes of source \p s for iteration \p k
+  /// (required before any data-dependent weight of that iteration can be
+  /// evaluated). Triggers propagation.
+  void set_attrs(model::SourceId s, std::uint64_t k,
+                 const model::TokenAttrs& attrs);
+
+  /// Value of an instance if already determined. Finite instants only —
+  /// instances suppressed by guards (ε) report std::nullopt as well.
+  [[nodiscard]] std::optional<TimePoint> value(NodeId n, std::uint64_t k) const;
+
+  /// Token attributes of source \p s at iteration \p k, if set and retained.
+  [[nodiscard]] std::optional<model::TokenAttrs> attrs_of(model::SourceId s,
+                                                          std::uint64_t k) const;
+
+  /// Keep iterations >= \p k alive even when fully known: external consumers
+  /// (the equivalent model's emission processes) still read their values.
+  /// Monotone; defaults to 0 (retain everything until raised).
+  void set_retain_floor(std::uint64_t k);
+
+  /// Register a callback fired whenever an instance of \p n becomes known
+  /// with a finite value (computed or external). One callback per node.
+  void on_known(NodeId n, std::function<void(std::uint64_t, TimePoint)> cb);
+
+  /// \name Cost counters (Fig. 5's computation-complexity axis)
+  /// @{
+  [[nodiscard]] std::uint64_t instances_computed() const { return computed_; }
+  [[nodiscard]] std::uint64_t arc_terms_evaluated() const { return arc_terms_; }
+  /// @}
+
+  [[nodiscard]] const Graph& graph() const { return *graph_; }
+
+ private:
+  struct Frame {
+    std::vector<mp::Scalar> value;
+    std::vector<std::uint8_t> known;
+    /// Unresolved prerequisites per node: one per in-arc whose source
+    /// instance is not yet known, plus one per attr-needing in-arc whose
+    /// source attributes are not yet set. A node computes exactly when its
+    /// count reaches zero — every arc is processed once per iteration
+    /// (dependency-counting propagation, no readiness re-scans).
+    std::vector<std::int32_t> pending;
+    std::vector<std::uint8_t> attr_known;
+    std::vector<model::TokenAttrs> attrs;
+    std::size_t known_count = 0;
+  };
+
+  Frame& ensure_frame(std::uint64_t k);
+  void init_frame(Frame& f, std::uint64_t k);
+  [[nodiscard]] Frame* frame_at(std::uint64_t k);
+  [[nodiscard]] const Frame* frame_at(std::uint64_t k) const;
+
+  /// Compute instance (n, k) — all prerequisites resolved.
+  void compute(NodeId n, std::uint64_t k);
+  void mark_known(Frame& f, NodeId n, std::uint64_t k, mp::Scalar v);
+  /// Decrement dependents' pending counts after (n, k) became known.
+  void resolve_dependents(NodeId n, std::uint64_t k);
+  void decrement(Frame& f, NodeId n, std::uint64_t k);
+  void drain();
+  void flush_instants(NodeId n);
+  void prune();
+
+  const Graph* graph_;
+  Options opts_;
+  std::size_t n_sources_ = 1;
+
+  std::deque<Frame> frames_;
+  std::vector<Frame> frame_pool_;  // recycled frames (hot path: no allocs)
+  std::uint64_t base_k_ = 0;
+
+  std::vector<std::pair<NodeId, std::uint64_t>> worklist_;
+  bool draining_ = false;
+
+  std::vector<std::function<void(std::uint64_t, TimePoint)>> callbacks_;
+  std::vector<std::uint64_t> next_flush_;  // per node, for instant recording
+  std::vector<std::uint8_t> arc_needs_attrs_;  // per arc (guard or exec load)
+
+  // Precomputed hot-path tables:
+  std::vector<std::vector<std::int32_t>> attr_arcs_by_source_;  // arc indices
+  std::vector<trace::InstantSeries*> record_series_;  // per node (or null)
+  std::vector<trace::UsageTrace*> usage_by_resource_;  // per resource
+
+  std::uint64_t computed_ = 0;
+  std::uint64_t arc_terms_ = 0;
+  std::uint64_t retain_floor_ = 0;
+};
+
+}  // namespace maxev::tdg

@@ -1,0 +1,131 @@
+#include "tdg/graph.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace maxev::tdg {
+
+NodeId Graph::add_node(Node n) {
+  if (frozen_) throw DescriptionError("tdg::Graph: add_node after freeze");
+  if (n.name.empty()) throw DescriptionError("tdg::Graph: node needs a name");
+  nodes_.push_back(std::move(n));
+  return static_cast<NodeId>(nodes_.size()) - 1;
+}
+
+void Graph::add_arc(Arc a) {
+  if (frozen_) throw DescriptionError("tdg::Graph: add_arc after freeze");
+  const auto n = static_cast<NodeId>(nodes_.size());
+  if (a.src < 0 || a.src >= n || a.dst < 0 || a.dst >= n)
+    throw DescriptionError("tdg::Graph: arc endpoint out of range");
+  for (const auto& seg : a.segments) {
+    if (seg.is_exec()) {
+      if (desc_ == nullptr)
+        throw DescriptionError(
+            "tdg::Graph: execute segment requires an architecture "
+            "description (resource rates)");
+      if (seg.resource < 0 ||
+          seg.resource >= static_cast<model::ResourceId>(desc_->resources().size()))
+        throw DescriptionError("tdg::Graph: execute segment has bad resource");
+    } else if (seg.fixed.is_negative()) {
+      throw DescriptionError("tdg::Graph: negative fixed segment");
+    }
+  }
+  arcs_.push_back(std::move(a));
+}
+
+void Graph::freeze() {
+  if (frozen_) return;
+
+  in_arcs_.assign(nodes_.size(), {});
+  out_arcs_.assign(nodes_.size(), {});
+  max_lag_ = 0;
+  for (std::int32_t i = 0; i < static_cast<std::int32_t>(arcs_.size()); ++i) {
+    const Arc& a = arcs_[i];
+    in_arcs_[a.dst].push_back(i);
+    out_arcs_[a.src].push_back(i);
+    max_lag_ = std::max(max_lag_, a.lag);
+  }
+
+  // Kahn's algorithm on the zero-lag subgraph.
+  std::vector<std::size_t> zero_in(nodes_.size(), 0);
+  for (const Arc& a : arcs_)
+    if (a.lag == 0) ++zero_in[a.dst];
+  std::vector<NodeId> ready;
+  for (NodeId n = 0; n < static_cast<NodeId>(nodes_.size()); ++n)
+    if (zero_in[n] == 0) ready.push_back(n);
+  topo_.clear();
+  topo_.reserve(nodes_.size());
+  // Process in node-id order for deterministic topological numbering.
+  std::size_t head = 0;
+  while (head < ready.size()) {
+    const NodeId n = ready[head++];
+    topo_.push_back(n);
+    for (std::int32_t ai : out_arcs_[n]) {
+      const Arc& a = arcs_[ai];
+      if (a.lag != 0) continue;
+      if (--zero_in[a.dst] == 0) ready.push_back(a.dst);
+    }
+  }
+  if (topo_.size() != nodes_.size()) {
+    std::string cyclic;
+    std::set<NodeId> placed(topo_.begin(), topo_.end());
+    for (NodeId n = 0; n < static_cast<NodeId>(nodes_.size()); ++n)
+      if (placed.count(n) == 0) cyclic += " " + nodes_[n].name;
+    throw DescriptionError(
+        "tdg::Graph: zero-lag dependency cycle among instants:" + cyclic);
+  }
+
+  frozen_ = true;
+}
+
+const Node& Graph::node(NodeId n) const {
+  if (n < 0 || n >= static_cast<NodeId>(nodes_.size()))
+    throw DescriptionError("tdg::Graph: bad node id");
+  return nodes_[n];
+}
+
+NodeId Graph::find(const std::string& name) const {
+  for (NodeId n = 0; n < static_cast<NodeId>(nodes_.size()); ++n)
+    if (nodes_[n].name == name) return n;
+  return kNoNode;
+}
+
+const std::vector<std::int32_t>& Graph::in_arcs(NodeId n) const {
+  if (!frozen_) throw DescriptionError("tdg::Graph: freeze() before in_arcs");
+  return in_arcs_.at(static_cast<std::size_t>(n));
+}
+
+const std::vector<std::int32_t>& Graph::out_arcs(NodeId n) const {
+  if (!frozen_) throw DescriptionError("tdg::Graph: freeze() before out_arcs");
+  return out_arcs_.at(static_cast<std::size_t>(n));
+}
+
+const std::vector<NodeId>& Graph::topo_order() const {
+  if (!frozen_) throw DescriptionError("tdg::Graph: freeze() before topo_order");
+  return topo_;
+}
+
+std::size_t Graph::paper_node_count() const {
+  std::set<std::pair<NodeId, unsigned>> history;
+  for (const Arc& a : arcs_)
+    if (a.lag >= 1) history.insert({a.src, a.lag});
+  return nodes_.size() + history.size();
+}
+
+Duration Graph::arc_weight(const Arc& a, const model::TokenAttrs& attrs,
+                           std::uint64_t k) const {
+  Duration total{};
+  for (const Segment& seg : a.segments) {
+    if (seg.is_exec()) {
+      const std::int64_t ops = seg.load(attrs, k);
+      total += desc_->resources()[seg.resource].duration_for(ops);
+    } else {
+      total += seg.fixed;
+    }
+  }
+  return total;
+}
+
+}  // namespace maxev::tdg

@@ -1,0 +1,150 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/desc.hpp"
+#include "model/load.hpp"
+#include "model/token.hpp"
+#include "util/time.hpp"
+
+/// \file graph.hpp
+/// The temporal dependency graph (TDG), Section III-C of the paper.
+///
+/// Nodes are evolution instants: instants at which data crosses a relation
+/// or a function iteration completes. Arcs express the (max,+) recurrence:
+///
+///     value(dst, k) = ⊕ over in-arcs a of  value(a.src, k - a.lag) ⊗ w_a(k)
+///
+/// where w_a(k) is the composed weight of the arc (a sequence of fixed
+/// durations and data-dependent execute segments, folded as in the paper's
+/// Fig. 3 where Ti1(k) labels the arc from xM1 to xM2).
+///
+/// Pre-history convention: value(n, k) for k < 0 is the simulation origin
+/// (time 0, the ⊗-identity e), matching the operational fact that every
+/// process is "ready" at simulation start. With non-negative weights and
+/// offer instants this coincides with the paper's convention of dropping
+/// ε-valued history terms.
+
+namespace maxev::tdg {
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+enum class NodeKind : std::uint8_t {
+  kInput,       ///< u(k): offer instant of a boundary input (set externally)
+  kInstant,     ///< x(k): channel transfer / completion instant (computed)
+  kExternal,    ///< actual instant fed back from the live simulation
+  kOutput,      ///< y(k): computed output offer instant
+  kCompletion,  ///< explicit function-completion node (only when needed)
+  kPad,         ///< pass-through padding node (Fig. 5 complexity sweeps)
+};
+
+/// One multiplicative segment of an arc weight.
+struct Segment {
+  /// Fixed part (used when load is null).
+  Duration fixed{};
+  /// Data-dependent part: ops = load(attrs, k) executed on resource.
+  model::LoadFn load;
+  model::ResourceId resource = model::kInvalidId;
+  /// Busy-interval label for observation (e.g. "F1.e0"); empty = no
+  /// observation (pure delay).
+  std::string label;
+
+  [[nodiscard]] bool is_exec() const { return static_cast<bool>(load); }
+};
+
+/// Guard predicate for conditional evolution (paper Section III-B: systems
+/// with conditioning need control statements in the computation).
+using GuardFn = std::function<bool(const model::TokenAttrs&, std::uint64_t)>;
+
+struct Arc {
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  unsigned lag = 0;  ///< dst(k) reads src(k - lag)
+  std::vector<Segment> segments;
+  /// Source whose token attributes parametrize loads/guards on this arc.
+  model::SourceId attr_source = 0;
+  /// Optional guard: when false for iteration k the arc contributes ε and
+  /// emits no observation.
+  GuardFn guard;
+};
+
+struct Node {
+  std::string name;
+  NodeKind kind = NodeKind::kInstant;
+  /// For channel-related nodes: the channel and (for FIFOs) which side.
+  model::ChannelId channel = model::kInvalidId;
+  bool fifo_read_side = false;
+  /// Record computed values into the instant trace under this series name
+  /// (internal channels only; boundary instants are recorded by the live
+  /// channels themselves).
+  std::string record_series;
+};
+
+/// The temporal dependency graph. Build directly (add_node/add_arc) or via
+/// tdg::derive_tdg(); call freeze() before handing it to an Engine.
+class Graph {
+ public:
+  Graph() = default;
+  /// \param desc architecture description providing resource rates for
+  ///        execute segments; may be null for fixed-weight-only graphs.
+  explicit Graph(const model::ArchitectureDesc* desc) : desc_(desc) {}
+
+  NodeId add_node(Node n);
+  void add_arc(Arc a);
+
+  /// Validate and index the graph:
+  ///  * zero-lag subgraph must be acyclic (otherwise instants are not
+  ///    computable in any evaluation order) — throws DescriptionError;
+  ///  * execute segments require a description with a valid resource;
+  ///  * computes per-node in/out arc lists, topological order of the
+  ///    zero-lag subgraph and the maximum lag.
+  void freeze();
+  [[nodiscard]] bool frozen() const { return frozen_; }
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t arc_count() const { return arcs_.size(); }
+  [[nodiscard]] const Node& node(NodeId n) const;
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<Arc>& arcs() const { return arcs_; }
+  [[nodiscard]] const model::ArchitectureDesc* desc() const { return desc_; }
+
+  /// Find a node by name; kNoNode when absent.
+  [[nodiscard]] NodeId find(const std::string& name) const;
+
+  /// In-arc indices of a node (into arcs()).
+  [[nodiscard]] const std::vector<std::int32_t>& in_arcs(NodeId n) const;
+  /// Out-arc indices of a node.
+  [[nodiscard]] const std::vector<std::int32_t>& out_arcs(NodeId n) const;
+  /// Topological order of the zero-lag subgraph.
+  [[nodiscard]] const std::vector<NodeId>& topo_order() const;
+  /// Maximum lag over all arcs.
+  [[nodiscard]] unsigned max_lag() const { return max_lag_; }
+
+  /// Node count in the paper's Fig. 3 / Table I convention: live nodes plus
+  /// one per distinct (node, lag >= 1) history reference — history instants
+  /// are drawn as separate nodes (xM4(k-1), xM5(k-1), xM6(k-1)).
+  [[nodiscard]] std::size_t paper_node_count() const;
+
+  /// Total duration of an arc for iteration k (ε never; guards are handled
+  /// by the engine). \pre frozen(); attrs are the attributes of the arc's
+  /// provenance source at iteration k.
+  [[nodiscard]] Duration arc_weight(const Arc& a, const model::TokenAttrs& attrs,
+                                    std::uint64_t k) const;
+
+ private:
+  const model::ArchitectureDesc* desc_ = nullptr;
+  std::vector<Node> nodes_;
+  std::vector<Arc> arcs_;
+  std::vector<std::vector<std::int32_t>> in_arcs_;
+  std::vector<std::vector<std::int32_t>> out_arcs_;
+  std::vector<NodeId> topo_;
+  unsigned max_lag_ = 0;
+  bool frozen_ = false;
+};
+
+}  // namespace maxev::tdg

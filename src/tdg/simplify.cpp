@@ -1,0 +1,148 @@
+#include "tdg/simplify.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "util/error.hpp"
+
+namespace maxev::tdg {
+
+namespace {
+
+bool arc_needs_attrs(const Arc& a) {
+  if (a.guard) return true;
+  return std::any_of(a.segments.begin(), a.segments.end(),
+                     [](const Segment& s) { return s.is_exec(); });
+}
+
+GuardFn combine_guards(const GuardFn& a, const GuardFn& b) {
+  if (!a) return b;
+  if (!b) return a;
+  return [a, b](const model::TokenAttrs& attrs, std::uint64_t k) {
+    return a(attrs, k) && b(attrs, k);
+  };
+}
+
+Graph rebuild(const Graph& g, const std::vector<bool>& dead,
+              const std::vector<Arc>& arcs) {
+  Graph out(g.desc());
+  std::vector<NodeId> remap(g.node_count(), kNoNode);
+  for (NodeId n = 0; n < static_cast<NodeId>(g.node_count()); ++n) {
+    if (dead[n]) continue;
+    remap[n] = out.add_node(g.node(n));
+  }
+  for (const Arc& a : arcs) {
+    Arc copy = a;
+    copy.src = remap[a.src];
+    copy.dst = remap[a.dst];
+    if (copy.src == kNoNode || copy.dst == kNoNode)
+      throw Error("tdg::rebuild: arc references dead node");
+    out.add_arc(std::move(copy));
+  }
+  return out;
+}
+
+}  // namespace
+
+Graph fold_pass_through(const Graph& g) {
+  if (g.frozen())
+    throw DescriptionError("fold_pass_through: graph already frozen");
+
+  std::vector<Arc> arcs = g.arcs();
+  std::vector<bool> dead(g.node_count(), false);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId m = 0; m < static_cast<NodeId>(g.node_count()); ++m) {
+      if (dead[m] || g.node(m).kind != NodeKind::kCompletion) continue;
+      std::optional<std::size_t> in, out;
+      bool simple = true;
+      for (std::size_t i = 0; i < arcs.size() && simple; ++i) {
+        if (arcs[i].dst == m) {
+          if (in) simple = false;
+          in = i;
+        }
+        if (arcs[i].src == m) {
+          if (out) simple = false;
+          out = i;
+        }
+      }
+      if (!simple || !in || !out) continue;
+      Arc& ain = arcs[*in];
+      Arc& aout = arcs[*out];
+      if (aout.lag != 0) continue;  // weight would shift iteration index
+      const bool in_attrs = arc_needs_attrs(ain);
+      const bool out_attrs = arc_needs_attrs(aout);
+      if (in_attrs && out_attrs && ain.attr_source != aout.attr_source)
+        continue;  // incompatible provenance
+
+      Arc merged;
+      merged.src = ain.src;
+      merged.dst = aout.dst;
+      merged.lag = ain.lag;
+      merged.segments = ain.segments;
+      merged.segments.insert(merged.segments.end(), aout.segments.begin(),
+                             aout.segments.end());
+      merged.attr_source = in_attrs ? ain.attr_source : aout.attr_source;
+      merged.guard = combine_guards(ain.guard, aout.guard);
+
+      // Replace the pair with the merged arc.
+      const std::size_t hi = std::max(*in, *out);
+      const std::size_t lo = std::min(*in, *out);
+      arcs.erase(arcs.begin() + static_cast<std::ptrdiff_t>(hi));
+      arcs.erase(arcs.begin() + static_cast<std::ptrdiff_t>(lo));
+      arcs.push_back(std::move(merged));
+      dead[m] = true;
+      changed = true;
+    }
+  }
+  return rebuild(g, dead, arcs);
+}
+
+Graph pad_graph(const Graph& g, std::size_t extra_nodes) {
+  if (g.frozen()) throw DescriptionError("pad_graph: graph already frozen");
+  if (g.arc_count() == 0)
+    throw DescriptionError("pad_graph: graph has no arcs to pad");
+
+  // Distribute pads round-robin over the arcs.
+  std::vector<std::size_t> pads(g.arc_count(), 0);
+  for (std::size_t i = 0; i < extra_nodes; ++i) ++pads[i % g.arc_count()];
+
+  Graph out(g.desc());
+  std::vector<NodeId> remap(g.node_count());
+  for (NodeId n = 0; n < static_cast<NodeId>(g.node_count()); ++n)
+    remap[n] = out.add_node(g.node(n));
+
+  std::size_t pad_seq = 0;
+  for (std::size_t i = 0; i < g.arc_count(); ++i) {
+    const Arc& a = g.arcs()[i];
+    if (pads[i] == 0) {
+      Arc copy = a;
+      copy.src = remap[a.src];
+      copy.dst = remap[a.dst];
+      out.add_arc(std::move(copy));
+      continue;
+    }
+    // src -> p1 carries the original weight/lag/guard; the rest are e-arcs.
+    NodeId prev = remap[a.src];
+    Arc first = a;
+    first.src = prev;
+    NodeId p = out.add_node(
+        {"pad" + std::to_string(pad_seq++), NodeKind::kPad, model::kInvalidId,
+         false, {}});
+    first.dst = p;
+    out.add_arc(std::move(first));
+    prev = p;
+    for (std::size_t j = 1; j < pads[i]; ++j) {
+      p = out.add_node({"pad" + std::to_string(pad_seq++), NodeKind::kPad,
+                        model::kInvalidId, false, {}});
+      out.add_arc({prev, p, 0, {}, a.attr_source, nullptr});
+      prev = p;
+    }
+    out.add_arc({prev, remap[a.dst], 0, {}, a.attr_source, nullptr});
+  }
+  return out;
+}
+
+}  // namespace maxev::tdg

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+
+#include "tdg/graph.hpp"
+
+/// \file simplify.hpp
+/// Graph transforms applied between derivation and freezing.
+///
+/// fold_pass_through() collapses intermediate completion nodes into
+/// composite arc weights, producing the compact graphs the paper draws
+/// (Fig. 3: Ti1(k) is an arc weight between xM1 and xM2, not a node). This
+/// is what makes the didactic example's node count match Table I (10).
+/// The raw/folded pair is also the subject of an ablation benchmark: both
+/// graphs compute identical instants, the folded one at lower cost.
+///
+/// pad_graph() inserts pass-through nodes to *increase* computation
+/// complexity at constant semantics — the independent variable of the
+/// paper's Fig. 5 ("a varying number of nodes that are required to perform
+/// computation of evolution instants").
+
+namespace maxev::tdg {
+
+/// Fold pass-through completion nodes. A node folds when it is of kind
+/// kCompletion, has exactly one in-arc and one out-arc, the out-arc has
+/// lag 0 (weights keep their iteration index), and the two arcs'
+/// attribute provenances are compatible. Returns a new graph (input graph
+/// must not be frozen; node names survive).
+[[nodiscard]] Graph fold_pass_through(const Graph& g);
+
+/// Insert \p extra_nodes pass-through kPad nodes, distributed round-robin
+/// across arcs (each selected arc becomes a chain src -> pad... -> dst with
+/// the original weight on the first hop). Semantics are unchanged; the
+/// engine's per-iteration work grows by exactly \p extra_nodes instances.
+[[nodiscard]] Graph pad_graph(const Graph& g, std::size_t extra_nodes);
+
+}  // namespace maxev::tdg

@@ -1,0 +1,58 @@
+#include "trace/instants.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace maxev::trace {
+
+TimePoint InstantSeries::at(std::size_t k) const {
+  if (k >= instants_.size())
+    throw Error("InstantSeries '" + name_ + "': index out of range");
+  return instants_[k];
+}
+
+bool InstantSeries::is_monotone() const {
+  for (std::size_t i = 1; i < instants_.size(); ++i)
+    if (instants_[i] < instants_[i - 1]) return false;
+  return true;
+}
+
+InstantSeries& InstantTraceSet::series(const std::string& name) {
+  auto it = set_.find(name);
+  if (it == set_.end())
+    it = set_.emplace(name, InstantSeries{name}).first;
+  return it->second;
+}
+
+const InstantSeries* InstantTraceSet::find(const std::string& name) const {
+  auto it = set_.find(name);
+  return it == set_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t InstantTraceSet::total_instants() const {
+  std::uint64_t n = 0;
+  for (const auto& [_, s] : set_) n += s.size();
+  return n;
+}
+
+std::optional<std::string> compare_instants(const InstantTraceSet& ref,
+                                            const InstantTraceSet& other) {
+  for (const auto& [name, a] : ref.all()) {
+    const InstantSeries* b = other.find(name);
+    if (b == nullptr) return "series '" + name + "' missing in other trace";
+    if (a.size() != b->size()) {
+      return format("series '%s': length %zu vs %zu", name.c_str(), a.size(),
+                    b->size());
+    }
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      if (a.values()[k] != b->values()[k]) {
+        return format("series '%s': instant k=%zu differs: %s vs %s",
+                      name.c_str(), k, a.values()[k].to_string().c_str(),
+                      b->values()[k].to_string().c_str());
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace maxev::trace

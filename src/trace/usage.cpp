@@ -1,0 +1,164 @@
+#include "trace/usage.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace maxev::trace {
+
+void UsageTrace::add(BusyInterval iv) {
+  if (iv.end < iv.start)
+    throw Error("UsageTrace '" + resource_ + "': interval ends before start");
+  intervals_.push_back(std::move(iv));
+}
+
+Duration UsageTrace::busy_time() const {
+  Duration total{};
+  for (const auto& iv : intervals_) total += iv.end - iv.start;
+  return total;
+}
+
+std::int64_t UsageTrace::total_ops() const {
+  std::int64_t total = 0;
+  for (const auto& iv : intervals_) total += iv.ops;
+  return total;
+}
+
+double UsageTrace::utilization(TimePoint horizon) const {
+  if (horizon.count() <= 0) return 0.0;
+  return static_cast<double>(busy_time().count()) /
+         static_cast<double>(horizon.count());
+}
+
+TimePoint UsageTrace::span_end() const {
+  TimePoint end = TimePoint::origin();
+  for (const auto& iv : intervals_) end = std::max(end, iv.end);
+  return end;
+}
+
+std::vector<RatePoint> UsageTrace::rate_profile() const {
+  // Sweep over interval starts (+rate) and ends (-rate).
+  struct Edge {
+    std::int64_t t;
+    double delta;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(intervals_.size() * 2);
+  for (const auto& iv : intervals_) {
+    const std::int64_t len = (iv.end - iv.start).count();
+    if (len <= 0) continue;  // zero-length work contributes no rate
+    // ops per picosecond * 1e3 = GOPS (1 GOPS = 1 op/ns = 1e-3 op/ps).
+    const double gops = static_cast<double>(iv.ops) / static_cast<double>(len) * 1e3;
+    edges.push_back({iv.start.count(), gops});
+    edges.push_back({iv.end.count(), -gops});
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const Edge& a, const Edge& b) { return a.t < b.t; });
+
+  std::vector<RatePoint> profile;
+  double level = 0.0;
+  for (std::size_t i = 0; i < edges.size();) {
+    const std::int64_t t = edges[i].t;
+    while (i < edges.size() && edges[i].t == t) {
+      level += edges[i].delta;
+      ++i;
+    }
+    const double clamped = std::abs(level) < 1e-9 ? 0.0 : level;
+    if (!profile.empty() && profile.back().t.count() == t) {
+      profile.back().gops = clamped;
+    } else {
+      profile.push_back({TimePoint::at_ps(t), clamped});
+    }
+  }
+  return profile;
+}
+
+std::vector<RatePoint> UsageTrace::windowed_rate(Duration bin) const {
+  if (bin.count() <= 0)
+    throw Error("UsageTrace::windowed_rate: bin must be positive");
+  const std::int64_t end = span_end().count();
+  if (end == 0) return {};
+  const auto bins = static_cast<std::size_t>((end + bin.count() - 1) / bin.count());
+  std::vector<double> ops_in(bins, 0.0);
+  for (const auto& iv : intervals_) {
+    const std::int64_t len = (iv.end - iv.start).count();
+    if (len <= 0) {
+      // Instantaneous work: attribute wholly to its containing bin.
+      const auto b = static_cast<std::size_t>(iv.start.count() / bin.count());
+      if (b < bins) ops_in[b] += static_cast<double>(iv.ops);
+      continue;
+    }
+    const double density = static_cast<double>(iv.ops) / static_cast<double>(len);
+    std::int64_t lo = iv.start.count();
+    while (lo < iv.end.count()) {
+      const std::int64_t b = lo / bin.count();
+      const std::int64_t bin_end = (b + 1) * bin.count();
+      const std::int64_t hi = std::min(bin_end, iv.end.count());
+      if (static_cast<std::size_t>(b) < bins)
+        ops_in[static_cast<std::size_t>(b)] +=
+            density * static_cast<double>(hi - lo);
+      lo = hi;
+    }
+  }
+  std::vector<RatePoint> out;
+  out.reserve(bins);
+  for (std::size_t b = 0; b < bins; ++b) {
+    out.push_back({TimePoint::at_ps(static_cast<std::int64_t>(b) * bin.count()),
+                   ops_in[b] / static_cast<double>(bin.count()) * 1e3});
+  }
+  return out;
+}
+
+void UsageTrace::sort() {
+  std::sort(intervals_.begin(), intervals_.end(),
+            [](const BusyInterval& a, const BusyInterval& b) {
+              if (a.start != b.start) return a.start < b.start;
+              if (a.end != b.end) return a.end < b.end;
+              return a.label < b.label;
+            });
+}
+
+UsageTrace& UsageTraceSet::trace(const std::string& resource) {
+  auto it = set_.find(resource);
+  if (it == set_.end()) it = set_.emplace(resource, UsageTrace{resource}).first;
+  return it->second;
+}
+
+const UsageTrace* UsageTraceSet::find(const std::string& resource) const {
+  auto it = set_.find(resource);
+  return it == set_.end() ? nullptr : &it->second;
+}
+
+void UsageTraceSet::sort_all() {
+  for (auto& [_, t] : set_) t.sort();
+}
+
+std::optional<std::string> compare_usage(const UsageTraceSet& ref,
+                                         const UsageTraceSet& other) {
+  for (const auto& [name, a] : ref.all()) {
+    const UsageTrace* b = other.find(name);
+    if (b == nullptr) return "resource '" + name + "' missing in other trace";
+    if (a.size() != b->size())
+      return format("resource '%s': %zu vs %zu intervals", name.c_str(),
+                    a.size(), b->size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const auto& x = a.intervals()[i];
+      const auto& y = b->intervals()[i];
+      if (!(x == y)) {
+        return format(
+            "resource '%s': interval %zu differs: [%s,%s) ops=%lld '%s' vs "
+            "[%s,%s) ops=%lld '%s'",
+            name.c_str(), i, x.start.to_string().c_str(),
+            x.end.to_string().c_str(), static_cast<long long>(x.ops),
+            x.label.c_str(), y.start.to_string().c_str(),
+            y.end.to_string().c_str(), static_cast<long long>(y.ops),
+            y.label.c_str());
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace maxev::trace

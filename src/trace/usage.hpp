@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+/// \file usage.hpp
+/// Platform-resource usage observation ("observation time" in the paper).
+///
+/// Each execute statement contributes one busy interval [start, end) with an
+/// operation count to the trace of its processing resource. From these the
+/// paper's Fig. 6 observables are derived: the solid busy line (Fig. 2b) and
+/// the computational complexity per time unit in GOPS (Fig. 6b/6c).
+///
+/// Both the event-driven baseline (recording live) and the equivalent model
+/// (recording from computed instants, without the simulator) fill this same
+/// structure, so accuracy is checked by structural equality.
+
+namespace maxev::trace {
+
+/// One busy interval of a resource.
+struct BusyInterval {
+  TimePoint start;
+  TimePoint end;
+  std::int64_t ops = 0;   ///< operations executed during the interval
+  std::string label;      ///< e.g. "F1.exec0" — which statement ran
+
+  friend bool operator==(const BusyInterval&, const BusyInterval&) = default;
+};
+
+/// A point of a piecewise-constant rate profile: rate holds from t until the
+/// next point.
+struct RatePoint {
+  TimePoint t;
+  double gops = 0.0;
+};
+
+/// Usage trace of one processing resource.
+class UsageTrace {
+ public:
+  UsageTrace() = default;
+  explicit UsageTrace(std::string resource) : resource_(std::move(resource)) {}
+
+  void add(BusyInterval iv);
+
+  [[nodiscard]] const std::string& resource() const { return resource_; }
+  [[nodiscard]] const std::vector<BusyInterval>& intervals() const {
+    return intervals_;
+  }
+  [[nodiscard]] std::size_t size() const { return intervals_.size(); }
+
+  /// Sum of interval lengths (overlaps counted multiply).
+  [[nodiscard]] Duration busy_time() const;
+  /// Total operations across all intervals.
+  [[nodiscard]] std::int64_t total_ops() const;
+  /// busy_time / horizon (can exceed 1 on concurrent resources).
+  [[nodiscard]] double utilization(TimePoint horizon) const;
+  /// Latest interval end (origin when empty).
+  [[nodiscard]] TimePoint span_end() const;
+
+  /// Piecewise-constant total execution rate over time: at any instant the
+  /// rate is the sum over active intervals of ops/length, in GOPS
+  /// (operations per simulated nanosecond). This is the paper's
+  /// "computational complexity per time unit".
+  [[nodiscard]] std::vector<RatePoint> rate_profile() const;
+
+  /// Average GOPS inside fixed windows of width \p bin from the origin to
+  /// span_end(); interval ops are apportioned linearly across windows.
+  [[nodiscard]] std::vector<RatePoint> windowed_rate(Duration bin) const;
+
+  /// Normalize for comparison: sort by (start, end, label).
+  void sort();
+
+ private:
+  std::string resource_;
+  std::vector<BusyInterval> intervals_;
+};
+
+/// Usage traces of all resources of one model run.
+class UsageTraceSet {
+ public:
+  UsageTrace& trace(const std::string& resource);
+  [[nodiscard]] const UsageTrace* find(const std::string& resource) const;
+  [[nodiscard]] const std::map<std::string, UsageTrace>& all() const {
+    return set_;
+  }
+  /// Sort every trace (call before comparing).
+  void sort_all();
+
+ private:
+  std::map<std::string, UsageTrace> set_;
+};
+
+/// Structural equality of two usage trace sets (after sorting), restricted
+/// to the resources present in \p ref. nullopt when identical, otherwise a
+/// description of the first difference.
+[[nodiscard]] std::optional<std::string> compare_usage(const UsageTraceSet& ref,
+                                                       const UsageTraceSet& other);
+
+}  // namespace maxev::trace

@@ -1,0 +1,89 @@
+#include "trace/vcd.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace maxev::trace {
+
+VcdWriter::VcdWriter(std::string module) : module_(std::move(module)) {}
+
+std::string VcdWriter::code_for(std::size_t index) {
+  // Printable identifier characters per the VCD grammar: '!' (33) .. '~' (126).
+  std::string code;
+  std::size_t v = index;
+  do {
+    code += static_cast<char>(33 + v % 94);
+    v /= 94;
+  } while (v != 0);
+  return code;
+}
+
+int VcdWriter::add_wire(const std::string& name) {
+  signals_.push_back({name, false, code_for(signals_.size())});
+  return static_cast<int>(signals_.size()) - 1;
+}
+
+int VcdWriter::add_real(const std::string& name) {
+  signals_.push_back({name, true, code_for(signals_.size())});
+  return static_cast<int>(signals_.size()) - 1;
+}
+
+void VcdWriter::change_bit(int signal, TimePoint t, bool value) {
+  changes_.push_back({t.count(), signal, order_++, value, 0.0});
+}
+
+void VcdWriter::change_real(int signal, TimePoint t, double value) {
+  changes_.push_back({t.count(), signal, order_++, false, value});
+}
+
+std::string VcdWriter::render() const {
+  std::string out;
+  out += "$date maxev trace $end\n";
+  out += "$version maxev 1.0 $end\n";
+  out += "$timescale 1ps $end\n";
+  out += "$scope module " + module_ + " $end\n";
+  for (const auto& s : signals_) {
+    if (s.is_real)
+      out += "$var real 64 " + s.code + " " + s.name + " $end\n";
+    else
+      out += "$var wire 1 " + s.code + " " + s.name + " $end\n";
+  }
+  out += "$upscope $end\n$enddefinitions $end\n";
+
+  std::vector<Change> sorted = changes_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Change& a, const Change& b) {
+                     if (a.t != b.t) return a.t < b.t;
+                     return a.order < b.order;
+                   });
+
+  std::int64_t current = -1;
+  char buf[64];
+  for (const auto& c : sorted) {
+    if (c.t != current) {
+      std::snprintf(buf, sizeof buf, "#%lld\n", static_cast<long long>(c.t));
+      out += buf;
+      current = c.t;
+    }
+    const Signal& s = signals_.at(static_cast<std::size_t>(c.signal));
+    if (s.is_real) {
+      std::snprintf(buf, sizeof buf, "r%.16g %s\n", c.real, s.code.c_str());
+      out += buf;
+    } else {
+      out += c.bit ? '1' : '0';
+      out += s.code + "\n";
+    }
+  }
+  return out;
+}
+
+void VcdWriter::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw Error("VcdWriter: cannot open '" + path + "'");
+  f << render();
+}
+
+}  // namespace maxev::trace

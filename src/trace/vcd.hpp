@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+/// \file vcd.hpp
+/// Value Change Dump (IEEE 1364) writer for resource-activity waveforms, so
+/// usage traces can be inspected in GTKWave or any EDA waveform viewer.
+/// Supports 1-bit wires (resource busy flags) and real-valued signals
+/// (GOPS profiles). Timescale is 1 ps, matching the library's time base.
+
+namespace maxev::trace {
+
+class VcdWriter {
+ public:
+  /// \param module name of the single enclosing scope.
+  explicit VcdWriter(std::string module = "maxev");
+
+  /// Declare a 1-bit wire; returns the signal id used by change_bit().
+  int add_wire(const std::string& name);
+  /// Declare a real-valued signal; returns the signal id.
+  int add_real(const std::string& name);
+
+  /// Record a value change (changes may be recorded out of order; they are
+  /// sorted at render time; the last change recorded for a (t, signal) pair
+  /// wins).
+  void change_bit(int signal, TimePoint t, bool value);
+  void change_real(int signal, TimePoint t, double value);
+
+  /// Render the complete VCD document.
+  [[nodiscard]] std::string render() const;
+
+  /// Render and write to \p path. Throws maxev::Error on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  struct Signal {
+    std::string name;
+    bool is_real = false;
+    std::string code;  ///< VCD short identifier
+  };
+  struct Change {
+    std::int64_t t;
+    int signal;
+    std::uint64_t order;  ///< recording order, for last-wins semantics
+    bool bit = false;
+    double real = 0.0;
+  };
+
+  static std::string code_for(std::size_t index);
+
+  std::string module_;
+  std::vector<Signal> signals_;
+  std::vector<Change> changes_;
+  std::uint64_t order_ = 0;
+};
+
+}  // namespace maxev::trace

@@ -1,0 +1,49 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace maxev {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), out_(path) {
+  if (!out_) throw Error("CsvWriter: cannot open '" + path + "' for writing");
+  if (!header.empty()) row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  bool first = true;
+  for (const auto& c : cells) {
+    if (!first) out_ << ',';
+    out_ << escape(c);
+    first = false;
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::row_numeric(const std::vector<double>& cells) {
+  std::vector<std::string> s;
+  s.reserve(cells.size());
+  char buf[48];
+  for (double v : cells) {
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    s.emplace_back(buf);
+  }
+  row(s);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace maxev

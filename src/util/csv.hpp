@@ -1,0 +1,38 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+/// \file csv.hpp
+/// Minimal CSV emission for benchmark series (Fig. 5 curves, Fig. 6 traces).
+
+namespace maxev {
+
+/// Writes rows of a CSV file; cells are escaped when they contain commas,
+/// quotes or newlines. The file is flushed and closed on destruction (RAII).
+class CsvWriter {
+ public:
+  /// Opens \p path for writing and emits \p header as the first row when
+  /// non-empty. Throws maxev::Error if the file cannot be opened.
+  explicit CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header = {});
+
+  /// Emit one row of preformatted cells.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: emit one row of doubles with %.9g formatting.
+  void row_numeric(const std::vector<double>& cells);
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace maxev

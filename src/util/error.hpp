@@ -1,0 +1,39 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+/// \file error.hpp
+/// Library-wide exception hierarchy. All failures detectable at model
+/// construction or execution time throw one of these; they all derive from
+/// maxev::Error so callers can catch the library root.
+
+namespace maxev {
+
+/// Root of the maxev exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// An architecture or graph description violates a structural rule
+/// (e.g. a channel with two readers, a zero-lag cycle in a TDG).
+class DescriptionError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Arithmetic left the representable range (max-plus ⊗ overflow, etc.).
+class OverflowError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// The simulation ended in an inconsistent state (stalled processes with
+/// pending work), typically from an infeasible static schedule.
+class SimulationError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace maxev

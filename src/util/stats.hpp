@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+/// \file stats.hpp
+/// Small descriptive-statistics helpers used by the benchmark harness and the
+/// trace analysis code.
+
+namespace maxev {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class Accumulator {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double median = 0.0;
+  double max = 0.0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Summarize a sample (copies and sorts internally).
+[[nodiscard]] Summary summarize(std::vector<double> sample);
+
+/// Median of a sample (copies and sorts internally); 0 for empty input.
+[[nodiscard]] double median_of(std::vector<double> sample);
+
+}  // namespace maxev

@@ -1,0 +1,75 @@
+#include "util/strings.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace maxev {
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+std::string with_commas(std::int64_t v) {
+  const bool neg = v < 0;
+  std::string digits = std::to_string(neg ? -v : v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out += ',';
+    out += *it;
+    ++count;
+  }
+  if (neg) out += '-';
+  return {out.rbegin(), out.rend()};
+}
+
+ConsoleTable::ConsoleTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void ConsoleTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string ConsoleTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto rule = [&] {
+    std::string s = "+";
+    for (std::size_t w : width) s += std::string(w + 2, '-') + "+";
+    s += '\n';
+    return s;
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      s += ' ' + cell + std::string(width[c] - cell.size(), ' ') + " |";
+    }
+    s += '\n';
+    return s;
+  };
+
+  std::string out = rule() + line(header_) + rule();
+  for (const auto& row : rows_) out += line(row);
+  out += rule();
+  return out;
+}
+
+}  // namespace maxev

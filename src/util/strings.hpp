@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file strings.hpp
+/// printf-style formatting and fixed-width table rendering for the
+/// paper-style console reports produced by the benchmark binaries.
+
+namespace maxev {
+
+/// printf into a std::string.
+[[nodiscard]] std::string format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Render an integer with thousands separators, e.g. 1234567 -> "1,234,567".
+[[nodiscard]] std::string with_commas(std::int64_t v);
+
+/// A simple console table: fixed column set, auto-sized column widths,
+/// ASCII rules. Used by the bench binaries to print the paper's tables.
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render the full table to a string (including header and rules).
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace maxev

@@ -1,0 +1,42 @@
+#include "util/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace maxev {
+
+namespace {
+
+std::string render_ps(std::int64_t ps) {
+  const char* unit = "ps";
+  double v = static_cast<double>(ps);
+  const double a = std::abs(v);
+  if (a >= 1e12) {
+    v *= 1e-12;
+    unit = "s";
+  } else if (a >= 1e9) {
+    v *= 1e-9;
+    unit = "ms";
+  } else if (a >= 1e6) {
+    v *= 1e-6;
+    unit = "us";
+  } else if (a >= 1e3) {
+    v *= 1e-3;
+    unit = "ns";
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6g%s", v, unit);
+  return buf;
+}
+
+}  // namespace
+
+Duration Duration::from_seconds(double s) {
+  return Duration::ps(static_cast<std::int64_t>(std::llround(s * 1e12)));
+}
+
+std::string Duration::to_string() const { return render_ps(ps_); }
+
+std::string TimePoint::to_string() const { return render_ps(ps_); }
+
+}  // namespace maxev

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+/// \file time.hpp
+/// Simulated-time arithmetic for the whole library.
+///
+/// All simulated time is an integer count of picoseconds. Integer time makes
+/// evolution instants exactly comparable between the event-driven baseline
+/// simulation and the dynamically computed equivalent model, which is the
+/// accuracy property the reproduced paper claims ("evolution instants of both
+/// models have been compared and, as expected, remain the same").
+
+namespace maxev {
+
+/// A signed span of simulated time, in picoseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  /// Named constructors for the usual units.
+  static constexpr Duration ps(std::int64_t v) { return Duration{v}; }
+  static constexpr Duration ns(std::int64_t v) { return Duration{v * 1'000}; }
+  static constexpr Duration us(std::int64_t v) { return Duration{v * 1'000'000}; }
+  static constexpr Duration ms(std::int64_t v) { return Duration{v * 1'000'000'000}; }
+  static constexpr Duration sec(std::int64_t v) { return Duration{v * 1'000'000'000'000}; }
+  static Duration from_seconds(double s);
+
+  /// Raw picosecond count.
+  [[nodiscard]] constexpr std::int64_t count() const { return ps_; }
+  [[nodiscard]] double seconds() const { return static_cast<double>(ps_) * 1e-12; }
+  [[nodiscard]] double micros() const { return static_cast<double>(ps_) * 1e-6; }
+  [[nodiscard]] double nanos() const { return static_cast<double>(ps_) * 1e-3; }
+
+  [[nodiscard]] constexpr bool is_zero() const { return ps_ == 0; }
+  [[nodiscard]] constexpr bool is_negative() const { return ps_ < 0; }
+
+  constexpr Duration& operator+=(Duration d) { ps_ += d.ps_; return *this; }
+  constexpr Duration& operator-=(Duration d) { ps_ -= d.ps_; return *this; }
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration{a.ps_ + b.ps_}; }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration{a.ps_ - b.ps_}; }
+  friend constexpr Duration operator*(Duration a, std::int64_t n) { return Duration{a.ps_ * n}; }
+  friend constexpr Duration operator*(std::int64_t n, Duration a) { return Duration{a.ps_ * n}; }
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+  /// Human-readable rendering with an auto-selected unit, e.g. "71.429us".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit Duration(std::int64_t v) : ps_(v) {}
+  std::int64_t ps_ = 0;
+};
+
+/// An instant on the simulated timeline (picoseconds since simulation start).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  static constexpr TimePoint at_ps(std::int64_t v) { return TimePoint{v}; }
+  static constexpr TimePoint origin() { return TimePoint{0}; }
+
+  [[nodiscard]] constexpr std::int64_t count() const { return ps_; }
+  [[nodiscard]] double seconds() const { return static_cast<double>(ps_) * 1e-12; }
+  [[nodiscard]] double micros() const { return static_cast<double>(ps_) * 1e-6; }
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return TimePoint{t.ps_ + d.count()};
+  }
+  friend constexpr TimePoint operator+(Duration d, TimePoint t) { return t + d; }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) {
+    return TimePoint{t.ps_ - d.count()};
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration::ps(a.ps_ - b.ps_);
+  }
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit TimePoint(std::int64_t v) : ps_(v) {}
+  std::int64_t ps_ = 0;
+};
+
+namespace literals {
+constexpr Duration operator""_ps(unsigned long long v) { return Duration::ps(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_ns(unsigned long long v) { return Duration::ns(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_us(unsigned long long v) { return Duration::us(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_ms(unsigned long long v) { return Duration::ms(static_cast<std::int64_t>(v)); }
+}  // namespace literals
+
+}  // namespace maxev

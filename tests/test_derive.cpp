@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/chains.hpp"
+#include "gen/didactic.hpp"
+#include "gen/padded.hpp"
+#include "gen/random_arch.hpp"
+#include "tdg/derive.hpp"
+#include "tdg/export.hpp"
+#include "tdg/simplify.hpp"
+#include "util/error.hpp"
+
+namespace maxev::tdg {
+namespace {
+
+/// Signature of an arc for structural assertions: src -> dst @lag (#segs).
+struct ArcSig {
+  std::string src, dst;
+  unsigned lag;
+  std::size_t segments;
+
+  bool operator<(const ArcSig& o) const {
+    return std::tie(src, dst, lag, segments) <
+           std::tie(o.src, o.dst, o.lag, o.segments);
+  }
+  bool operator==(const ArcSig& o) const = default;
+};
+
+std::set<ArcSig> signatures(const Graph& g) {
+  std::set<ArcSig> out;
+  for (const Arc& a : g.arcs())
+    out.insert(
+        {g.node(a.src).name, g.node(a.dst).name, a.lag, a.segments.size()});
+  return out;
+}
+
+TEST(DeriveTest, DidacticFoldedGraphIsFigure3) {
+  model::ArchitectureDesc d = gen::make_didactic({});
+  DerivedTdg derived = derive_full_tdg(d);
+  Graph g = fold_pass_through(derived.graph);
+
+  // Fig. 3 / Table I: 7 live nodes + 3 history references = 10.
+  EXPECT_EQ(g.node_count(), 7u);
+  EXPECT_EQ(g.paper_node_count(), 10u);
+
+  // The arc set is equations (1)-(6), with the provably redundant
+  // ⊕ xM4(k-1) of eq. (3) and ⊕ xM5(k-1) of eq. (4) elided:
+  //   xM1 = u ⊕ xM4(k-1)                 (1)
+  //   xM2 = xM1 ⊗ Ti1 ⊕ xM5(k-1)        (2)
+  //   xM3 = xM2 ⊗ Tj1                    (3)
+  //   xM4 = xM3 ⊗ Ti2 ⊕ xM2 ⊗ Ti3      (4)
+  //   xM5 = xM4 ⊗ Tj3 ⊕ xM6(k-1)        (5)
+  //   xM6 = xM5 ⊗ Ti4                    (6)
+  const std::set<ArcSig> expected = {
+      {"u:M1", "M1", 0, 0}, {"M4", "M1", 1, 0},
+      {"M1", "M2", 0, 1},   {"M5", "M2", 1, 0},
+      {"M2", "M3", 0, 1},
+      {"M3", "M4", 0, 1},   {"M2", "M4", 0, 1},
+      {"M4", "M5", 0, 1},   {"M6", "M5", 1, 0},
+      {"M5", "M6", 0, 1},
+  };
+  EXPECT_EQ(signatures(g), expected);
+}
+
+TEST(DeriveTest, DidacticBoundaryMetadata) {
+  model::ArchitectureDesc d = gen::make_didactic({});
+  DerivedTdg derived = derive_full_tdg(d);
+  ASSERT_EQ(derived.inputs.size(), 1u);
+  EXPECT_EQ(derived.inputs[0].u_node, "u:M1");
+  EXPECT_EQ(derived.inputs[0].x_node, "M1");
+  EXPECT_FALSE(derived.inputs[0].fifo);
+  ASSERT_EQ(derived.outputs.size(), 1u);
+  EXPECT_EQ(derived.outputs[0].offer_node, "M6");  // always-ready sink
+  EXPECT_TRUE(derived.outputs[0].actual_node.empty());
+}
+
+TEST(DeriveTest, LimitedConcurrencyP2AddsXm6Term) {
+  // Paper Section III-B: with P2 sequential, xM2(k) gains ⊕ xM6(k-1)
+  // (here as the explicit schedule gate on F3, elided own-prev).
+  gen::DidacticConfig cfg;
+  cfg.p2_limited_concurrency = true;
+  model::ArchitectureDesc d = gen::make_didactic(cfg);
+  Graph g = fold_pass_through(derive_full_tdg(d).graph);
+  const auto sigs = signatures(g);
+  EXPECT_TRUE(sigs.count({"M6", "M2", 1, 0}))
+      << "xM2(k) must depend on xM6(k-1) when P2 is sequential";
+  // And the concurrent-P2 own-prev arc xM5(k-1) -> M2 is gone.
+  EXPECT_FALSE(sigs.count({"M5", "M2", 1, 0}));
+}
+
+TEST(DeriveTest, Table1NodeCountsScaleLinearly) {
+  // Paper Table I: 10, 19, 28, 37 (+9 per block; CoFluent's capture keeps
+  // a boundary node per block). Our chain shares the inter-block relation,
+  // so each extra block contributes its 5 other relations + 3 history
+  // references: 10, 18, 26, 34. Same linear scaling, one fewer node per
+  // seam; see EXPERIMENTS.md.
+  for (std::size_t ex = 1; ex <= 4; ++ex) {
+    model::ArchitectureDesc d = gen::make_table1_example(ex, 10);
+    Graph g = fold_pass_through(derive_full_tdg(d).graph);
+    EXPECT_EQ(g.paper_node_count(), 10u + 8u * (ex - 1)) << "example " << ex;
+  }
+}
+
+TEST(DeriveTest, PipelineStateSizeMatchesConfig) {
+  gen::PipelineConfig cfg;
+  cfg.x_size = 10;
+  cfg.tokens = 10;
+  model::ArchitectureDesc d = gen::make_pipeline(cfg);
+  Graph g = fold_pass_through(derive_full_tdg(d).graph);
+  // Nodes: u + x_size state instants.
+  EXPECT_EQ(g.node_count(), cfg.x_size + 1);
+  g.freeze();
+  auto ex = to_linear_system(
+      g, [](model::SourceId, std::uint64_t) { return model::TokenAttrs{}; });
+  EXPECT_EQ(ex.state_nodes.size(), cfg.x_size);
+}
+
+TEST(DeriveTest, PartialGroupKeepsBoundaryChannels) {
+  // Abstract only F3/F4 (resource P2): M2 and M4 become inputs, M6 output.
+  model::ArchitectureDesc d = gen::make_didactic({});
+  std::vector<bool> group(d.functions().size(), false);
+  group[2] = group[3] = true;  // F3, F4
+  DerivedTdg derived = derive_tdg(d, group);
+  EXPECT_EQ(derived.inputs.size(), 2u);
+  EXPECT_EQ(derived.outputs.size(), 1u);
+  std::set<std::string> in_names;
+  for (const auto& i : derived.inputs) in_names.insert(i.x_node);
+  EXPECT_TRUE(in_names.count("M2"));
+  EXPECT_TRUE(in_names.count("M4"));
+}
+
+TEST(DeriveTest, GroupSplittingSequentialResourceRejected) {
+  model::ArchitectureDesc d = gen::make_didactic({});
+  std::vector<bool> group(d.functions().size(), false);
+  group[0] = true;  // F1 only: P1 = {F1, F2} is split
+  EXPECT_THROW(derive_tdg(d, group), DescriptionError);
+}
+
+TEST(DeriveTest, EmptyGroupRejected) {
+  model::ArchitectureDesc d = gen::make_didactic({});
+  EXPECT_THROW(derive_tdg(d, std::vector<bool>(d.functions().size(), false)),
+               DescriptionError);
+}
+
+TEST(DeriveTest, WriteBeforeReadRejected) {
+  model::ArchitectureDesc d;
+  const auto r = d.add_resource("P", model::ResourcePolicy::kConcurrent, 1e9);
+  const auto in = d.add_rendezvous("in");
+  const auto out = d.add_rendezvous("out");
+  const auto f = d.add_function("F", r);
+  d.fn_write(f, out);  // writes before reading
+  d.fn_read(f, in);
+  d.add_source("s", in, 1, [](std::uint64_t) { return TimePoint::origin(); },
+               [](std::uint64_t) { return model::TokenAttrs{}; });
+  d.add_sink("k", out);
+  d.validate();
+  EXPECT_THROW(derive_full_tdg(d), DescriptionError);
+}
+
+TEST(DeriveTest, FifoChannelsGetTwoInstantNodes) {
+  model::ArchitectureDesc d;
+  const auto r = d.add_resource("P", model::ResourcePolicy::kConcurrent, 1e9);
+  const auto in = d.add_rendezvous("in");
+  const auto mid = d.add_fifo("q", 2);
+  const auto out = d.add_rendezvous("out");
+  const auto f1 = d.add_function("A", r);
+  d.fn_read(f1, in);
+  d.fn_execute(f1, model::constant_ops(100));
+  d.fn_write(f1, mid);
+  const auto f2 = d.add_function("B", r);
+  d.fn_read(f2, mid);
+  d.fn_execute(f2, model::constant_ops(100));
+  d.fn_write(f2, out);
+  d.add_source("s", in, 5, [](std::uint64_t) { return TimePoint::origin(); },
+               [](std::uint64_t) { return model::TokenAttrs{}; });
+  d.add_sink("k", out);
+  d.validate();
+  Graph g = fold_pass_through(derive_full_tdg(d).graph);
+  EXPECT_NE(g.find("q.w"), kNoNode);
+  EXPECT_NE(g.find("q.r"), kNoNode);
+  const auto sigs = signatures(g);
+  // Slot-recycling arc with lag = capacity.
+  EXPECT_TRUE(sigs.count({"q.r", "q.w", 2, 0}));
+  // Data-availability arc.
+  EXPECT_TRUE(sigs.count({"q.w", "q.r", 0, 0}));
+}
+
+TEST(DeriveTest, BackPressuredOutputGetsActualNode) {
+  model::ArchitectureDesc d;
+  const auto r = d.add_resource("P", model::ResourcePolicy::kConcurrent, 1e9);
+  const auto in = d.add_rendezvous("in");
+  const auto out = d.add_rendezvous("out");
+  const auto f = d.add_function("F", r);
+  d.fn_read(f, in);
+  d.fn_execute(f, model::constant_ops(100));
+  d.fn_write(f, out);
+  d.add_source("s", in, 5, [](std::uint64_t) { return TimePoint::origin(); },
+               [](std::uint64_t) { return model::TokenAttrs{}; });
+  d.add_sink("k", out, [](std::uint64_t) { return Duration::us(1); });
+  d.validate();
+  DerivedTdg derived = derive_full_tdg(d);
+  ASSERT_EQ(derived.outputs.size(), 1u);
+  EXPECT_EQ(derived.outputs[0].offer_node, "y:out");
+  EXPECT_EQ(derived.outputs[0].actual_node, "out.actual");
+}
+
+TEST(DeriveTest, ProvenanceFollowsJoins) {
+  // Two sources joining: the join function's loads must use the provenance
+  // of the most recent read.
+  model::ArchitectureDesc d;
+  const auto r = d.add_resource("P", model::ResourcePolicy::kConcurrent, 1e9);
+  const auto in0 = d.add_rendezvous("in0");
+  const auto in1 = d.add_rendezvous("in1");
+  const auto out = d.add_rendezvous("out");
+  const auto f = d.add_function("J", r);
+  d.fn_read(f, in0);
+  d.fn_execute(f, model::linear_ops(0, 1));  // uses source 0's attrs
+  d.fn_read(f, in1);
+  d.fn_execute(f, model::linear_ops(0, 1));  // uses source 1's attrs
+  d.fn_write(f, out);
+  auto mk = [](std::uint64_t) { return model::TokenAttrs{}; };
+  d.add_source("s0", in0, 3, [](std::uint64_t) { return TimePoint::origin(); }, mk);
+  d.add_source("s1", in1, 3, [](std::uint64_t) { return TimePoint::origin(); }, mk);
+  d.add_sink("k", out);
+  d.validate();
+  Graph g = fold_pass_through(derive_full_tdg(d).graph);
+  g.freeze();
+  // Find the exec arcs and check provenance differs.
+  std::set<model::SourceId> exec_sources;
+  for (const Arc& a : g.arcs())
+    for (const Segment& s : a.segments)
+      if (s.is_exec()) exec_sources.insert(a.attr_source);
+  EXPECT_EQ(exec_sources, (std::set<model::SourceId>{0, 1}));
+}
+
+TEST(DeriveTest, RandomArchitecturesDeriveAndFreeze) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    gen::RandomArchConfig cfg;
+    cfg.tokens = 5;
+    model::ArchitectureDesc d = gen::make_random_architecture(seed, cfg);
+    DerivedTdg derived = derive_full_tdg(d);
+    Graph g = fold_pass_through(derived.graph);
+    EXPECT_NO_THROW(g.freeze()) << "seed " << seed;
+    EXPECT_GE(derived.inputs.size(), 1u) << "seed " << seed;
+    EXPECT_GE(derived.outputs.size(), 1u) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace maxev::tdg

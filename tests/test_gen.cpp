@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "gen/chains.hpp"
+#include "gen/didactic.hpp"
+#include "gen/padded.hpp"
+#include "gen/random_arch.hpp"
+#include "model/baseline.hpp"
+#include "util/error.hpp"
+
+namespace maxev::gen {
+namespace {
+
+TEST(DidacticTest, StructureMatchesFigure1) {
+  const model::ArchitectureDesc d = make_didactic({});
+  EXPECT_EQ(d.functions().size(), 4u);
+  EXPECT_EQ(d.channels().size(), 6u);
+  EXPECT_EQ(d.resources().size(), 2u);
+  EXPECT_EQ(d.schedule(0), (std::vector<model::FunctionId>{0, 1}));  // P1
+  EXPECT_EQ(d.resources()[1].policy, model::ResourcePolicy::kConcurrent);
+  EXPECT_EQ(d.sources()[0].count, 20000u);
+}
+
+TEST(DidacticTest, AttrsDeterministicInSeed) {
+  DidacticConfig a, b;
+  a.seed = b.seed = 99;
+  const auto da = make_didactic(a);
+  const auto db = make_didactic(b);
+  for (std::uint64_t k = 0; k < 50; ++k)
+    EXPECT_EQ(da.sources()[0].attrs(k), db.sources()[0].attrs(k));
+}
+
+TEST(DidacticTest, SizeRangeRespected) {
+  DidacticConfig cfg;
+  cfg.size_min = 10;
+  cfg.size_max = 20;
+  const auto d = make_didactic(cfg);
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    const auto a = d.sources()[0].attrs(k);
+    EXPECT_GE(a.size, 10);
+    EXPECT_LE(a.size, 20);
+  }
+}
+
+TEST(ChainTest, BlockCountScalesStructure) {
+  for (std::size_t b = 1; b <= 4; ++b) {
+    ChainConfig cfg;
+    cfg.blocks = b;
+    cfg.block.tokens = 5;
+    const auto d = make_chain(cfg);
+    EXPECT_EQ(d.functions().size(), 4u * b);
+    EXPECT_EQ(d.channels().size(), 6u * b - (b - 1));
+    EXPECT_EQ(d.resources().size(), 2u * b);
+  }
+  EXPECT_THROW(make_chain(ChainConfig{0, {}}), DescriptionError);
+  EXPECT_THROW(make_table1_example(5), DescriptionError);
+}
+
+TEST(ChainTest, ChainsRunToCompletion) {
+  ChainConfig cfg;
+  cfg.blocks = 3;
+  cfg.block.tokens = 40;
+  const model::ArchitectureDesc d = make_chain(cfg);
+  model::ModelRuntime rt(d);
+  const auto outcome = rt.run();
+  EXPECT_TRUE(outcome.completed) << outcome.stall_report;
+}
+
+TEST(PipelineTest, XSizeControlsDepth) {
+  PipelineConfig cfg;
+  cfg.x_size = 12;
+  cfg.tokens = 5;
+  const auto d = make_pipeline(cfg);
+  EXPECT_EQ(d.functions().size(), 11u);
+  EXPECT_EQ(d.channels().size(), 12u);
+  EXPECT_THROW(make_pipeline(PipelineConfig{1, 5, 1, false, 1e9, 1, 2}),
+               DescriptionError);
+}
+
+TEST(PipelineTest, SharedProcessorVariantCompletes) {
+  PipelineConfig cfg;
+  cfg.x_size = 6;
+  cfg.tokens = 30;
+  cfg.shared_processor = true;
+  const model::ArchitectureDesc d = make_pipeline(cfg);
+  model::ModelRuntime rt(d);
+  EXPECT_TRUE(rt.run().completed);
+}
+
+TEST(RandomArchTest, DeterministicInSeed) {
+  RandomArchConfig cfg;
+  cfg.tokens = 5;
+  const auto a = make_random_architecture(7, cfg);
+  const auto b = make_random_architecture(7, cfg);
+  EXPECT_EQ(a.functions().size(), b.functions().size());
+  EXPECT_EQ(a.channels().size(), b.channels().size());
+  for (std::size_t i = 0; i < a.functions().size(); ++i) {
+    EXPECT_EQ(a.functions()[i].name, b.functions()[i].name);
+    EXPECT_EQ(a.functions()[i].body.size(), b.functions()[i].body.size());
+  }
+}
+
+TEST(RandomArchTest, InvariantsHold) {
+  RandomArchConfig cfg;
+  cfg.tokens = 5;
+  for (std::uint64_t seed = 200; seed < 230; ++seed) {
+    const auto d = make_random_architecture(seed, cfg);
+    EXPECT_TRUE(d.validated());
+    for (const auto& fn : d.functions()) {
+      // First statement is a read (derivation requirement).
+      EXPECT_EQ(fn.body.front().kind, model::StatementKind::kRead)
+          << fn.name << " seed " << seed;
+    }
+    // Every function count within bounds.
+    EXPECT_GE(d.functions().size(), cfg.min_functions);
+    EXPECT_LE(d.functions().size(), cfg.max_functions);
+  }
+}
+
+// Every random architecture must complete under the event-driven baseline
+// (the generator's deadlock-freedom argument, exercised).
+class RandomArchCompletionTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomArchCompletionTest, BaselineCompletes) {
+  RandomArchConfig cfg;
+  cfg.tokens = 30;
+  const model::ArchitectureDesc d = make_random_architecture(GetParam(), cfg);
+  model::ModelRuntime rt(d);
+  const auto outcome = rt.run();
+  EXPECT_TRUE(outcome.completed) << outcome.stall_report;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomArchCompletionTest,
+                         ::testing::Range<std::uint64_t>(300, 330));
+
+}  // namespace
+}  // namespace maxev::gen

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "core/lt_runner.hpp"
+#include "gen/didactic.hpp"
+#include "model/baseline.hpp"
+#include "util/error.hpp"
+
+namespace maxev::core {
+namespace {
+
+using namespace maxev::literals;
+
+TEST(LtRunnerTest, RejectsBadQuantum) {
+  gen::DidacticConfig cfg;
+  cfg.tokens = 10;
+  const auto d = gen::make_didactic(cfg);
+  EXPECT_THROW(LooselyTimedModel(d, Duration::ps(0)), DescriptionError);
+}
+
+TEST(LtRunnerTest, RunsToCompletion) {
+  gen::DidacticConfig cfg;
+  cfg.tokens = 200;
+  const auto d = gen::make_didactic(cfg);
+  LooselyTimedModel lt(d, 10_us);
+  EXPECT_TRUE(lt.run());
+  EXPECT_GT(lt.end_time().count(), 0);
+}
+
+TEST(LtRunnerTest, ErrorShrinksWithSmallerQuantum) {
+  gen::DidacticConfig cfg;
+  cfg.tokens = 400;
+  cfg.source_period = 20_us;
+  const auto d = gen::make_didactic(cfg);
+
+  model::ModelRuntime baseline(d);
+  ASSERT_TRUE(baseline.run().completed);
+
+  LooselyTimedModel fine(d, Duration::ns(100));
+  ASSERT_TRUE(fine.run());
+  const auto fine_err = fine.error_against(baseline.instants());
+
+  LooselyTimedModel coarse(d, Duration::ms(10));
+  ASSERT_TRUE(coarse.run());
+  const auto coarse_err = coarse.error_against(baseline.instants());
+
+  EXPECT_LE(fine_err.mean_abs_seconds, coarse_err.mean_abs_seconds);
+  EXPECT_GT(coarse_err.instants, 0u);
+}
+
+TEST(LtRunnerTest, FewerEventsWithLargerQuantum) {
+  gen::DidacticConfig cfg;
+  cfg.tokens = 400;
+  const auto d = gen::make_didactic(cfg);
+  LooselyTimedModel fine(d, Duration::ns(100));
+  ASSERT_TRUE(fine.run());
+  LooselyTimedModel coarse(d, Duration::ms(100));
+  ASSERT_TRUE(coarse.run());
+  EXPECT_LT(coarse.kernel_stats().events_scheduled,
+            fine.kernel_stats().events_scheduled);
+}
+
+TEST(LtRunnerTest, LtIsNotExact) {
+  // The whole point of the paper: LT trades accuracy for speed. With a
+  // shared sequential resource and a coarse quantum, instants drift.
+  gen::DidacticConfig cfg;
+  cfg.tokens = 300;
+  const auto d = gen::make_didactic(cfg);
+  model::ModelRuntime baseline(d);
+  ASSERT_TRUE(baseline.run().completed);
+  LooselyTimedModel coarse(d, Duration::ms(100));
+  ASSERT_TRUE(coarse.run());
+  const auto err = coarse.error_against(baseline.instants());
+  EXPECT_GT(err.instants, 0u);
+  // Self-timed didactic pipelines contend on P1; unsimulated rendezvous
+  // back-pressure shows up as timing error.
+  EXPECT_GT(err.max_abs_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace maxev::core

@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include "maxplus/cycle_ratio.hpp"
+#include "maxplus/linear_system.hpp"
+#include "maxplus/matrix.hpp"
+#include "maxplus/scalar.hpp"
+#include "maxplus/vector.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace maxev::mp {
+namespace {
+
+TEST(ScalarTest, DefaultIsEps) {
+  Scalar s;
+  EXPECT_TRUE(s.is_eps());
+  EXPECT_FALSE(s.is_finite());
+}
+
+TEST(ScalarTest, IdentityElements) {
+  const Scalar a = Scalar::of(42);
+  // eps is the ⊕-identity.
+  EXPECT_EQ(a + Scalar::eps(), a);
+  EXPECT_EQ(Scalar::eps() + a, a);
+  // e is the ⊗-identity.
+  EXPECT_EQ(a * Scalar::e(), a);
+  EXPECT_EQ(Scalar::e() * a, a);
+  // eps is ⊗-absorbing.
+  EXPECT_TRUE((a * Scalar::eps()).is_eps());
+  EXPECT_TRUE((Scalar::eps() * a).is_eps());
+}
+
+TEST(ScalarTest, OplusIsMax) {
+  EXPECT_EQ(Scalar::of(3) + Scalar::of(7), Scalar::of(7));
+  EXPECT_EQ(Scalar::of(-3) + Scalar::of(-7), Scalar::of(-3));
+}
+
+TEST(ScalarTest, OtimesIsPlus) {
+  EXPECT_EQ(Scalar::of(3) * Scalar::of(7), Scalar::of(10));
+  EXPECT_EQ(Scalar::of(3) * Scalar::of(-7), Scalar::of(-4));
+}
+
+TEST(ScalarTest, OrderingWithEps) {
+  EXPECT_LT(Scalar::eps(), Scalar::of(INT64_MIN + 1));
+  EXPECT_LT(Scalar::of(1), Scalar::of(2));
+  EXPECT_EQ(Scalar::eps() <=> Scalar::eps(), std::strong_ordering::equal);
+}
+
+TEST(ScalarTest, OverflowThrows) {
+  EXPECT_THROW(Scalar::of(INT64_MAX) * Scalar::of(1), OverflowError);
+  EXPECT_NO_THROW(Scalar::of(INT64_MAX) * Scalar::e());
+}
+
+TEST(ScalarTest, ValueOnEpsThrows) {
+  EXPECT_THROW(Scalar::eps().value(), Error);
+}
+
+TEST(ScalarTest, TimeRoundTrip) {
+  const TimePoint t = TimePoint::at_ps(123456);
+  EXPECT_EQ(Scalar::from_time(t).to_time(), t);
+  EXPECT_EQ(Scalar::from_duration(Duration::ns(2)).value(), 2000);
+}
+
+TEST(ScalarTest, ToString) {
+  EXPECT_EQ(Scalar::eps().to_string(), "eps");
+  EXPECT_EQ(Scalar::of(5).to_string(), "5");
+}
+
+// Semiring laws checked over a deterministic random sample.
+class ScalarLawsTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScalarLawsTest, SemiringLaws) {
+  Rng rng(GetParam());
+  auto draw = [&rng]() {
+    if (rng.chance(0.15)) return Scalar::eps();
+    return Scalar::of(rng.uniform_i64(-1'000'000, 1'000'000));
+  };
+  for (int i = 0; i < 50; ++i) {
+    const Scalar a = draw(), b = draw(), c = draw();
+    // ⊕ commutative, associative, idempotent.
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a + a, a);
+    // ⊗ commutative (this semiring), associative.
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    // Distributivity of ⊗ over ⊕.
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScalarLawsTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(VectorTest, Construction) {
+  Vector v(3);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_TRUE(v[0].is_eps());
+  const Vector w = Vector::of({1, 2, 3});
+  EXPECT_EQ(w[2], Scalar::of(3));
+}
+
+TEST(VectorTest, OplusAndScale) {
+  const Vector a = Vector::of({1, 5});
+  const Vector b = Vector::of({3, 2});
+  const Vector s = a + b;
+  EXPECT_EQ(s[0], Scalar::of(3));
+  EXPECT_EQ(s[1], Scalar::of(5));
+  const Vector t = Scalar::of(10) * a;
+  EXPECT_EQ(t[0], Scalar::of(11));
+  EXPECT_EQ(t[1], Scalar::of(15));
+}
+
+TEST(VectorTest, SizeMismatchThrows) {
+  EXPECT_THROW(Vector::of({1}) + Vector::of({1, 2}), Error);
+  EXPECT_THROW(Vector(2).at(5), Error);
+}
+
+TEST(VectorTest, MaxEntry) {
+  EXPECT_EQ(Vector::of({3, 9, 1}).max_entry(), Scalar::of(9));
+  EXPECT_TRUE(Vector(2).max_entry().is_eps());
+}
+
+TEST(MatrixTest, IdentityIsOtimesNeutral) {
+  const Matrix a = Matrix::of({{1, 2}, {INT64_MIN, 4}});
+  const Matrix i = Matrix::identity(2);
+  EXPECT_EQ(a * i, a);
+  EXPECT_EQ(i * a, a);
+}
+
+TEST(MatrixTest, KnownProduct) {
+  // ((1,eps),(2,3)) ⊗ ((0,4),(1,eps)):
+  const Matrix a = Matrix::of({{1, INT64_MIN}, {2, 3}});
+  const Matrix b = Matrix::of({{0, 4}, {1, INT64_MIN}});
+  const Matrix p = a * b;
+  EXPECT_EQ(p.at(0, 0), Scalar::of(1));   // 1⊗0
+  EXPECT_EQ(p.at(0, 1), Scalar::of(5));   // 1⊗4
+  EXPECT_EQ(p.at(1, 0), Scalar::of(4));   // max(2⊗0, 3⊗1)
+  EXPECT_EQ(p.at(1, 1), Scalar::of(6));   // 2⊗4
+}
+
+TEST(MatrixTest, MatrixVectorProduct) {
+  const Matrix a = Matrix::of({{0, 2}, {INT64_MIN, 1}});
+  const Vector x = Vector::of({5, 3});
+  const Vector y = a * x;
+  EXPECT_EQ(y[0], Scalar::of(5));  // max(0+5, 2+3)
+  EXPECT_EQ(y[1], Scalar::of(4));
+}
+
+TEST(MatrixTest, PowAndZero) {
+  const Matrix a = Matrix::of({{INT64_MIN, 1}, {INT64_MIN, INT64_MIN}});
+  EXPECT_EQ(a.pow(0), Matrix::identity(2));
+  EXPECT_EQ(a.pow(1), a);
+  EXPECT_TRUE(a.pow(2).is_zero());  // nilpotent
+  EXPECT_TRUE(Matrix::zero(2, 2).is_zero());
+}
+
+TEST(MatrixTest, ShapeErrors) {
+  EXPECT_THROW(Matrix::of({{1}, {2}}) * Matrix::of({{1}, {2}}), Error);
+  EXPECT_THROW(Matrix(2, 2) + Matrix(2, 3), Error);
+  EXPECT_THROW(Matrix(2, 3).pow(2), Error);
+  EXPECT_THROW(Matrix(2, 2).at(2, 0), Error);
+}
+
+TEST(KleeneStarTest, NilpotentStar) {
+  // Acyclic chain: star accumulates path weights.
+  const Matrix a =
+      Matrix::of({{INT64_MIN, INT64_MIN}, {5, INT64_MIN}});  // arc 0 -> 1 (w=5)
+  const Matrix s = kleene_star(a);
+  EXPECT_EQ(s.at(0, 0), Scalar::e());
+  EXPECT_EQ(s.at(1, 0), Scalar::of(5));
+  EXPECT_EQ(s.at(1, 1), Scalar::e());
+  EXPECT_TRUE(s.at(0, 1).is_eps());
+}
+
+TEST(KleeneStarTest, PositiveCycleThrows) {
+  const Matrix a = Matrix::of({{1}});  // self-loop weight 1
+  EXPECT_THROW(kleene_star(a), DescriptionError);
+}
+
+TEST(KleeneStarTest, ZeroCycleConverges) {
+  const Matrix a = Matrix::of({{0}});  // self-loop weight 0
+  const Matrix s = kleene_star(a);
+  EXPECT_EQ(s.at(0, 0), Scalar::e());
+}
+
+TEST(KleeneStarTest, SolveImplicit) {
+  // x0 = b0; x1 = x0 ⊗ 5 ⊕ b1.
+  const Matrix a = Matrix::of({{INT64_MIN, INT64_MIN}, {5, INT64_MIN}});
+  const Vector b = Vector::of({10, 2});
+  const Vector x = solve_implicit(a, b);
+  EXPECT_EQ(x[0], Scalar::of(10));
+  EXPECT_EQ(x[1], Scalar::of(15));
+}
+
+TEST(LinearSystemTest, SimpleRecurrence) {
+  // x(k) = x(k-1) ⊗ 3 ⊕ u(k); y = x. Pre-history ε.
+  LinearSystem sys(1, 1, 1);
+  sys.set_a_const(1, Matrix::of({{3}}));
+  sys.set_b_const(0, Matrix::identity(1));
+  sys.set_c_const(0, Matrix::identity(1));
+  auto s0 = sys.step(Vector::of({0}));
+  EXPECT_EQ(s0.y[0], Scalar::of(0));
+  auto s1 = sys.step(Vector::of({1}));
+  EXPECT_EQ(s1.y[0], Scalar::of(3));  // max(0+3, 1)
+  auto s2 = sys.step(Vector::of({100}));
+  EXPECT_EQ(s2.y[0], Scalar::of(100));
+}
+
+TEST(LinearSystemTest, ImplicitZeroLagResolved) {
+  // x0 = u; x1 = x0 ⊗ 2 (within the same k).
+  LinearSystem sys(2, 1, 1);
+  Matrix a0(2, 2);
+  a0.at(1, 0) = Scalar::of(2);
+  sys.set_a_const(0, a0);
+  Matrix b(2, 1);
+  b.at(0, 0) = Scalar::e();
+  sys.set_b_const(0, b);
+  Matrix c(1, 2);
+  c.at(0, 1) = Scalar::e();
+  sys.set_c_const(0, c);
+  auto s = sys.step(Vector::of({7}));
+  EXPECT_EQ(s.x[0], Scalar::of(7));
+  EXPECT_EQ(s.x[1], Scalar::of(9));
+  EXPECT_EQ(s.y[0], Scalar::of(9));
+}
+
+TEST(LinearSystemTest, PrehistoryOption) {
+  // x(k) = x(k-1) ⊗ 3: with pre-history e, x(0) = 3; with ε, x(0) = ε.
+  LinearSystem sys(1, 1, 1);
+  sys.set_a_const(1, Matrix::of({{3}}));
+  sys.set_c_const(0, Matrix::identity(1));
+  sys.set_prehistory(Scalar::e());
+  auto s = sys.step(Vector(1));
+  EXPECT_EQ(s.x[0], Scalar::of(3));
+
+  sys.reset();
+  sys.set_prehistory(Scalar::eps());
+  auto s2 = sys.step(Vector(1));
+  EXPECT_TRUE(s2.x[0].is_eps());
+}
+
+TEST(LinearSystemTest, KVaryingMatrices) {
+  // x(k) = u(k) ⊗ k.
+  LinearSystem sys(1, 1, 1);
+  sys.set_b(0, [](std::uint64_t k) {
+    return Matrix::of({{static_cast<std::int64_t>(k)}});
+  });
+  sys.set_c_const(0, Matrix::identity(1));
+  EXPECT_EQ(sys.step(Vector::of({10})).y[0], Scalar::of(10));
+  EXPECT_EQ(sys.step(Vector::of({10})).y[0], Scalar::of(11));
+  EXPECT_EQ(sys.iteration(), 2u);
+}
+
+TEST(LinearSystemTest, InputDimensionChecked) {
+  LinearSystem sys(1, 2, 1);
+  EXPECT_THROW(sys.step(Vector::of({1})), Error);
+}
+
+TEST(CycleRatioTest, FeedForwardHasNoCycle) {
+  std::vector<RatioArc> arcs = {{0, 1, 5.0, 0}, {1, 2, 3.0, 0}};
+  const auto r = max_cycle_ratio(3, arcs);
+  EXPECT_FALSE(r.has_cycle);
+  EXPECT_DOUBLE_EQ(r.max_ratio, 0.0);
+}
+
+TEST(CycleRatioTest, SimpleLoop) {
+  // Cycle of total weight 10 with total lag 1 => ratio 10.
+  std::vector<RatioArc> arcs = {{0, 1, 6.0, 0}, {1, 0, 4.0, 1}};
+  const auto r = max_cycle_ratio(2, arcs);
+  EXPECT_TRUE(r.has_cycle);
+  EXPECT_NEAR(r.max_ratio, 10.0, 1e-2);
+}
+
+TEST(CycleRatioTest, PicksMaximumCycle) {
+  std::vector<RatioArc> arcs = {
+      {0, 0, 4.0, 1},           // ratio 4
+      {0, 1, 9.0, 0}, {1, 0, 9.0, 2},  // ratio 18/2 = 9
+  };
+  const auto r = max_cycle_ratio(2, arcs);
+  EXPECT_NEAR(r.max_ratio, 9.0, 1e-2);
+}
+
+TEST(CycleRatioTest, LagTwoCycleHalvesRatio) {
+  std::vector<RatioArc> arcs = {{0, 0, 10.0, 2}};
+  const auto r = max_cycle_ratio(1, arcs);
+  EXPECT_NEAR(r.max_ratio, 5.0, 1e-2);
+}
+
+TEST(CycleRatioTest, ZeroLagPositiveCycleThrows) {
+  std::vector<RatioArc> arcs = {{0, 1, 1.0, 0}, {1, 0, 1.0, 0}};
+  EXPECT_THROW(max_cycle_ratio(2, arcs), DescriptionError);
+}
+
+TEST(CycleRatioTest, BadEndpointThrows) {
+  std::vector<RatioArc> arcs = {{0, 5, 1.0, 0}};
+  EXPECT_THROW(max_cycle_ratio(2, arcs), Error);
+}
+
+}  // namespace
+}  // namespace maxev::mp

@@ -1,0 +1,427 @@
+#include <gtest/gtest.h>
+
+#include "maxplus/scalar.hpp"
+#include "tdg/builder.hpp"
+#include "tdg/engine.hpp"
+#include "tdg/export.hpp"
+#include "tdg/graph.hpp"
+#include "tdg/simplify.hpp"
+#include "util/error.hpp"
+
+namespace maxev::tdg {
+namespace {
+
+using namespace maxev::literals;
+
+TimePoint at(std::int64_t ps) { return TimePoint::at_ps(ps); }
+
+// ---------------------------------------------------------------------------
+// Graph structure
+// ---------------------------------------------------------------------------
+
+TEST(GraphTest, FreezeComputesTopoOrder) {
+  GraphBuilder b;
+  b.input("u").instant("a").instant("b");
+  b.arc("u", "a");
+  b.arc("a", "b").fixed(1_ns);
+  Graph g = b.take();
+  g.freeze();
+  EXPECT_EQ(g.topo_order(), (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(g.max_lag(), 0u);
+  EXPECT_EQ(g.in_arcs(2).size(), 1u);
+  EXPECT_EQ(g.out_arcs(0).size(), 1u);
+}
+
+TEST(GraphTest, ZeroLagCycleRejectedWithNames) {
+  GraphBuilder b;
+  b.instant("a").instant("b");
+  b.arc("a", "b");
+  b.arc("b", "a");
+  Graph g = b.take();
+  try {
+    g.freeze();
+    FAIL() << "expected DescriptionError";
+  } catch (const DescriptionError& e) {
+    EXPECT_NE(std::string(e.what()).find("a"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("b"), std::string::npos);
+  }
+}
+
+TEST(GraphTest, LaggedCycleIsFine) {
+  GraphBuilder b;
+  b.input("u").instant("a");
+  b.arc("u", "a");
+  b.arc("a", "a").lag(1).fixed(1_ns);
+  Graph g = b.take();
+  g.freeze();
+  EXPECT_EQ(g.max_lag(), 1u);
+}
+
+TEST(GraphTest, PaperNodeCountAddsHistoryRefs) {
+  GraphBuilder b;
+  b.input("u").instant("a").instant("c");
+  b.arc("u", "a");
+  b.arc("a", "c");
+  b.arc("a", "c").lag(1);
+  b.arc("a", "c").lag(2);
+  b.arc("c", "a").lag(1);
+  Graph g = b.take();
+  // 3 live + distinct history refs {(a,1),(a,2),(c,1)}.
+  EXPECT_EQ(g.paper_node_count(), 6u);
+}
+
+TEST(GraphTest, BadArcEndpointRejected) {
+  Graph g;
+  g.add_node({"a", NodeKind::kInstant, model::kInvalidId, false, {}});
+  EXPECT_THROW(g.add_arc({0, 5, 0, {}, 0, nullptr}), DescriptionError);
+}
+
+TEST(GraphTest, ExecSegmentWithoutDescRejected) {
+  Graph g;  // no ArchitectureDesc
+  g.add_node({"a", NodeKind::kInstant, model::kInvalidId, false, {}});
+  g.add_node({"b", NodeKind::kInstant, model::kInvalidId, false, {}});
+  Arc a{0, 1, 0, {Segment{Duration{}, model::constant_ops(5), 0, "x"}}, 0,
+        nullptr};
+  EXPECT_THROW(g.add_arc(std::move(a)), DescriptionError);
+}
+
+TEST(GraphTest, MutationAfterFreezeRejected) {
+  GraphBuilder b;
+  b.input("u");
+  Graph g = b.take();
+  g.freeze();
+  EXPECT_THROW(g.add_node({"x", NodeKind::kInstant, -1, false, {}}),
+               DescriptionError);
+}
+
+// ---------------------------------------------------------------------------
+// Engine on hand-built graphs
+// ---------------------------------------------------------------------------
+
+/// y(k) = max(u(k) + 5ns, y(k-1) + 2ns)  [pre-history origin]
+Graph feedback_graph() {
+  GraphBuilder b;
+  b.input("u");
+  b.output("y");
+  b.arc("u", "y").fixed(5_ns);
+  b.arc("y", "y").lag(1).fixed(2_ns);
+  Graph g = b.take();
+  g.freeze();
+  return g;
+}
+
+TEST(EngineTest, ComputesRecurrenceWithHistory) {
+  Graph g = feedback_graph();
+  Engine e(g);
+  const NodeId u = g.find("u"), y = g.find("y");
+  e.set_external(u, 0, at(0));
+  EXPECT_EQ(e.value(y, 0), at(5000));  // max(0+5ns, origin+2ns)
+  e.set_external(u, 1, at(1000));
+  EXPECT_EQ(e.value(y, 1), at(7000));  // max(1ns+5ns, 5ns+2ns)
+  e.set_external(u, 2, at(100000));
+  EXPECT_EQ(e.value(y, 2), at(105000));
+  EXPECT_EQ(e.instances_computed(), 3u);
+}
+
+TEST(EngineTest, PrehistoryIsOrigin) {
+  // Node whose only dependency is its own previous value + 3ns: at k=0 the
+  // history is the simulation origin, so value = 3ns.
+  GraphBuilder b;
+  b.input("u").instant("a");
+  b.arc("a", "a").lag(1).fixed(3_ns);
+  b.arc("u", "a").fixed(0_ns);
+  Graph g = b.take();
+  g.freeze();
+  Engine e(g);
+  e.set_external(g.find("u"), 0, at(0));
+  EXPECT_EQ(e.value(g.find("a"), 0), at(3000));
+}
+
+TEST(EngineTest, OutOfOrderInputsBlockUntilReady) {
+  // Two inputs joining into one instant.
+  GraphBuilder b;
+  b.input("u1").input("u2").instant("j");
+  b.arc("u1", "j").fixed(1_ns);
+  b.arc("u2", "j").fixed(2_ns);
+  Graph g = b.take();
+  g.freeze();
+  Engine e(g);
+  const NodeId j = g.find("j");
+  e.set_external(g.find("u1"), 0, at(100));
+  EXPECT_FALSE(e.value(j, 0).has_value());  // u2 still unknown
+  e.set_external(g.find("u2"), 0, at(50));
+  EXPECT_EQ(e.value(j, 0), at(2050));  // max(100+1000, 50+2000)
+}
+
+TEST(EngineTest, PipelinedIterations) {
+  // Iteration k+1 computable before iteration k's external actual arrives.
+  GraphBuilder b;
+  b.input("u").instant("a").external("act").instant("tail");
+  b.arc("u", "a").fixed(1_ns);
+  b.arc("act", "tail");        // tail(k) = actual(k)
+  b.arc("tail", "a").lag(2);   // a(k) also waits for tail(k-2)
+  Graph g = b.take();
+  g.freeze();
+  Engine e(g);
+  const NodeId a = g.find("a");
+  e.set_external(g.find("u"), 0, at(0));
+  e.set_external(g.find("u"), 1, at(10));
+  EXPECT_EQ(e.value(a, 0), at(1000));
+  EXPECT_EQ(e.value(a, 1), at(1010));  // lag-2 still pre-history
+  e.set_external(g.find("u"), 2, at(20));
+  EXPECT_FALSE(e.value(a, 2).has_value());  // needs tail(0) = actual(0)
+  e.set_external(g.find("act"), 0, at(500000));
+  EXPECT_EQ(e.value(a, 2), at(500000));
+}
+
+TEST(EngineTest, GuardedArcContributesNothingWhenFalse) {
+  GraphBuilder b;
+  b.input("u").instant("a");
+  b.arc("u", "a").fixed(10_ns);
+  b.arc("u", "a").fixed(1000_ns).when(
+      [](const model::TokenAttrs& at, std::uint64_t) { return at.size > 5; });
+  Graph g = b.take();
+  g.freeze();
+  Engine e(g);
+  model::TokenAttrs small;
+  small.size = 1;
+  e.set_attrs(0, 0, small);
+  e.set_external(g.find("u"), 0, at(0));
+  EXPECT_EQ(e.value(g.find("a"), 0), at(10'000));
+  model::TokenAttrs big;
+  big.size = 100;
+  e.set_attrs(0, 1, big);
+  e.set_external(g.find("u"), 1, at(0));
+  EXPECT_EQ(e.value(g.find("a"), 1), at(1'000'000));
+}
+
+TEST(EngineTest, AttrsGateDataDependentWeights) {
+  model::ArchitectureDesc d;
+  d.add_resource("P", model::ResourcePolicy::kConcurrent, 1e12);
+  GraphBuilder b(&d);
+  b.input("u").instant("a");
+  b.arc("u", "a").exec(0, model::linear_ops(0, 1), "w");
+  Graph g = b.take();
+  g.freeze();
+  Engine e(g);
+  e.set_external(g.find("u"), 0, at(0));
+  // Attrs not yet known: the instant must not be computed.
+  EXPECT_FALSE(e.value(g.find("a"), 0).has_value());
+  model::TokenAttrs attrs;
+  attrs.size = 42;
+  e.set_attrs(0, 0, attrs);
+  EXPECT_EQ(e.value(g.find("a"), 0), at(42));
+}
+
+TEST(EngineTest, ObservationEmittedAtComputedPositions) {
+  model::ArchitectureDesc d;
+  d.add_resource("P", model::ResourcePolicy::kConcurrent, 1e12);
+  trace::UsageTraceSet usage;
+  GraphBuilder b(&d);
+  b.input("u").instant("a");
+  b.arc("u", "a")
+      .fixed(Duration::ps(10))
+      .exec(0, model::constant_ops(7), "F.e0");
+  Graph g = b.take();
+  g.freeze();
+  Engine e(g, Engine::Options{nullptr, &usage});
+  e.set_attrs(0, 0, {});
+  e.set_external(g.find("u"), 0, at(100));
+  const trace::UsageTrace* p = usage.find("P");
+  ASSERT_NE(p, nullptr);
+  ASSERT_EQ(p->size(), 1u);
+  EXPECT_EQ(p->intervals()[0].start, at(110));  // after the fixed prefix
+  EXPECT_EQ(p->intervals()[0].end, at(117));
+  EXPECT_EQ(p->intervals()[0].ops, 7);
+  EXPECT_EQ(p->intervals()[0].label, "F.e0");
+}
+
+TEST(EngineTest, InstantRecordingInIterationOrder) {
+  trace::InstantTraceSet instants;
+  GraphBuilder b;
+  b.input("u");
+  b.instant("a", "chanA");
+  b.arc("u", "a").fixed(1_ns);
+  Graph g = b.take();
+  g.freeze();
+  Engine e(g, Engine::Options{&instants, nullptr});
+  for (int k = 0; k < 5; ++k)
+    e.set_external(g.find("u"), static_cast<std::uint64_t>(k), at(k * 100));
+  const trace::InstantSeries* s = instants.find("chanA");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->size(), 5u);
+  for (int k = 0; k < 5; ++k)
+    EXPECT_EQ(s->values()[static_cast<std::size_t>(k)], at(k * 100 + 1000));
+}
+
+TEST(EngineTest, DoubleExternalFeedThrows) {
+  Graph g = feedback_graph();
+  Engine e(g);
+  e.set_external(g.find("u"), 0, at(0));
+  EXPECT_THROW(e.set_external(g.find("u"), 0, at(1)), Error);
+}
+
+TEST(EngineTest, SetExternalOnComputedNodeThrows) {
+  Graph g = feedback_graph();
+  Engine e(g);
+  EXPECT_THROW(e.set_external(g.find("y"), 0, at(0)), Error);
+}
+
+TEST(EngineTest, RetainFloorEnablesPruning) {
+  Graph g = feedback_graph();
+  Engine e(g);
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    e.set_external(g.find("u"), k, at(static_cast<std::int64_t>(k) * 10));
+    e.set_retain_floor(k + 1);
+  }
+  // Old frames are pruned: querying them reports unknown, and feeding an
+  // already-pruned iteration is an error.
+  EXPECT_FALSE(e.value(g.find("y"), 0).has_value());
+  EXPECT_TRUE(e.value(g.find("y"), 99).has_value());
+}
+
+TEST(EngineTest, OnKnownCallbackFires) {
+  Graph g = feedback_graph();
+  Engine e(g);
+  std::vector<std::pair<std::uint64_t, std::int64_t>> seen;
+  e.on_known(g.find("y"), [&](std::uint64_t k, TimePoint t) {
+    seen.emplace_back(k, t.count());
+  });
+  e.set_external(g.find("u"), 0, at(0));
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].first, 0u);
+  EXPECT_EQ(seen[0].second, 5000);
+}
+
+TEST(EngineTest, UnfrozenGraphRejected) {
+  Graph g;
+  EXPECT_THROW(Engine e(g), DescriptionError);
+}
+
+// ---------------------------------------------------------------------------
+// Simplification and padding
+// ---------------------------------------------------------------------------
+
+Graph chain_with_completions() {
+  GraphBuilder b;
+  b.input("u");
+  b.instant("x1");
+  Graph g = b.take();
+  const NodeId c1 = g.add_node({"c1", NodeKind::kCompletion, -1, false, {}});
+  const NodeId c2 = g.add_node({"c2", NodeKind::kCompletion, -1, false, {}});
+  const NodeId x1 = g.find("x1");
+  g.add_arc({g.find("u"), c1, 0, {Segment{2_ns, nullptr, -1, {}}}, 0, nullptr});
+  g.add_arc({c1, c2, 0, {Segment{3_ns, nullptr, -1, {}}}, 0, nullptr});
+  g.add_arc({c2, x1, 0, {}, 0, nullptr});
+  return g;
+}
+
+TEST(SimplifyTest, FoldCollapsesPassThroughChain) {
+  Graph g = chain_with_completions();
+  Graph folded = fold_pass_through(g);
+  EXPECT_EQ(folded.node_count(), 2u);  // u and x1
+  EXPECT_EQ(folded.arc_count(), 1u);
+  folded.freeze();
+  Engine e(folded);
+  e.set_external(folded.find("u"), 0, at(0));
+  EXPECT_EQ(e.value(folded.find("x1"), 0), at(5000));  // 2ns + 3ns composed
+}
+
+TEST(SimplifyTest, FoldPreservesSemantics) {
+  Graph raw = chain_with_completions();
+  Graph copy = chain_with_completions();
+  Graph folded = fold_pass_through(copy);
+  raw.freeze();
+  folded.freeze();
+  Engine er(raw), ef(folded);
+  for (std::uint64_t k = 0; k < 10; ++k) {
+    const TimePoint u = at(static_cast<std::int64_t>(k) * 777);
+    er.set_external(raw.find("u"), k, u);
+    ef.set_external(folded.find("u"), k, u);
+    EXPECT_EQ(er.value(raw.find("x1"), k), ef.value(folded.find("x1"), k));
+  }
+  EXPECT_LT(ef.instances_computed(), er.instances_computed());
+}
+
+TEST(SimplifyTest, FoldKeepsNodesWithLaggedOutArcs) {
+  GraphBuilder b;
+  b.input("u").instant("x");
+  Graph g = b.take();
+  const NodeId c = g.add_node({"c", NodeKind::kCompletion, -1, false, {}});
+  g.add_arc({g.find("u"), c, 0, {Segment{1_ns, nullptr, -1, {}}}, 0, nullptr});
+  g.add_arc({c, g.find("x"), 1, {}, 0, nullptr});  // lagged out-arc
+  Graph folded = fold_pass_through(g);
+  EXPECT_EQ(folded.node_count(), 3u);  // cannot fold c
+}
+
+TEST(SimplifyTest, PadAddsExactNodeCountPreservingValues) {
+  Graph base = feedback_graph();  // frozen; rebuild unfrozen copy
+  GraphBuilder b;
+  b.input("u").output("y");
+  b.arc("u", "y").fixed(5_ns);
+  b.arc("y", "y").lag(1).fixed(2_ns);
+  Graph unfrozen = b.take();
+  Graph padded = pad_graph(unfrozen, 37);
+  EXPECT_EQ(padded.node_count(), 2u + 37u);
+  padded.freeze();
+  Engine ep(padded);
+  Engine eb(base);
+  for (std::uint64_t k = 0; k < 20; ++k) {
+    const TimePoint u = at(static_cast<std::int64_t>(k) * 333);
+    ep.set_external(padded.find("u"), k, u);
+    eb.set_external(base.find("u"), k, u);
+    EXPECT_EQ(ep.value(padded.find("y"), k), eb.value(base.find("y"), k));
+  }
+  // The padded engine does strictly more work — that is its purpose.
+  EXPECT_GT(ep.instances_computed(), eb.instances_computed());
+}
+
+TEST(SimplifyTest, PadRejectsArclessGraph) {
+  GraphBuilder b;
+  b.input("u");
+  Graph g = b.take();
+  EXPECT_THROW(pad_graph(g, 3), DescriptionError);
+}
+
+// ---------------------------------------------------------------------------
+// Exports
+// ---------------------------------------------------------------------------
+
+TEST(ExportTest, DotContainsNodesAndHistoryStyle) {
+  Graph g = feedback_graph();
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph tdg"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"u\""), std::string::npos);
+  EXPECT_NE(dot.find("(k-1)"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(ExportTest, LinearSystemMatchesEngine) {
+  Graph g = feedback_graph();
+  Engine e(g);
+  auto ex = to_linear_system(
+      g, [](model::SourceId, std::uint64_t) { return model::TokenAttrs{}; });
+  ASSERT_EQ(ex.input_nodes.size(), 1u);
+  ASSERT_EQ(ex.output_nodes.size(), 1u);
+  for (std::uint64_t k = 0; k < 25; ++k) {
+    const TimePoint u = at(static_cast<std::int64_t>(k * k) * 100);
+    e.set_external(g.find("u"), k, u);
+    mp::Vector uv(1);
+    uv[0] = mp::Scalar::from_time(u);
+    const auto step = ex.system.step(uv);
+    ASSERT_TRUE(e.value(g.find("y"), k).has_value());
+    EXPECT_EQ(step.y[0].value(), e.value(g.find("y"), k)->count())
+        << "k=" << k;
+  }
+}
+
+TEST(ExportTest, ThroughputBoundFindsFeedbackCycle) {
+  Graph g = feedback_graph();
+  const auto r = throughput_bound(
+      g, [](model::SourceId, std::uint64_t) { return model::TokenAttrs{}; });
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_NEAR(r.max_ratio, (2_ns).count(), 1.0);  // y->y lag-1 self-loop
+}
+
+}  // namespace
+}  // namespace maxev::tdg

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "trace/instants.hpp"
+#include "trace/usage.hpp"
+#include "trace/vcd.hpp"
+#include "util/error.hpp"
+
+namespace maxev::trace {
+namespace {
+
+using namespace maxev::literals;
+
+TimePoint at(std::int64_t ps) { return TimePoint::at_ps(ps); }
+
+TEST(InstantSeriesTest, PushAndAccess) {
+  InstantSeries s("M1");
+  s.push(at(10));
+  s.push(at(20));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.at(1), at(20));
+  EXPECT_THROW(s.at(2), Error);
+  EXPECT_TRUE(s.is_monotone());
+}
+
+TEST(InstantSeriesTest, MonotoneDetectsRegression) {
+  InstantSeries s("M1");
+  s.push(at(10));
+  s.push(at(5));
+  EXPECT_FALSE(s.is_monotone());
+}
+
+TEST(InstantTraceSetTest, CompareIdentical) {
+  InstantTraceSet a, b;
+  a.series("M1").push(at(1));
+  a.series("M2").push(at(2));
+  b.series("M1").push(at(1));
+  b.series("M2").push(at(2));
+  EXPECT_EQ(compare_instants(a, b), std::nullopt);
+  EXPECT_EQ(a.total_instants(), 2u);
+}
+
+TEST(InstantTraceSetTest, CompareFindsMissingSeries) {
+  InstantTraceSet a, b;
+  a.series("M1").push(at(1));
+  const auto diff = compare_instants(a, b);
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_NE(diff->find("missing"), std::string::npos);
+}
+
+TEST(InstantTraceSetTest, CompareFindsLengthMismatch) {
+  InstantTraceSet a, b;
+  a.series("M1").push(at(1));
+  a.series("M1").push(at(2));
+  b.series("M1").push(at(1));
+  const auto diff = compare_instants(a, b);
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_NE(diff->find("length"), std::string::npos);
+}
+
+TEST(InstantTraceSetTest, CompareFindsValueMismatchWithIndex) {
+  InstantTraceSet a, b;
+  a.series("M1").push(at(1));
+  a.series("M1").push(at(2));
+  b.series("M1").push(at(1));
+  b.series("M1").push(at(3));
+  const auto diff = compare_instants(a, b);
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_NE(diff->find("k=1"), std::string::npos);
+}
+
+TEST(UsageTraceTest, BusyTimeAndOps) {
+  UsageTrace t("P1");
+  t.add({at(0), at(1000), 50, "F1.e0"});
+  t.add({at(2000), at(3000), 70, "F1.e1"});
+  EXPECT_EQ(t.busy_time(), Duration::ps(2000));
+  EXPECT_EQ(t.total_ops(), 120);
+  EXPECT_EQ(t.span_end(), at(3000));
+  EXPECT_DOUBLE_EQ(t.utilization(at(4000)), 0.5);
+}
+
+TEST(UsageTraceTest, RejectsNegativeInterval) {
+  UsageTrace t("P1");
+  EXPECT_THROW(t.add({at(10), at(5), 1, "x"}), Error);
+}
+
+TEST(UsageTraceTest, RateProfileStepsUpAndDown) {
+  UsageTrace t("P1");
+  // 1000 ops over 1000 ps = 1 op/ps = 1000 GOPS.
+  t.add({at(0), at(1000), 1000, "a"});
+  t.add({at(500), at(1500), 500, "b"});  // 0.5 op/ps = 500 GOPS
+  const auto profile = t.rate_profile();
+  ASSERT_EQ(profile.size(), 4u);
+  EXPECT_DOUBLE_EQ(profile[0].gops, 1000.0);
+  EXPECT_DOUBLE_EQ(profile[1].gops, 1500.0);  // overlap
+  EXPECT_DOUBLE_EQ(profile[2].gops, 500.0);
+  EXPECT_DOUBLE_EQ(profile[3].gops, 0.0);
+}
+
+TEST(UsageTraceTest, ZeroLengthIntervalsAddNoRate) {
+  UsageTrace t("P1");
+  t.add({at(5), at(5), 100, "x"});
+  EXPECT_TRUE(t.rate_profile().empty());
+}
+
+TEST(UsageTraceTest, WindowedRateApportionsAcrossBins) {
+  UsageTrace t("P1");
+  // 2000 ops uniformly over [500, 2500): density 1 op/ps.
+  t.add({at(500), at(2500), 2000, "x"});
+  const auto w = t.windowed_rate(Duration::ps(1000));
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w[0].gops, 500.0);   // 500 ops in bin 0
+  EXPECT_DOUBLE_EQ(w[1].gops, 1000.0);  // full bin
+  EXPECT_DOUBLE_EQ(w[2].gops, 500.0);
+}
+
+TEST(UsageTraceTest, WindowedRateRejectsBadBin) {
+  UsageTrace t("P1");
+  EXPECT_THROW(t.windowed_rate(Duration::ps(0)), Error);
+}
+
+TEST(UsageTraceSetTest, CompareAfterSortIgnoresEmissionOrder) {
+  UsageTraceSet a, b;
+  a.trace("P1").add({at(0), at(10), 1, "x"});
+  a.trace("P1").add({at(20), at(30), 2, "y"});
+  b.trace("P1").add({at(20), at(30), 2, "y"});
+  b.trace("P1").add({at(0), at(10), 1, "x"});
+  a.sort_all();
+  b.sort_all();
+  EXPECT_EQ(compare_usage(a, b), std::nullopt);
+}
+
+TEST(UsageTraceSetTest, CompareFindsOpsMismatch) {
+  UsageTraceSet a, b;
+  a.trace("P1").add({at(0), at(10), 1, "x"});
+  b.trace("P1").add({at(0), at(10), 2, "x"});
+  const auto diff = compare_usage(a, b);
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_NE(diff->find("interval 0 differs"), std::string::npos);
+}
+
+TEST(UsageTraceSetTest, CompareFindsMissingResource) {
+  UsageTraceSet a, b;
+  a.trace("P1").add({at(0), at(10), 1, "x"});
+  const auto diff = compare_usage(a, b);
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_NE(diff->find("missing"), std::string::npos);
+}
+
+TEST(VcdTest, RendersHeaderAndChanges) {
+  VcdWriter vcd("testmod");
+  const int busy = vcd.add_wire("p1_busy");
+  const int gops = vcd.add_real("p1_gops");
+  vcd.change_bit(busy, at(100), true);
+  vcd.change_real(gops, at(100), 2.5);
+  vcd.change_bit(busy, at(300), false);
+  const std::string out = vcd.render();
+  EXPECT_NE(out.find("$timescale 1ps $end"), std::string::npos);
+  EXPECT_NE(out.find("$scope module testmod $end"), std::string::npos);
+  EXPECT_NE(out.find("$var wire 1 ! p1_busy $end"), std::string::npos);
+  EXPECT_NE(out.find("$var real 64 \" p1_gops $end"), std::string::npos);
+  EXPECT_NE(out.find("#100\n1!\nr2.5 \"\n"), std::string::npos);
+  EXPECT_NE(out.find("#300\n0!"), std::string::npos);
+}
+
+TEST(VcdTest, ChangesSortedByTime) {
+  VcdWriter vcd;
+  const int w = vcd.add_wire("w");
+  vcd.change_bit(w, at(200), false);
+  vcd.change_bit(w, at(100), true);
+  const std::string out = vcd.render();
+  EXPECT_LT(out.find("#100"), out.find("#200"));
+}
+
+TEST(VcdTest, CodesAreUniqueForManySignals) {
+  VcdWriter vcd;
+  for (int i = 0; i < 200; ++i) vcd.add_wire("w" + std::to_string(i));
+  const std::string out = vcd.render();
+  // Signal 94 wraps to a two-character code.
+  EXPECT_NE(out.find("$var wire 1 !\" w94 $end"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace maxev::trace

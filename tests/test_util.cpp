@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/time.hpp"
+
+namespace maxev {
+namespace {
+
+using namespace maxev::literals;
+
+TEST(DurationTest, UnitConstructors) {
+  EXPECT_EQ(Duration::ps(1).count(), 1);
+  EXPECT_EQ(Duration::ns(1).count(), 1'000);
+  EXPECT_EQ(Duration::us(1).count(), 1'000'000);
+  EXPECT_EQ(Duration::ms(1).count(), 1'000'000'000);
+  EXPECT_EQ(Duration::sec(1).count(), 1'000'000'000'000);
+}
+
+TEST(DurationTest, Literals) {
+  EXPECT_EQ((5_us).count(), 5'000'000);
+  EXPECT_EQ((3_ns).count(), 3'000);
+  EXPECT_EQ((7_ps).count(), 7);
+  EXPECT_EQ((2_ms).count(), 2'000'000'000);
+}
+
+TEST(DurationTest, Arithmetic) {
+  EXPECT_EQ((2_us + 3_us).count(), (5_us).count());
+  EXPECT_EQ((5_us - 3_us).count(), (2_us).count());
+  EXPECT_EQ((2_us * 3).count(), (6_us).count());
+  Duration d = 1_us;
+  d += 1_us;
+  EXPECT_EQ(d, 2_us);
+}
+
+TEST(DurationTest, Comparison) {
+  EXPECT_LT(1_us, 2_us);
+  EXPECT_GT(1_ms, 999_us);
+  EXPECT_EQ(1000_ns, 1_us);
+}
+
+TEST(DurationTest, FromSeconds) {
+  EXPECT_EQ(Duration::from_seconds(1e-6), 1_us);
+  EXPECT_EQ(Duration::from_seconds(0.5).count(), 500'000'000'000);
+}
+
+TEST(DurationTest, ConversionAccessors) {
+  EXPECT_DOUBLE_EQ((1_ms).seconds(), 1e-3);
+  EXPECT_DOUBLE_EQ((1_us).micros(), 1.0);
+  EXPECT_DOUBLE_EQ((1_ns).nanos(), 1.0);
+}
+
+TEST(DurationTest, ToStringPicksUnit) {
+  EXPECT_EQ((5_us).to_string(), "5us");
+  EXPECT_EQ((1500_ns).to_string(), "1.5us");
+  EXPECT_EQ(Duration::ps(12).to_string(), "12ps");
+  EXPECT_EQ(Duration::sec(2).to_string(), "2s");
+}
+
+TEST(TimePointTest, Arithmetic) {
+  const TimePoint t = TimePoint::origin() + 5_us;
+  EXPECT_EQ(t.count(), 5'000'000);
+  EXPECT_EQ((t + 1_us).count(), 6'000'000);
+  EXPECT_EQ((t - TimePoint::origin()), 5_us);
+  EXPECT_LT(TimePoint::origin(), t);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, KnownSplitMix64Stream) {
+  // Reference values for SplitMix64 seeded with 1234567.
+  Rng r(1234567);
+  EXPECT_EQ(r.next_u64(), 6457827717110365317ull);
+  EXPECT_EQ(r.next_u64(), 3203168211198807973ull);
+}
+
+TEST(RngTest, UniformRangeRespected) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_i64(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowCoversSmallRange) {
+  Rng r(11);
+  bool seen[5] = {};
+  for (int i = 0; i < 200; ++i) seen[r.next_below(5)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(RngTest, PickWeightedPrefersHeavy) {
+  Rng r(13);
+  std::vector<double> w = {0.01, 10.0};
+  int heavy = 0;
+  for (int i = 0; i < 500; ++i)
+    if (r.pick_weighted(w) == 1) ++heavy;
+  EXPECT_GT(heavy, 450);
+}
+
+TEST(RngTest, SplitGivesIndependentStream) {
+  Rng a(5);
+  Rng c = a.split();
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(StatsTest, AccumulatorMoments) {
+  Accumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(v);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.stddev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(StatsTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median_of({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median_of({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median_of({}), 0.0);
+}
+
+TEST(StatsTest, SummarizeMatchesAccumulator) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_FALSE(s.to_string().empty());
+}
+
+TEST(StringsTest, Format) {
+  EXPECT_EQ(format("x=%d y=%s", 3, "abc"), "x=3 y=abc");
+  EXPECT_EQ(format("%.2f", 1.5), "1.50");
+}
+
+TEST(StringsTest, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(with_commas(-1234567), "-1,234,567");
+}
+
+TEST(StringsTest, ConsoleTableAlignsColumns) {
+  ConsoleTable t({"a", "long header"});
+  t.add_row({"1", "2"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| a | long header |"), std::string::npos);
+  EXPECT_NE(out.find("| 1 | 2           |"), std::string::npos);
+}
+
+TEST(CsvTest, WritesEscapedCells) {
+  const std::string path = testing::TempDir() + "/maxev_csv_test.csv";
+  {
+    CsvWriter w(path, {"a", "b"});
+    w.row({"plain", "has,comma"});
+    w.row({"has\"quote", "x"});
+    w.row_numeric({1.5, 2.0});
+    EXPECT_EQ(w.rows_written(), 4u);
+  }
+  std::ifstream in(path);
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("a,b\n"), std::string::npos);
+  EXPECT_NE(all.find("plain,\"has,comma\"\n"), std::string::npos);
+  EXPECT_NE(all.find("\"has\"\"quote\",x\n"), std::string::npos);
+  EXPECT_NE(all.find("1.5,2\n"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/file.csv"), Error);
+}
+
+TEST(ErrorTest, HierarchyRoots) {
+  EXPECT_THROW(throw DescriptionError("x"), Error);
+  EXPECT_THROW(throw OverflowError("x"), Error);
+  EXPECT_THROW(throw SimulationError("x"), Error);
+}
+
+}  // namespace
+}  // namespace maxev
