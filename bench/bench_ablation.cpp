@@ -1,5 +1,5 @@
 /// \file bench_ablation.cpp
-/// Ablations of the design choices DESIGN.md calls out:
+/// Ablations of the design choices docs/DESIGN.md §4 calls out:
 ///  1. graph folding (paper's Fig. 3 compact form) vs the raw
 ///     per-statement graph — same instants, different computation cost;
 ///  2. the analytic (max,+) throughput bound (maximum cycle ratio of the

@@ -64,7 +64,7 @@ int main() {
   std::printf("\n%s\n", table.render().c_str());
   std::printf(
       "Note: node counts step by 8 per block here vs the paper's 9 — our\n"
-      "chained blocks share the inter-block relation (see EXPERIMENTS.md).\n\n");
+      "chained blocks share the inter-block relation (see docs/EXPERIMENTS.md).\n\n");
 
   // The paper's substrate (Intel CoFluent Studio / SystemC) pays far more
   // per kernel event than this library's coroutine kernel (~60ns). In the

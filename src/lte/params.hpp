@@ -13,7 +13,7 @@
 ///
 /// The numeric workload constants are a calibrated synthetic model (the
 /// paper's constants, from its reference [14], are not published); see
-/// DESIGN.md §5 — they are chosen so the published observables hold: DSP
+/// docs/DESIGN.md §5 — they are chosen so the published observables hold: DSP
 /// demand steps around 4/8 GOPS, dedicated decoder demand around 75/150
 /// GOPS (Fig. 6 b/c).
 

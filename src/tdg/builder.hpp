@@ -68,7 +68,10 @@ class GraphBuilder {
   };
 
   /// Start an arc between two previously declared nodes (by name).
-  [[nodiscard]] ArcRef arc(const std::string& src, const std::string& dst);
+  /// Deliberately not [[nodiscard]]: a bare `b.arc(a, b);` statement is the
+  /// idiomatic way to add a default (zero-lag, zero-weight) arc — the
+  /// temporary ArcRef commits it on destruction.
+  ArcRef arc(const std::string& src, const std::string& dst);
 
   /// Node id by name; throws if absent.
   [[nodiscard]] NodeId id(const std::string& name) const;

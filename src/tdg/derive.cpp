@@ -270,7 +270,7 @@ DerivedTdg derive_tdg(const model::ArchitectureDesc& desc,
         ready_lag = pos == 0 ? 1 : 0;
       }
       // Own-previous-iteration readiness is dominated by the gate chain on
-      // multi-function sequential resources and is elided (DESIGN.md §3).
+      // multi-function sequential resources and is elided (docs/DESIGN.md §3).
     } else {
       ready_node = completion[f];
       ready_lag = 1;

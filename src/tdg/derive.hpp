@@ -19,7 +19,7 @@
 /// ⊕ xM4(k-1) term of equation (3), dominated by xM2(k) ⊗ Tj1(k) through
 /// equation (1); the paper itself notes such redundancies).
 ///
-/// Rules (see DESIGN.md §3 for the operational contract they mirror):
+/// Rules (see docs/DESIGN.md §3 for the operational contract they mirror):
 ///  * every channel with at least one endpoint in the group yields instant
 ///    node(s): x_ch for rendezvous, x_ch.w / x_ch.r for FIFOs;
 ///  * an input-boundary rendezvous adds an offer node u:ch (fed by the live

@@ -6,7 +6,10 @@
 /// \file error.hpp
 /// Library-wide exception hierarchy. All failures detectable at model
 /// construction or execution time throw one of these; they all derive from
-/// maxev::Error so callers can catch the library root.
+/// maxev::Error so callers can catch the library root. Descriptions that
+/// violate the paper's structural assumptions (Section I: statically
+/// scheduled, no preemption; Section III-C: no zero-lag dependency cycles)
+/// are rejected here at construction time, not discovered as wrong instants.
 
 namespace maxev {
 

@@ -6,7 +6,9 @@
 
 /// \file stats.hpp
 /// Small descriptive-statistics helpers used by the benchmark harness and the
-/// trace analysis code.
+/// trace analysis code: the paper's Section IV protocol reports median
+/// wall-clock times over repetitions, and Fig. 6's GOPS profiles are
+/// windowed means over usage traces.
 
 namespace maxev {
 

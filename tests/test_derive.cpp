@@ -94,7 +94,7 @@ TEST(DeriveTest, Table1NodeCountsScaleLinearly) {
   // a boundary node per block). Our chain shares the inter-block relation,
   // so each extra block contributes its 5 other relations + 3 history
   // references: 10, 18, 26, 34. Same linear scaling, one fewer node per
-  // seam; see EXPERIMENTS.md.
+  // seam; see docs/EXPERIMENTS.md.
   for (std::size_t ex = 1; ex <= 4; ++ex) {
     model::ArchitectureDesc d = gen::make_table1_example(ex, 10);
     Graph g = fold_pass_through(derive_full_tdg(d).graph);

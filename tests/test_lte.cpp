@@ -108,7 +108,7 @@ TEST(ReceiverTest, TdgIsCompact) {
   // Paper: "This graph contains 11 nodes." Our derivation yields 10 live
   // nodes (u, the 8 channel instants, the output offer) and 12 in the
   // Fig. 3 counting convention (two history references), bracketing the
-  // published count; see EXPERIMENTS.md.
+  // published count; see docs/EXPERIMENTS.md.
   EXPECT_EQ(g.node_count(), 10u);
   EXPECT_EQ(g.paper_node_count(), 12u);
 }

@@ -52,7 +52,7 @@ TEST(ScalarTest, OverflowThrows) {
 }
 
 TEST(ScalarTest, ValueOnEpsThrows) {
-  EXPECT_THROW(Scalar::eps().value(), Error);
+  EXPECT_THROW((void)Scalar::eps().value(), Error);
 }
 
 TEST(ScalarTest, TimeRoundTrip) {
@@ -113,7 +113,7 @@ TEST(VectorTest, OplusAndScale) {
 
 TEST(VectorTest, SizeMismatchThrows) {
   EXPECT_THROW(Vector::of({1}) + Vector::of({1, 2}), Error);
-  EXPECT_THROW(Vector(2).at(5), Error);
+  EXPECT_THROW((void)Vector(2).at(5), Error);
 }
 
 TEST(VectorTest, MaxEntry) {
@@ -159,7 +159,7 @@ TEST(MatrixTest, ShapeErrors) {
   EXPECT_THROW(Matrix::of({{1}, {2}}) * Matrix::of({{1}, {2}}), Error);
   EXPECT_THROW(Matrix(2, 2) + Matrix(2, 3), Error);
   EXPECT_THROW(Matrix(2, 3).pow(2), Error);
-  EXPECT_THROW(Matrix(2, 2).at(2, 0), Error);
+  EXPECT_THROW((void)Matrix(2, 2).at(2, 0), Error);
 }
 
 TEST(KleeneStarTest, NilpotentStar) {
@@ -289,12 +289,12 @@ TEST(CycleRatioTest, LagTwoCycleHalvesRatio) {
 
 TEST(CycleRatioTest, ZeroLagPositiveCycleThrows) {
   std::vector<RatioArc> arcs = {{0, 1, 1.0, 0}, {1, 0, 1.0, 0}};
-  EXPECT_THROW(max_cycle_ratio(2, arcs), DescriptionError);
+  EXPECT_THROW((void)max_cycle_ratio(2, arcs), DescriptionError);
 }
 
 TEST(CycleRatioTest, BadEndpointThrows) {
   std::vector<RatioArc> arcs = {{0, 5, 1.0, 0}};
-  EXPECT_THROW(max_cycle_ratio(2, arcs), Error);
+  EXPECT_THROW((void)max_cycle_ratio(2, arcs), Error);
 }
 
 }  // namespace

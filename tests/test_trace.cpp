@@ -18,7 +18,7 @@ TEST(InstantSeriesTest, PushAndAccess) {
   s.push(at(20));
   EXPECT_EQ(s.size(), 2u);
   EXPECT_EQ(s.at(1), at(20));
-  EXPECT_THROW(s.at(2), Error);
+  EXPECT_THROW((void)s.at(2), Error);
   EXPECT_TRUE(s.is_monotone());
 }
 
