@@ -1,27 +1,38 @@
 /// \file bench_ablation.cpp
 /// Ablations of the design choices docs/DESIGN.md §4 calls out:
+///  0. the substrate's native per-event cost (the denominator of every
+///     speed-up this library reports);
 ///  1. graph folding (paper's Fig. 3 compact form) vs the raw
 ///     per-statement graph — same instants, different computation cost;
 ///  2. the analytic (max,+) throughput bound (maximum cycle ratio of the
 ///     TDG) vs the measured steady-state output period;
 ///  3. marginal computation cost per padding node (the slope behind
-///     Fig. 5's degradation).
+///     Fig. 5's degradation);
+///  4. event-cost sensitivity (speed-up vs synthetic per-event cost).
+///
+/// With `--json <path>` (or `--json=<path>`) the key metrics are also
+/// written as a JSON document — the repo's bench trajectory
+/// (scripts/bench_report.sh, BENCH_<n>.json).
 
 #include <chrono>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/equivalent_model.hpp"
 #include "core/experiment.hpp"
 #include "gen/didactic.hpp"
-#include "lte/receiver.hpp"
+#include "sim/kernel.hpp"
 #include "tdg/derive.hpp"
 #include "tdg/export.hpp"
 #include "tdg/simplify.hpp"
+#include "util/json.hpp"
 #include "util/strings.hpp"
 
 namespace {
 
 using namespace maxev;
+using namespace maxev::literals;
 
 double time_equivalent(const model::ArchitectureDesc& desc,
                        core::EquivalentModel::Options opts,
@@ -36,9 +47,35 @@ double time_equivalent(const model::ArchitectureDesc& desc,
   return s;
 }
 
+/// Wall-clock nanoseconds of one timed-wait kernel event.
+double measure_native_event_ns() {
+  constexpr std::int64_t kEvents = 2'000'000;
+  sim::Kernel kernel;
+  kernel.spawn("p", [&kernel]() -> sim::Process {
+    for (std::int64_t i = 0; i < kEvents; ++i) co_await kernel.delay(1_ns);
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  kernel.run();
+  const double s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return s / static_cast<double>(kEvents) * 1e9;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = extract_json_flag(argc, argv);
+  if (argc > 1) {
+    std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+    return 2;
+  }
+
+  // --- 0. native kernel event cost ----------------------------------------
+  const double event_ns = measure_native_event_ns();
+  std::printf("Ablation 0: native kernel cost\n");
+  std::printf("  one timed-wait event         : %.1f ns\n\n", event_ns);
+
   // --- 1. fold vs raw -----------------------------------------------------
   gen::DidacticConfig cfg;
   cfg.tokens = 20000;
@@ -53,18 +90,18 @@ int main() {
   const double t_folded = time_equivalent(desc, folded, &inst_folded);
   const double t_raw = time_equivalent(desc, raw, &inst_raw);
 
+  tdg::DerivedTdg derived = tdg::derive_full_tdg(desc);
+  const std::size_t raw_nodes = derived.graph.node_count();
+  tdg::Graph g = tdg::fold_pass_through(derived.graph);
+  const std::size_t folded_nodes = g.node_count();
+
   ConsoleTable t1({"graph form", "nodes", "instances computed", "run (s)"});
-  {
-    tdg::DerivedTdg d1 = tdg::derive_full_tdg(desc);
-    tdg::Graph gf = tdg::fold_pass_through(d1.graph);
-    tdg::DerivedTdg d2 = tdg::derive_full_tdg(desc);
-    t1.add_row({"raw (per statement)", format("%zu", d2.graph.node_count()),
-                with_commas(static_cast<std::int64_t>(inst_raw)),
-                format("%.3f", t_raw)});
-    t1.add_row({"folded (Fig. 3 form)", format("%zu", gf.node_count()),
-                with_commas(static_cast<std::int64_t>(inst_folded)),
-                format("%.3f", t_folded)});
-  }
+  t1.add_row({"raw (per statement)", format("%zu", raw_nodes),
+              with_commas(static_cast<std::int64_t>(inst_raw)),
+              format("%.3f", t_raw)});
+  t1.add_row({"folded (Fig. 3 form)", format("%zu", folded_nodes),
+              with_commas(static_cast<std::int64_t>(inst_folded)),
+              format("%.3f", t_folded)});
   std::printf("Ablation 1: fold_pass_through (identical instants, checked by "
               "the test suite)\n%s\n",
               t1.render().c_str());
@@ -73,8 +110,6 @@ int main() {
   // Self-timed didactic: the steady-state output period equals the maximum
   // cycle ratio of the TDG (mean durations over the token-size
   // distribution).
-  tdg::DerivedTdg derived = tdg::derive_full_tdg(desc);
-  tdg::Graph g = tdg::fold_pass_through(derived.graph);
   g.freeze();
   const auto attrs_provider = [&](model::SourceId, std::uint64_t k) {
     return desc.sources()[0].attrs(k);
@@ -88,6 +123,8 @@ int main() {
   const double measured_period =
       (out->values()[n - 1] - out->values()[n / 2]).seconds() /
       static_cast<double>(n - 1 - n / 2) * 1e12;
+  const double bound_rel_diff =
+      (measured_period - bound.max_ratio) / bound.max_ratio;
 
   std::printf("Ablation 2: throughput bound\n");
   std::printf("  max cycle ratio (analytic)   : %s/iteration\n",
@@ -99,9 +136,15 @@ int main() {
                   .to_string()
                   .c_str());
   std::printf("  relative difference          : %.2f%%\n\n",
-              100.0 * (measured_period - bound.max_ratio) / bound.max_ratio);
+              100.0 * bound_rel_diff);
 
   // --- 3. marginal cost per node -------------------------------------------
+  struct PadRow {
+    std::size_t pad;
+    double run_s;
+    double ns_per_token_per_node;
+  };
+  std::vector<PadRow> pad_rows;
   ConsoleTable t3({"pad nodes", "run (s)", "ns per token per node"});
   const double t_base = time_equivalent(desc, folded, nullptr);
   for (std::size_t pad : {200u, 1000u, 5000u}) {
@@ -111,6 +154,7 @@ int main() {
     const double per_node =
         (t - t_base) / static_cast<double>(cfg.tokens) /
         static_cast<double>(pad) * 1e9;
+    pad_rows.push_back({pad, t, per_node});
     t3.add_row({format("%zu", pad), format("%.3f", t),
                 format("%.3f", per_node)});
   }
@@ -125,6 +169,12 @@ int main() {
   gen::DidacticConfig scfg;
   scfg.tokens = 4000;
   const model::ArchitectureDesc sdesc = gen::make_didactic(scfg);
+  struct SensRow {
+    double overhead_ns;
+    double speedup;
+    double kernel_event_ratio;
+  };
+  std::vector<SensRow> sens_rows;
   ConsoleTable t4({"per-event cost", "speed-up", "kernel-event ratio"});
   for (double ns : {0.0, 250.0, 1000.0, 4000.0}) {
     core::ExperimentOptions opts;
@@ -133,11 +183,55 @@ int main() {
     opts.compare_traces = false;
     opts.event_overhead_ns = ns;
     const core::Comparison cmp = core::run_comparison(sdesc, opts);
-    t4.add_row({ns == 0.0 ? "native (~60ns)" : format("+%.0fns", ns),
+    sens_rows.push_back({ns, cmp.speedup, cmp.kernel_event_ratio});
+    t4.add_row({ns == 0.0 ? format("native (%.0fns)", event_ns)
+                          : format("+%.0fns", ns),
                 format("%.2f", cmp.speedup),
                 format("%.2f", cmp.kernel_event_ratio)});
   }
   std::printf("Ablation 4: event-cost sensitivity (didactic example)\n%s\n",
               t4.render().c_str());
+
+  if (!json_path.empty()) {
+    JsonWriter w;
+    w.begin_object();
+    w.field("bench", "bench_ablation");
+    w.field("tokens", static_cast<std::uint64_t>(cfg.tokens));
+    w.field("native_event_ns", event_ns);
+    w.key("fold").begin_object();
+    w.field("raw_nodes", static_cast<std::uint64_t>(raw_nodes));
+    w.field("folded_nodes", static_cast<std::uint64_t>(folded_nodes));
+    w.field("raw_instances", inst_raw);
+    w.field("folded_instances", inst_folded);
+    w.field("raw_run_s", t_raw);
+    w.field("folded_run_s", t_folded);
+    w.end_object();
+    w.key("throughput_bound").begin_object();
+    w.field("analytic_ps_per_iteration", bound.max_ratio);
+    w.field("measured_ps_per_iteration", measured_period);
+    w.field("relative_difference", bound_rel_diff);
+    w.end_object();
+    w.key("pad_sweep").begin_array();
+    for (const PadRow& r : pad_rows) {
+      w.begin_object();
+      w.field("pad_nodes", static_cast<std::uint64_t>(r.pad));
+      w.field("run_s", r.run_s);
+      w.field("ns_per_token_per_node", r.ns_per_token_per_node);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("event_cost_sweep").begin_array();
+    for (const SensRow& r : sens_rows) {
+      w.begin_object();
+      w.field("event_overhead_ns", r.overhead_ns);
+      w.field("speedup", r.speedup);
+      w.field("kernel_event_ratio", r.kernel_event_ratio);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.write_file(json_path);
+    std::printf("JSON metrics written to %s\n", json_path.c_str());
+  }
   return 0;
 }

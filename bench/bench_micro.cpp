@@ -4,8 +4,17 @@
 /// rendezvous transfer versus the cost of evaluating one TDG node. The
 /// ratio of these two numbers predicts where Fig. 5's crossover lands on
 /// this substrate.
+///
+/// `--json <path>` (or `--json=<path>`) writes the results as JSON next to
+/// the console report (shorthand for google-benchmark's --benchmark_out
+/// flags; scripts/bench_report.sh uses it for the bench trajectory).
 
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
 
 #include "gen/didactic.hpp"
 #include "model/baseline.hpp"
@@ -126,4 +135,21 @@ BENCHMARK(BM_BaselinePerToken)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Translate --json[=]<path> into google-benchmark's out-file flags, pass
+  // everything else through untouched.
+  const std::string json_path = maxev::extract_json_flag(argc, argv);
+  std::vector<char*> args(argv, argv + argc);
+  std::vector<std::string> storage;
+  if (!json_path.empty()) {
+    storage.push_back("--benchmark_out=" + json_path);
+    storage.push_back("--benchmark_out_format=json");
+    for (std::string& s : storage) args.push_back(s.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Produce the next BENCH_<n>.json of the repo's performance trajectory.
+#
+# Builds the bench binaries in Release mode, runs bench_ablation with its
+# --json mode (key metrics: native ns/event, ns/token/node pad sweep,
+# speed-up sweep, instances computed) and, when google-benchmark is
+# available, bench_micro into a sibling BENCH_<n>.micro.json.
+#
+# Environment:
+#   BUILD_DIR  build tree to (re)use          [default: build-bench]
+#   OUT_DIR    where BENCH_<n>.json is placed [default: repo root]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build-bench}"
+OUT_DIR="${OUT_DIR:-.}"
+
+if command -v ninja >/dev/null 2>&1; then
+  export CMAKE_GENERATOR="${CMAKE_GENERATOR:-Ninja}"
+fi
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DMAXEV_BUILD_TESTS=OFF \
+  -DMAXEV_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "$BUILD_DIR" -j --target bench_ablation >/dev/null
+# bench_micro is skipped by CMake when google-benchmark is absent.
+cmake --build "$BUILD_DIR" -j --target bench_micro >/dev/null 2>&1 || true
+
+n=0
+while [ -e "$OUT_DIR/BENCH_$n.json" ]; do n=$((n + 1)); done
+
+"$BUILD_DIR/bench_ablation" --json "$OUT_DIR/BENCH_$n.json"
+if [ -x "$BUILD_DIR/bench_micro" ]; then
+  "$BUILD_DIR/bench_micro" --json "$OUT_DIR/BENCH_$n.micro.json"
+fi
+
+echo "bench trajectory entry: $OUT_DIR/BENCH_$n.json"

@@ -35,6 +35,9 @@ EquivalentModel::EquivalentModel(const model::ArchitectureDesc& desc,
   if (opts.observe) {
     eng_opts.instant_sink = &runtime_->mutable_instants();
     eng_opts.usage_sink = &runtime_->mutable_usage();
+    eng_opts.expected_iterations = opts.expected_iterations > 0
+                                       ? opts.expected_iterations
+                                       : desc.max_source_tokens();
   }
   engine_ = std::make_unique<tdg::Engine>(graph_, eng_opts);
 

@@ -44,6 +44,9 @@ class EquivalentModel {
     /// Record instant/usage traces ("observation time"). Disable for pure
     /// simulation-speed measurements.
     bool observe = true;
+    /// Capacity hint for the observation sinks: expected iteration count.
+    /// 0 = derive from the description (total source tokens).
+    std::size_t expected_iterations = 0;
   };
 
   /// Abstract the functions marked in \p group (empty = all functions).

@@ -4,21 +4,13 @@
 
 namespace maxev::mp {
 
-std::int64_t Scalar::value() const {
-  if (eps_) throw OverflowError("Scalar::value() called on eps");
-  return v_;
+void Scalar::throw_eps_value() {
+  throw OverflowError("Scalar::value() called on eps");
 }
 
-TimePoint Scalar::to_time() const { return TimePoint::at_ps(value()); }
-
-Scalar operator*(Scalar a, Scalar b) {
-  if (a.eps_ || b.eps_) return Scalar::eps();
-  std::int64_t sum = 0;
-  if (__builtin_add_overflow(a.v_, b.v_, &sum)) {
-    throw OverflowError("max-plus otimes overflow: " + a.to_string() + " * " +
-                        b.to_string());
-  }
-  return Scalar::of(sum);
+void Scalar::throw_otimes_overflow(Scalar a, Scalar b) {
+  throw OverflowError("max-plus otimes overflow: " + a.to_string() + " * " +
+                      b.to_string());
 }
 
 std::string Scalar::to_string() const {

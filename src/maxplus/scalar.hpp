@@ -43,10 +43,13 @@ class Scalar {
   [[nodiscard]] constexpr bool is_finite() const { return !eps_; }
 
   /// Finite value accessor. \pre is_finite()
-  [[nodiscard]] std::int64_t value() const;
+  [[nodiscard]] std::int64_t value() const {
+    if (eps_) throw_eps_value();
+    return v_;
+  }
 
   /// Convert a finite value back to a TimePoint. \pre is_finite()
-  [[nodiscard]] TimePoint to_time() const;
+  [[nodiscard]] TimePoint to_time() const { return TimePoint::at_ps(value()); }
 
   /// ⊕ : max with ε as identity.
   friend constexpr Scalar operator+(Scalar a, Scalar b) {
@@ -56,8 +59,14 @@ class Scalar {
   }
 
   /// ⊗ : addition with ε absorbing. Throws maxev::OverflowError when the sum
-  /// of two finite values leaves the 64-bit range.
-  friend Scalar operator*(Scalar a, Scalar b);
+  /// of two finite values leaves the 64-bit range. Inline (this is the inner
+  /// loop of ComputeInstant); the throw lives in a cold out-of-line helper.
+  friend Scalar operator*(Scalar a, Scalar b) {
+    if (a.eps_ || b.eps_) return eps();
+    std::int64_t sum = 0;
+    if (__builtin_add_overflow(a.v_, b.v_, &sum)) throw_otimes_overflow(a, b);
+    return Scalar{sum};
+  }
 
   Scalar& operator+=(Scalar o) { *this = *this + o; return *this; }
   Scalar& operator*=(Scalar o) { *this = *this * o; return *this; }
@@ -78,6 +87,10 @@ class Scalar {
 
  private:
   constexpr explicit Scalar(std::int64_t v) : v_(v), eps_(false) {}
+
+  [[noreturn]] static void throw_eps_value();
+  [[noreturn]] static void throw_otimes_overflow(Scalar a, Scalar b);
+
   std::int64_t v_ = 0;
   bool eps_ = true;
 };

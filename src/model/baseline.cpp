@@ -15,10 +15,28 @@ ModelRuntime::ModelRuntime(const ArchitectureDesc& desc,
   skip_.resize(desc.functions().size(), false);
 
   // Resolve the usage traces once; recording is a hot-path operation.
+  // Labels are interned up front and the columns pre-sized to the expected
+  // interval count so the observation path never allocates mid-run. Any
+  // single relation sees at most the largest source's token count.
+  const std::uint64_t expected = desc.max_source_tokens();
   if (observe_) {
     usage_by_resource_.reserve(desc.resources().size());
     for (const auto& r : desc.resources())
       usage_by_resource_.push_back(&usage_.trace(r.name));
+    exec_labels_.resize(desc.functions().size());
+    std::vector<std::size_t> execs_per_resource(desc.resources().size(), 0);
+    for (FunctionId f = 0; f < static_cast<FunctionId>(desc.functions().size());
+         ++f) {
+      const FunctionDesc& fn = desc.functions()[f];
+      for (const StatementDesc& s : fn.body) {
+        if (s.kind != StatementKind::kExecute) continue;
+        exec_labels_[f].push_back(
+            usage_by_resource_[fn.resource]->intern_label(s.label));
+        if (!skip_[f]) ++execs_per_resource[static_cast<std::size_t>(fn.resource)];
+      }
+    }
+    for (std::size_t r = 0; r < desc.resources().size(); ++r)
+      usage_by_resource_[r]->reserve(execs_per_resource[r] * expected);
   }
 
   // Channels. A channel whose two endpoints are both skipped functions is
@@ -41,6 +59,7 @@ ModelRuntime::ModelRuntime(const ArchitectureDesc& desc,
       rt->rendezvous = std::make_unique<sim::Rendezvous<Token>>(kernel_, cd.name);
       if (observe_) {
         trace::InstantSeries* series = &instants_.series(cd.name);
+        series->reserve(expected);
         rt->rendezvous->on_transfer(
             [series](std::uint64_t, TimePoint t, const Token&) {
               series->push(t);
@@ -51,6 +70,8 @@ ModelRuntime::ModelRuntime(const ArchitectureDesc& desc,
       if (observe_) {
         trace::InstantSeries* w = &instants_.series(cd.name + ".w");
         trace::InstantSeries* r = &instants_.series(cd.name + ".r");
+        w->reserve(expected);
+        r->reserve(expected);
         rt->fifo->on_write_complete(
             [w](std::uint64_t, TimePoint t, const Token&) { w->push(t); });
         rt->fifo->on_read_complete(
@@ -125,6 +146,7 @@ sim::Process ModelRuntime::function_proc(FunctionId f) {
       const std::uint64_t need = pred_prev_iteration ? k : k + 1;
       while (pred->count() < need) co_await pred->event().wait();
     }
+    std::size_t exec_idx = 0;
     for (const StatementDesc& s : fn.body) {
       switch (s.kind) {
         case StatementKind::kRead: {
@@ -141,9 +163,10 @@ sim::Process ModelRuntime::function_proc(FunctionId f) {
           const TimePoint start = kernel_.now();
           co_await kernel_.delay(d);
           if (observe_) {
-            usage_by_resource_[fn.resource]->add(
-                trace::BusyInterval{start, kernel_.now(), ops, s.label});
+            usage_by_resource_[fn.resource]->push(start, kernel_.now(), ops,
+                                                  exec_labels_[f][exec_idx]);
           }
+          ++exec_idx;
           break;
         }
         case StatementKind::kWrite: {

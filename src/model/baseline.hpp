@@ -108,6 +108,9 @@ class ModelRuntime {
   trace::InstantTraceSet instants_;
   trace::UsageTraceSet usage_;
   std::vector<trace::UsageTrace*> usage_by_resource_;  // hot-path cache
+  /// Interned busy-interval label ids, per function, in execute-statement
+  /// order (filled when observing; see function_proc).
+  std::vector<std::vector<std::int32_t>> exec_labels_;
 };
 
 }  // namespace maxev::model

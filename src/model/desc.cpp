@@ -1,5 +1,6 @@
 #include "model/desc.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/error.hpp"
@@ -215,6 +216,12 @@ std::uint64_t ArchitectureDesc::total_source_tokens() const {
   std::uint64_t total = 0;
   for (const auto& s : sources_) total += s.count;
   return total;
+}
+
+std::uint64_t ArchitectureDesc::max_source_tokens() const {
+  std::uint64_t max = 0;
+  for (const auto& s : sources_) max = std::max(max, s.count);
+  return max;
 }
 
 }  // namespace maxev::model

@@ -158,6 +158,9 @@ class ArchitectureDesc {
   [[nodiscard]] std::size_t schedule_position(FunctionId f) const;
   /// Total tokens offered by all sources.
   [[nodiscard]] std::uint64_t total_source_tokens() const;
+  /// Largest per-source token count — the expected iteration count of any
+  /// single relation (observation-sink capacity hint).
+  [[nodiscard]] std::uint64_t max_source_tokens() const;
   /// @}
 
  private:

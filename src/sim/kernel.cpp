@@ -36,11 +36,7 @@ std::uint32_t Kernel::spawn(std::string name,
 
 void Kernel::schedule_resume(Process::Handle h, TimePoint t) {
   assert(t >= now_ && "cannot schedule in the past");
-  QueueEntry e;
-  e.t = t.count();
-  e.seq = seq_++;
-  e.h = h;
-  queue_.push(e);
+  queue_.push(t.count(), seq_++, QueueItem{h, -1});
   procs_[h.promise().id].queued = true;
   ++stats_.events_scheduled;
   stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
@@ -48,18 +44,16 @@ void Kernel::schedule_resume(Process::Handle h, TimePoint t) {
 
 void Kernel::schedule_call(TimePoint t, std::function<void()> fn) {
   assert(t >= now_ && "cannot schedule in the past");
-  QueueEntry e;
-  e.t = t.count();
-  e.seq = seq_++;
+  std::int32_t call_idx;
   if (free_call_slots_.empty()) {
-    e.call_idx = static_cast<std::int32_t>(pending_calls_.size());
+    call_idx = static_cast<std::int32_t>(pending_calls_.size());
     pending_calls_.push_back(std::move(fn));
   } else {
-    e.call_idx = free_call_slots_.back();
+    call_idx = free_call_slots_.back();
     free_call_slots_.pop_back();
-    pending_calls_[static_cast<std::size_t>(e.call_idx)] = std::move(fn);
+    pending_calls_[static_cast<std::size_t>(call_idx)] = std::move(fn);
   }
-  queue_.push(e);
+  queue_.push(t.count(), seq_++, QueueItem{{}, call_idx});
   ++stats_.events_scheduled;
   stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
 }
@@ -83,16 +77,12 @@ void Kernel::reap(std::uint32_t id) {
 
 Kernel::RunResult Kernel::run(std::optional<TimePoint> until) {
   while (!queue_.empty()) {
-    const QueueEntry& top = queue_.top();
-    const TimePoint t = TimePoint::at_ps(top.t);
+    const TimePoint t = TimePoint::at_ps(queue_.top().t);
     if (until && t > *until) {
       now_ = *until;
       return RunResult::kTimeLimit;
     }
-    // Copy out what we need before popping.
-    Process::Handle h = top.h;
-    const std::int32_t call_idx = top.call_idx;
-    queue_.pop();
+    const auto [h, call_idx] = queue_.pop().payload;
     now_ = t;
 
     if (event_overhead_.count() > 0) {

@@ -5,10 +5,10 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <queue>
 #include <string>
 #include <vector>
 
+#include "sim/ladder_queue.hpp"
 #include "sim/process.hpp"
 #include "util/time.hpp"
 
@@ -19,7 +19,10 @@
 /// kernel): an event queue ordered by (time, insertion sequence), cooperative
 /// processes, timed waits and notifications. Determinism: ties in time are
 /// broken by insertion order, so repeated runs of the same model produce
-/// identical schedules.
+/// identical schedules. The queue is a two-level ladder
+/// (sim/ladder_queue.hpp) rather than a binary heap: the baseline model's
+/// per-event cost is part of every speed-up this library reports, so the
+/// reference simulator has to be as fast as the substrate allows.
 
 namespace maxev::sim {
 
@@ -92,18 +95,11 @@ class Kernel {
   [[nodiscard]] std::size_t live_process_count() const;
 
  private:
-  /// Lean, trivially movable queue entry: callbacks live in a side table so
-  /// heap sifts never move std::function objects.
-  struct QueueEntry {
-    std::int64_t t = 0;
-    std::uint64_t seq = 0;
+  /// Lean, trivially copyable queue payload: callbacks live in a side table
+  /// so queue moves never touch std::function objects.
+  struct QueueItem {
     Process::Handle h{};        // empty => callback entry
     std::int32_t call_idx = -1; // index into pending_calls_
-
-    friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
   };
 
   struct ProcInfo {
@@ -114,8 +110,7 @@ class Kernel {
 
   void reap(std::uint32_t id);
 
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
-      queue_;
+  LadderQueue<QueueItem> queue_;
   std::vector<ProcInfo> procs_;
   std::vector<std::unique_ptr<std::function<Process()>>> factories_;
   std::vector<std::function<void()>> pending_calls_;  // slab for callbacks

@@ -1,0 +1,144 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+/// \file ladder_queue.hpp
+/// A two-level ladder (calendar-style) event queue keyed by
+/// (timestamp, insertion sequence).
+///
+/// Discrete-event kernels insert mostly near-future events and pop them in
+/// non-decreasing time order. A binary heap pays O(log n) comparisons and
+/// swaps on both ends; the ladder exploits the access pattern instead:
+///
+///  * `future_` — an unsorted append-only rung holding every event at or
+///    beyond the current window bound. Insertion is push_back, O(1).
+///  * `current_` — the active window [.., window_hi_), kept sorted in
+///    *descending* (t, seq) order so the next event pops from the back,
+///    O(1). Only events that land inside the already-open window pay a
+///    positioned insert, and the window is kept small by construction.
+///
+/// When `current_` drains, a refill moves the next batch of earliest events
+/// out of `future_` (selection by nth_element, then one partition + one
+/// small sort). Each refill touches future_ once and transfers a bounded
+/// batch, so the amortized per-event cost is a scan fraction plus a
+/// small-array sort — in practice well below heap sift cost for kernel-size
+/// queues.
+///
+/// Determinism: pop order is strictly ascending (t, seq). seq values are
+/// expected to be unique and to increase over the queue's lifetime (the
+/// kernel's insertion counter), which also makes equal-time ordering across
+/// the two rungs automatic: a later insert can only carry a larger seq, so
+/// popping the whole current window before refilling preserves FIFO ties.
+
+namespace maxev::sim {
+
+template <typename Payload>
+class LadderQueue {
+ public:
+  struct Entry {
+    std::int64_t t = 0;
+    std::uint64_t seq = 0;
+    Payload payload{};
+  };
+
+  [[nodiscard]] bool empty() const {
+    return current_.empty() && future_.empty();
+  }
+  [[nodiscard]] std::size_t size() const {
+    return current_.size() + future_.size();
+  }
+
+  void push(std::int64_t t, std::uint64_t seq, Payload payload) {
+    Entry e{t, seq, payload};
+    if (!current_.empty() && t < window_hi_) {
+      // Lands inside the open window: place it by (t, seq), descending.
+      auto it = std::upper_bound(current_.begin(), current_.end(), e,
+                                 [](const Entry& a, const Entry& b) {
+                                   return after(a, b);
+                                 });
+      current_.insert(it, e);
+      // A wholesale refill can open a window spanning the whole queue (one
+      // far-future straggler among few events); cap the positioned-insert
+      // cost by shedding the window's later half back to the future rung.
+      if (current_.size() > 2 * kBatch) split();
+    } else {
+      future_.push_back(e);
+    }
+  }
+
+  /// Earliest entry. \pre !empty()
+  [[nodiscard]] const Entry& top() {
+    if (current_.empty()) refill();
+    return current_.back();
+  }
+
+  /// Remove and return the earliest entry. \pre !empty()
+  Entry pop() {
+    if (current_.empty()) refill();
+    Entry e = current_.back();
+    current_.pop_back();
+    return e;
+  }
+
+ private:
+  /// Batch size a refill aims to transfer; also the threshold below which
+  /// the whole future rung is promoted wholesale.
+  static constexpr std::size_t kBatch = 64;
+
+  static bool before(const Entry& a, const Entry& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.seq < b.seq;
+  }
+  static bool after(const Entry& a, const Entry& b) { return before(b, a); }
+
+  void refill() {
+    if (future_.size() <= kBatch) {
+      current_.swap(future_);
+    } else {
+      // Select the kBatch earliest entries, then cut the window at the
+      // (kBatch+1)-th timestamp so equal-time runs never straddle rungs.
+      std::nth_element(future_.begin(),
+                       future_.begin() + static_cast<std::ptrdiff_t>(kBatch),
+                       future_.end(), before);
+      std::int64_t cut = future_[kBatch].t;
+      if (cut == future_.front().t) {
+        // The window would be empty (a long equal-time run): take the whole
+        // run instead. Saturating +1 keeps the bound exclusive.
+        cut = cut == std::numeric_limits<std::int64_t>::max() ? cut : cut + 1;
+      }
+      const auto mid =
+          std::partition(future_.begin(), future_.end(),
+                         [cut](const Entry& e) { return e.t < cut; });
+      current_.assign(future_.begin(), mid);
+      future_.erase(future_.begin(), mid);
+    }
+    std::sort(current_.begin(), current_.end(), after);
+    const std::int64_t hi = current_.front().t;  // max t in the window
+    window_hi_ = hi == std::numeric_limits<std::int64_t>::max() ? hi : hi + 1;
+  }
+
+  /// Move the open window's later (larger-t) half back to the future rung
+  /// and close the window just below it. The moved entries are exactly the
+  /// front of the descending array; FIFO ties stay correct because the new
+  /// bound is *inclusive-exclusive at the boundary timestamp*: among equal
+  /// boundary-time entries, the ones kept in current_ carry smaller seqs
+  /// (they pop first), the moved ones and any future pushes at that
+  /// timestamp carry larger seqs and return sorted through the next refill.
+  void split() {
+    const std::size_t shed = current_.size() / 2;
+    future_.insert(future_.end(), current_.begin(),
+                   current_.begin() + static_cast<std::ptrdiff_t>(shed));
+    current_.erase(current_.begin(),
+                   current_.begin() + static_cast<std::ptrdiff_t>(shed));
+    window_hi_ = current_.front().t;  // pushes at this t now go to future_
+  }
+
+  std::vector<Entry> current_;  ///< active window, descending (t, seq)
+  std::vector<Entry> future_;   ///< unsorted, every (t, seq) >= the window's
+  std::int64_t window_hi_ = std::numeric_limits<std::int64_t>::min();
+};
+
+}  // namespace maxev::sim

@@ -1,73 +1,243 @@
 #include "tdg/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
 
 #include "util/error.hpp"
 
 namespace maxev::tdg {
 
+namespace {
+constexpr std::uint8_t kRecords = 1;      // node has an instant series
+constexpr std::uint8_t kHasCallback = 2;  // node has an on_known callback
+}  // namespace
+
 Engine::Engine(const Graph& g, Options opts) : graph_(&g), opts_(opts) {
   if (!g.frozen()) throw DescriptionError("tdg::Engine: graph must be frozen");
 
+  n_nodes_ = g.node_count();
   n_sources_ = 1;
   if (g.desc() != nullptr)
     n_sources_ = std::max<std::size_t>(1, g.desc()->sources().size());
   for (const Arc& a : g.arcs())
     n_sources_ = std::max(n_sources_, static_cast<std::size_t>(a.attr_source) + 1);
 
-  callbacks_.resize(g.node_count());
-  next_flush_.assign(g.node_count(), 0);
+  callbacks_.resize(n_nodes_);
+  next_flush_.assign(n_nodes_, 0);
+  worklist_.reserve(n_nodes_ + 16);  // growth hint; avoids early reallocations
 
-  arc_needs_attrs_.resize(g.arc_count(), 0);
-  attr_arcs_by_source_.resize(n_sources_);
-  for (std::size_t i = 0; i < g.arc_count(); ++i) {
-    const Arc& a = g.arcs()[i];
-    bool needs = static_cast<bool>(a.guard);
-    for (const Segment& s : a.segments) needs = needs || s.is_exec();
-    arc_needs_attrs_[i] = needs ? 1 : 0;
-    if (needs) {
-      attr_arcs_by_source_[static_cast<std::size_t>(a.attr_source)].push_back(
-          static_cast<std::int32_t>(i));
-    }
-  }
+  compile();
+}
 
-  // Resolve sinks once (map lookups are off the hot path).
-  record_series_.assign(g.node_count(), nullptr);
+void Engine::compile() {
+  const Graph& g = *graph_;
+  const std::size_t n_arcs = g.arc_count();
+
+  // Resolve sinks once (map lookups are off the hot path), pre-sizing the
+  // columns when the caller provided an expected iteration count.
+  record_series_.assign(n_nodes_, nullptr);
   if (opts_.instant_sink != nullptr) {
-    for (NodeId n = 0; n < static_cast<NodeId>(g.node_count()); ++n) {
+    for (NodeId n = 0; n < static_cast<NodeId>(n_nodes_); ++n) {
       const Node& node = g.node(n);
-      if (!node.record_series.empty())
-        record_series_[n] = &opts_.instant_sink->series(node.record_series);
+      if (node.record_series.empty()) continue;
+      record_series_[n] = &opts_.instant_sink->series(node.record_series);
+      if (opts_.expected_iterations > 0)
+        record_series_[n]->reserve(opts_.expected_iterations);
     }
   }
+  std::vector<trace::UsageTrace*> usage_by_resource;
   if (opts_.usage_sink != nullptr && g.desc() != nullptr) {
     for (const auto& r : g.desc()->resources())
-      usage_by_resource_.push_back(&opts_.usage_sink->trace(r.name));
+      usage_by_resource.push_back(&opts_.usage_sink->trace(r.name));
   }
+
+  // ---- In-arc program, in CSR slot order ------------------------------------
+  // Walking nodes in id order and each node's in-arcs in insertion order
+  // keeps every table (including the hoisted guard/load side tables and the
+  // segment ops) deterministic.
+  in_arc_offsets_.assign(n_nodes_ + 1, 0);
+  in_src_.reserve(n_arcs);
+  in_lag_.reserve(n_arcs);
+  in_attr_source_.reserve(n_arcs);
+  in_guard_.reserve(n_arcs);
+  in_prog_off_.reserve(n_arcs);
+  in_prog_len_.reserve(n_arcs);
+  in_fixed_.reserve(n_arcs);
+  attr_dsts_by_source_.assign(n_sources_, {});
+  lagged_offsets_.assign(n_nodes_ + 1, 0);
+  static_pending_.assign(n_nodes_, 0);
+  std::vector<std::size_t> obs_per_resource(usage_by_resource.size(), 0);
+
+  for (NodeId n = 0; n < static_cast<NodeId>(n_nodes_); ++n) {
+    const NodeKind kind = g.node(n).kind;
+    const bool external_fed =
+        kind == NodeKind::kInput || kind == NodeKind::kExternal;
+    std::int32_t stat = 0;
+    for (const std::int32_t ai : g.in_arcs(n)) {
+      const Arc& a = g.arcs()[static_cast<std::size_t>(ai)];
+      in_src_.push_back(a.src);
+      in_lag_.push_back(a.lag);
+      in_attr_source_.push_back(a.attr_source);
+      if (a.guard) {
+        in_guard_.push_back(static_cast<std::int32_t>(guards_.size()));
+        guards_.push_back(a.guard);
+      } else {
+        in_guard_.push_back(-1);
+      }
+
+      bool has_exec = false;
+      for (const Segment& s : a.segments) has_exec = has_exec || s.is_exec();
+      const bool needs_attrs = a.guard || has_exec;
+      if (needs_attrs) {
+        attr_dsts_by_source_[static_cast<std::size_t>(a.attr_source)]
+            .push_back(a.dst);
+      }
+
+      // Frame-init bookkeeping: attr prerequisites and same-frame arcs are
+      // static; only lagged arcs need a per-frame look at older frames.
+      if (needs_attrs) ++stat;
+      if (a.lag == 0) {
+        ++stat;
+      } else if (!external_fed) {
+        lagged_src_.push_back(a.src);
+        lagged_lag_.push_back(a.lag);
+      }
+
+      if (!has_exec) {
+        // Pure delay: pre-fold every fixed segment into one weight (⊗ keeps
+        // the overflow check of the per-segment composition).
+        mp::Scalar w = mp::Scalar::e();
+        for (const Segment& s : a.segments)
+          if (!s.fixed.is_zero()) w = w * mp::Scalar::from_duration(s.fixed);
+        in_fixed_.push_back(w);
+        in_prog_off_.push_back(-1);
+        in_prog_len_.push_back(0);
+        continue;
+      }
+      in_fixed_.push_back(mp::Scalar::e());
+
+      // Segment program: runs of fixed segments fold into single entries;
+      // execute segments carry a hoisted load, the resource's rate constant
+      // (duration_for() becomes inlined arithmetic) and a pre-resolved
+      // columnar sink with an interned label.
+      const auto prog_off = static_cast<std::int32_t>(op_exec_.size());
+      in_prog_off_.push_back(prog_off);
+      mp::Scalar pending_fixed = mp::Scalar::e();
+      const auto flush_fixed = [&] {
+        if (pending_fixed == mp::Scalar::e()) return;
+        op_exec_.push_back(0);
+        op_fixed_.push_back(pending_fixed);
+        op_load_.push_back(-1);
+        op_rate_.push_back(0.0);
+        op_trace_.push_back(nullptr);
+        op_label_.push_back(-1);
+        pending_fixed = mp::Scalar::e();
+      };
+      for (const Segment& s : a.segments) {
+        if (!s.is_exec()) {
+          if (!s.fixed.is_zero())
+            pending_fixed = pending_fixed * mp::Scalar::from_duration(s.fixed);
+          continue;
+        }
+        flush_fixed();
+        op_exec_.push_back(1);
+        op_fixed_.push_back(mp::Scalar::e());
+        op_load_.push_back(static_cast<std::int32_t>(loads_.size()));
+        loads_.push_back(s.load);
+        op_rate_.push_back(g.desc()
+                               ->resources()[static_cast<std::size_t>(s.resource)]
+                               .ops_per_second);
+        trace::UsageTrace* sink = nullptr;
+        std::int32_t label = -1;
+        if (!usage_by_resource.empty() && !s.label.empty()) {
+          sink = usage_by_resource[static_cast<std::size_t>(s.resource)];
+          label = sink->intern_label(s.label);
+          ++obs_per_resource[static_cast<std::size_t>(s.resource)];
+        }
+        op_trace_.push_back(sink);
+        op_label_.push_back(label);
+      }
+      flush_fixed();
+      in_prog_len_.push_back(static_cast<std::int32_t>(op_exec_.size()) -
+                             prog_off);
+    }
+    in_arc_offsets_[static_cast<std::size_t>(n) + 1] =
+        static_cast<std::int32_t>(in_src_.size());
+
+    if (external_fed) {
+      static_pending_[static_cast<std::size_t>(n)] = -1;  // externally fed
+      lagged_offsets_[static_cast<std::size_t>(n) + 1] =
+          lagged_offsets_[static_cast<std::size_t>(n)];
+      continue;
+    }
+    static_pending_[static_cast<std::size_t>(n)] = stat;
+    const bool has_lagged =
+        static_cast<std::int32_t>(lagged_src_.size()) !=
+        lagged_offsets_[static_cast<std::size_t>(n)];
+    lagged_offsets_[static_cast<std::size_t>(n) + 1] =
+        static_cast<std::int32_t>(lagged_src_.size());
+    if (has_lagged) {
+      lagged_nodes_.push_back(n);
+    } else if (stat == 0) {
+      always_ready_.push_back(n);  // computable the moment the frame exists
+    }
+  }
+
+  if (opts_.expected_iterations > 0) {
+    for (std::size_t r = 0; r < usage_by_resource.size(); ++r)
+      if (obs_per_resource[r] > 0)
+        usage_by_resource[r]->reserve(obs_per_resource[r] *
+                                      opts_.expected_iterations);
+  }
+
+  // ---- Out-arc table, in CSR slot order -------------------------------------
+  out_arc_offsets_.assign(n_nodes_ + 1, 0);
+  out_dst_.reserve(n_arcs);
+  out_lag_.reserve(n_arcs);
+  for (NodeId n = 0; n < static_cast<NodeId>(n_nodes_); ++n) {
+    for (const std::int32_t ai : g.out_arcs(n)) {
+      const Arc& a = g.arcs()[static_cast<std::size_t>(ai)];
+      out_dst_.push_back(a.dst);
+      out_lag_.push_back(a.lag);
+    }
+    out_arc_offsets_[static_cast<std::size_t>(n) + 1] =
+        static_cast<std::int32_t>(out_dst_.size());
+  }
+
+  node_flags_.assign(n_nodes_, 0);
+  for (std::size_t n = 0; n < n_nodes_; ++n)
+    if (record_series_[n] != nullptr) node_flags_[n] |= kRecords;
 }
 
 void Engine::init_frame(Frame& f, std::uint64_t k) {
-  std::fill(f.value.begin(), f.value.end(), mp::Scalar::eps());
+  // f.value is deliberately not cleared: a value is only ever read behind a
+  // known[] check (dependency counting guarantees sources are known), and
+  // mark_known stores it right before setting known — stale values from a
+  // recycled frame are unreachable.
   std::fill(f.known.begin(), f.known.end(), std::uint8_t{0});
   std::fill(f.attr_known.begin(), f.attr_known.end(), std::uint8_t{0});
   f.known_count = 0;
 
-  const auto& arcs = graph_->arcs();
-  for (NodeId n = 0; n < static_cast<NodeId>(graph_->node_count()); ++n) {
-    const NodeKind kind = graph_->node(n).kind;
-    if (kind == NodeKind::kInput || kind == NodeKind::kExternal) {
-      f.pending[n] = -1;  // externally fed, never computed
-      continue;
+  // Bulk-initialize from the pre-counted static column (attr prerequisites,
+  // same-frame arcs, external markers); only nodes with history arcs need a
+  // per-frame look at older frames.
+  if (n_nodes_ > 0) {
+    std::memcpy(f.pending.data(), static_pending_.data(),
+                n_nodes_ * sizeof(std::int32_t));
+  }
+  for (const NodeId n : always_ready_) worklist_.push_back({n, k});
+  for (const NodeId n : lagged_nodes_) {
+    std::int32_t p = f.pending[static_cast<std::size_t>(n)];
+    for (std::int32_t i = lagged_offsets_[static_cast<std::size_t>(n)];
+         i < lagged_offsets_[static_cast<std::size_t>(n) + 1]; ++i) {
+      const auto s = static_cast<std::size_t>(i);
+      if (lagged_lag_[s] > k) continue;  // pre-history: simulation origin
+      const Frame* sf = frame_at(k - lagged_lag_[s]);
+      if (sf == nullptr || !sf->known[static_cast<std::size_t>(lagged_src_[s])])
+        ++p;
     }
-    std::int32_t p = 0;
-    for (std::int32_t ai : graph_->in_arcs(n)) {
-      const Arc& a = arcs[static_cast<std::size_t>(ai)];
-      if (arc_needs_attrs_[static_cast<std::size_t>(ai)]) ++p;  // attrs unset
-      if (a.lag > k) continue;  // pre-history: simulation origin, resolved
-      const Frame* sf = frame_at(k - a.lag);
-      if (sf == nullptr || !sf->known[a.src]) ++p;
-    }
-    f.pending[n] = p;
+    f.pending[static_cast<std::size_t>(n)] = p;
     if (p == 0) worklist_.push_back({n, k});
   }
 }
@@ -79,9 +249,9 @@ Engine::Frame& Engine::ensure_frame(std::uint64_t k) {
   while (k >= base_k_ + frames_.size()) {
     if (frame_pool_.empty()) {
       Frame f;
-      f.value.resize(graph_->node_count());
-      f.known.resize(graph_->node_count());
-      f.pending.resize(graph_->node_count());
+      f.value.resize(n_nodes_);
+      f.known.resize(n_nodes_);
+      f.pending.resize(n_nodes_);
       f.attr_known.resize(n_sources_);
       f.attrs.resize(n_sources_);
       frames_.push_back(std::move(f));
@@ -89,19 +259,22 @@ Engine::Frame& Engine::ensure_frame(std::uint64_t k) {
       frames_.push_back(std::move(frame_pool_.back()));
       frame_pool_.pop_back();
     }
+    frame_ptrs_.push_back(&frames_.back());
     init_frame(frames_.back(), base_k_ + frames_.size() - 1);
   }
   return frames_[k - base_k_];
 }
 
 Engine::Frame* Engine::frame_at(std::uint64_t k) {
-  if (k < base_k_ || k >= base_k_ + frames_.size()) return nullptr;
-  return &frames_[k - base_k_];
+  const std::uint64_t idx = k - base_k_;  // wraps for k < base_k_
+  if (idx >= frame_ptrs_.size()) return nullptr;
+  return frame_ptrs_[idx];
 }
 
 const Engine::Frame* Engine::frame_at(std::uint64_t k) const {
-  if (k < base_k_ || k >= base_k_ + frames_.size()) return nullptr;
-  return &frames_[k - base_k_];
+  const std::uint64_t idx = k - base_k_;  // wraps for k < base_k_
+  if (idx >= frame_ptrs_.size()) return nullptr;
+  return frame_ptrs_[idx];
 }
 
 void Engine::set_external(NodeId n, std::uint64_t k, TimePoint value) {
@@ -110,11 +283,11 @@ void Engine::set_external(NodeId n, std::uint64_t k, TimePoint value) {
     throw Error("tdg::Engine: set_external on computed node '" + node.name +
                 "'");
   Frame& f = ensure_frame(k);
-  if (f.known[n])
+  if (f.known[static_cast<std::size_t>(n)])
     throw Error("tdg::Engine: instance (" + node.name + ", " +
                 std::to_string(k) + ") already known");
   mark_known(f, n, k, mp::Scalar::from_time(value));
-  resolve_dependents(n, k);
+  resolve_dependents(f, n, k);
   drain();
 }
 
@@ -123,47 +296,63 @@ void Engine::set_attrs(model::SourceId s, std::uint64_t k,
   if (s < 0 || static_cast<std::size_t>(s) >= n_sources_)
     throw Error("tdg::Engine: set_attrs with bad source id");
   Frame& f = ensure_frame(k);
-  if (f.attr_known[s]) return;  // idempotent (several inputs, one source)
-  f.attrs[s] = attrs;
-  f.attr_known[s] = 1;
-  const auto& arcs = graph_->arcs();
-  for (std::int32_t ai : attr_arcs_by_source_[static_cast<std::size_t>(s)])
-    decrement(f, arcs[static_cast<std::size_t>(ai)].dst, k);
+  if (f.attr_known[static_cast<std::size_t>(s)]) return;  // idempotent
+  f.attrs[static_cast<std::size_t>(s)] = attrs;
+  f.attr_known[static_cast<std::size_t>(s)] = 1;
+  for (const NodeId dst : attr_dsts_by_source_[static_cast<std::size_t>(s)])
+    decrement(f, dst, k);
   drain();
 }
 
 void Engine::mark_known(Frame& f, NodeId n, std::uint64_t k, mp::Scalar v) {
-  f.value[n] = v;
-  f.known[n] = 1;
+  f.value[static_cast<std::size_t>(n)] = v;
+  f.known[static_cast<std::size_t>(n)] = 1;
   ++f.known_count;
-  if (record_series_[n] != nullptr) flush_instants(n);
-  if (callbacks_[n] && v.is_finite()) callbacks_[n](k, v.to_time());
+  const std::uint8_t flags = node_flags_[static_cast<std::size_t>(n)];
+  if (flags == 0) return;  // common case: no observer on this node
+  if (flags & kRecords) flush_instants(n);
+  if ((flags & kHasCallback) && v.is_finite())
+    callbacks_[static_cast<std::size_t>(n)](k, v.to_time());
 }
 
 void Engine::flush_instants(NodeId n) {
-  trace::InstantSeries& series = *record_series_[n];
+  trace::InstantSeries& series = *record_series_[static_cast<std::size_t>(n)];
   while (true) {
-    const Frame* f = frame_at(next_flush_[n]);
-    if (f == nullptr || !f->known[n]) break;
-    const mp::Scalar v = f->value[n];
+    const Frame* f = frame_at(next_flush_[static_cast<std::size_t>(n)]);
+    if (f == nullptr || !f->known[static_cast<std::size_t>(n)]) break;
+    const mp::Scalar v = f->value[static_cast<std::size_t>(n)];
     if (v.is_finite()) series.push(v.to_time());
-    ++next_flush_[n];
+    ++next_flush_[static_cast<std::size_t>(n)];
   }
 }
 
 void Engine::decrement(Frame& f, NodeId n, std::uint64_t k) {
-  if (f.known[n]) return;
-  if (--f.pending[n] == 0) worklist_.push_back({n, k});
+  if (f.known[static_cast<std::size_t>(n)]) return;
+  if (--f.pending[static_cast<std::size_t>(n)] == 0)
+    worklist_.push_back({n, k});
 }
 
-void Engine::resolve_dependents(NodeId n, std::uint64_t k) {
-  const auto& arcs = graph_->arcs();
-  for (std::int32_t ai : graph_->out_arcs(n)) {
-    const Arc& a = arcs[static_cast<std::size_t>(ai)];
-    const std::uint64_t kk = k + a.lag;
+void Engine::resolve_dependents(Frame& f, NodeId n, std::uint64_t k) {
+  // f serves every same-frame dependent without a lookup — except when n
+  // carries an on_known callback, whose retain-floor raise may have pruned
+  // iteration k re-entrantly during mark_known: re-fetch, and a null fk
+  // means the frame was fully known, so its dependents have no pending
+  // count left to decrement.
+  Frame* fk = node_flags_[static_cast<std::size_t>(n)] & kHasCallback
+                  ? frame_at(k)
+                  : &f;
+  for (std::int32_t i = out_arc_offsets_[static_cast<std::size_t>(n)];
+       i < out_arc_offsets_[static_cast<std::size_t>(n) + 1]; ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    const std::uint32_t lag = out_lag_[s];
+    if (lag == 0) {
+      if (fk != nullptr) decrement(*fk, out_dst_[s], k);
+      continue;
+    }
+    const std::uint64_t kk = k + lag;
     // If the target frame does not exist yet, its init will see this
     // instance as already known and not count it.
-    if (Frame* tf = frame_at(kk)) decrement(*tf, a.dst, kk);
+    if (Frame* tf = frame_at(kk)) decrement(*tf, out_dst_[s], kk);
   }
 }
 
@@ -181,39 +370,58 @@ void Engine::drain() {
 
 void Engine::compute(NodeId n, std::uint64_t k) {
   Frame& f = *frame_at(k);
-  if (f.known[n]) return;
+  if (f.known[static_cast<std::size_t>(n)]) return;
 
   // Every prerequisite is resolved: ⊕ over arcs of src ⊗ (composed segment
   // weights), emitting busy intervals as segment positions are determined
   // (the paper's observation time). Loads are evaluated exactly once.
   mp::Scalar acc = mp::Scalar::eps();
-  const model::ArchitectureDesc* desc = graph_->desc();
-  const auto& arcs = graph_->arcs();
-  for (std::int32_t ai : graph_->in_arcs(n)) {
-    const Arc& a = arcs[static_cast<std::size_t>(ai)];
-    const model::TokenAttrs& attrs = f.attrs[a.attr_source];
-    if (a.guard && !a.guard(attrs, k)) continue;
+  for (std::int32_t i = in_arc_offsets_[static_cast<std::size_t>(n)];
+       i < in_arc_offsets_[static_cast<std::size_t>(n) + 1]; ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    const std::int32_t gi = in_guard_[s];
+    if (gi >= 0 &&
+        !guards_[static_cast<std::size_t>(gi)](
+            f.attrs[static_cast<std::size_t>(in_attr_source_[s])], k))
+      continue;
+    const std::uint32_t lag = in_lag_[s];
     mp::Scalar cursor;
-    if (a.lag > k) {
+    if (lag == 0) {  // same-frame source: skip the frame lookup
+      cursor = f.value[static_cast<std::size_t>(in_src_[s])];
+    } else if (lag > k) {
       cursor = mp::Scalar::e();  // simulation origin
     } else {
-      cursor = frame_at(k - a.lag)->value[a.src];
+      cursor = frame_at(k - lag)->value[static_cast<std::size_t>(in_src_[s])];
     }
     ++arc_terms_;
     if (cursor.is_eps()) continue;  // guarded-off upstream
-    for (const Segment& seg : a.segments) {
-      if (seg.is_exec()) {
-        const std::int64_t ops = seg.load(attrs, k);
-        const Duration d = desc->resources()[seg.resource].duration_for(ops);
-        const mp::Scalar end = cursor * mp::Scalar::from_duration(d);
-        if (!usage_by_resource_.empty() && !seg.label.empty()) {
-          usage_by_resource_[static_cast<std::size_t>(seg.resource)]->add(
-              trace::BusyInterval{cursor.to_time(), end.to_time(), ops,
-                                  seg.label});
+    const std::int32_t po = in_prog_off_[s];
+    if (po < 0) {
+      cursor = cursor * in_fixed_[s];  // pure delay, pre-folded
+    } else {
+      const model::TokenAttrs& attrs =
+          f.attrs[static_cast<std::size_t>(in_attr_source_[s])];
+      const auto end = static_cast<std::size_t>(po + in_prog_len_[s]);
+      for (auto j = static_cast<std::size_t>(po); j < end; ++j) {
+        if (!op_exec_[j]) {
+          cursor = cursor * op_fixed_[j];
+          continue;
         }
-        cursor = end;
-      } else if (!seg.fixed.is_zero()) {
-        cursor = cursor * mp::Scalar::from_duration(seg.fixed);
+        const std::int64_t ops =
+            loads_[static_cast<std::size_t>(op_load_[j])](attrs, k);
+        // ResourceDesc::duration_for(ops), inlined with the pre-resolved
+        // rate constant (identical arithmetic, hence identical instants).
+        const std::int64_t d_ps =
+            ops <= 0 ? 0
+                     : static_cast<std::int64_t>(std::llround(
+                           static_cast<double>(ops) / op_rate_[j] * 1e12));
+        const mp::Scalar end_pos =
+            cursor * mp::Scalar::from_duration(Duration::ps(d_ps));
+        if (op_trace_[j] != nullptr) {
+          op_trace_[j]->push(cursor.to_time(), end_pos.to_time(), ops,
+                             op_label_[j]);
+        }
+        cursor = end_pos;
       }
     }
     acc = acc + cursor;
@@ -221,7 +429,7 @@ void Engine::compute(NodeId n, std::uint64_t k) {
 
   ++computed_;
   mark_known(f, n, k, acc);
-  resolve_dependents(n, k);
+  resolve_dependents(f, n, k);
 }
 
 void Engine::prune() {
@@ -231,27 +439,30 @@ void Engine::prune() {
   while (frames_.size() > window && base_k_ < retain_floor_) {
     bool droppable = true;
     for (std::size_t i = 0; i <= graph_->max_lag() && droppable; ++i)
-      droppable = frames_[i].known_count == graph_->node_count();
+      droppable = frames_[i].known_count == n_nodes_;
     if (!droppable) break;
     frame_pool_.push_back(std::move(frames_.front()));
     frames_.pop_front();
+    frame_ptrs_.erase(frame_ptrs_.begin());  // window-sized vector, cheap
     ++base_k_;
   }
 }
 
 std::optional<TimePoint> Engine::value(NodeId n, std::uint64_t k) const {
   const Frame* f = frame_at(k);
-  if (f == nullptr || !f->known[n] || !f->value[n].is_finite())
+  if (f == nullptr || !f->known[static_cast<std::size_t>(n)] ||
+      !f->value[static_cast<std::size_t>(n)].is_finite())
     return std::nullopt;
-  return f->value[n].to_time();
+  return f->value[static_cast<std::size_t>(n)].to_time();
 }
 
 std::optional<model::TokenAttrs> Engine::attrs_of(model::SourceId s,
                                                   std::uint64_t k) const {
   if (s < 0 || static_cast<std::size_t>(s) >= n_sources_) return std::nullopt;
   const Frame* f = frame_at(k);
-  if (f == nullptr || !f->attr_known[s]) return std::nullopt;
-  return f->attrs[s];
+  if (f == nullptr || !f->attr_known[static_cast<std::size_t>(s)])
+    return std::nullopt;
+  return f->attrs[static_cast<std::size_t>(s)];
 }
 
 void Engine::set_retain_floor(std::uint64_t k) {
@@ -263,7 +474,13 @@ void Engine::on_known(NodeId n,
                       std::function<void(std::uint64_t, TimePoint)> cb) {
   if (n < 0 || static_cast<std::size_t>(n) >= callbacks_.size())
     throw Error("tdg::Engine: on_known with bad node id");
-  callbacks_[n] = std::move(cb);
+  callbacks_[static_cast<std::size_t>(n)] = std::move(cb);
+  if (callbacks_[static_cast<std::size_t>(n)]) {
+    node_flags_[static_cast<std::size_t>(n)] |= kHasCallback;
+  } else {
+    node_flags_[static_cast<std::size_t>(n)] &=
+        static_cast<std::uint8_t>(~kHasCallback);
+  }
 }
 
 }  // namespace maxev::tdg

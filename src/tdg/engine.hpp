@@ -33,6 +33,14 @@
 /// execute segments emit busy intervals to the usage sink at their computed
 /// positions — this is the paper's "observation time": full-resolution
 /// resource usage with no simulator involvement.
+///
+/// Construction *compiles* the frozen graph into a flat, cache-friendly
+/// program (docs/DESIGN.md §7): CSR adjacency, struct-of-arrays arc and
+/// segment tables with pre-folded fixed weights and pre-resolved resource
+/// rates, guard/load std::functions hoisted into dense side tables indexed
+/// only by the arcs that carry them, and observation sinks resolved to
+/// direct columnar pointers with interned labels. The propagation hot path
+/// never touches the Graph object, a map, or a string.
 
 namespace maxev::tdg {
 
@@ -41,6 +49,10 @@ class Engine {
   struct Options {
     trace::InstantTraceSet* instant_sink = nullptr;
     trace::UsageTraceSet* usage_sink = nullptr;
+    /// Expected iteration count (tokens). When non-zero, instant series and
+    /// usage traces are pre-sized so observation-on runs do not reallocate
+    /// mid-flight.
+    std::size_t expected_iterations = 0;
   };
 
   /// \pre g.frozen()
@@ -101,6 +113,8 @@ class Engine {
     std::size_t known_count = 0;
   };
 
+  void compile();
+
   Frame& ensure_frame(std::uint64_t k);
   void init_frame(Frame& f, std::uint64_t k);
   [[nodiscard]] Frame* frame_at(std::uint64_t k);
@@ -109,8 +123,11 @@ class Engine {
   /// Compute instance (n, k) — all prerequisites resolved.
   void compute(NodeId n, std::uint64_t k);
   void mark_known(Frame& f, NodeId n, std::uint64_t k, mp::Scalar v);
-  /// Decrement dependents' pending counts after (n, k) became known.
-  void resolve_dependents(NodeId n, std::uint64_t k);
+  /// Decrement dependents' pending counts after (n, k) became known; call
+  /// right after mark_known with the same frame. Re-validates \p f itself
+  /// when n carries an on_known callback (which may have pruned iteration k
+  /// re-entrantly by raising the retain floor).
+  void resolve_dependents(Frame& f, NodeId n, std::uint64_t k);
   void decrement(Frame& f, NodeId n, std::uint64_t k);
   void drain();
   void flush_instants(NodeId n);
@@ -118,9 +135,13 @@ class Engine {
 
   const Graph* graph_;
   Options opts_;
+  std::size_t n_nodes_ = 0;
   std::size_t n_sources_ = 1;
 
   std::deque<Frame> frames_;
+  /// frames_ mirrored as raw pointers (deque elements are address-stable):
+  /// frame_at() is one bounds check + one load instead of deque block math.
+  std::vector<Frame*> frame_ptrs_;
   std::vector<Frame> frame_pool_;  // recycled frames (hot path: no allocs)
   std::uint64_t base_k_ = 0;
 
@@ -129,12 +150,59 @@ class Engine {
 
   std::vector<std::function<void(std::uint64_t, TimePoint)>> callbacks_;
   std::vector<std::uint64_t> next_flush_;  // per node, for instant recording
-  std::vector<std::uint8_t> arc_needs_attrs_;  // per arc (guard or exec load)
 
-  // Precomputed hot-path tables:
-  std::vector<std::vector<std::int32_t>> attr_arcs_by_source_;  // arc indices
+  // ---- Compiled program (see compile()) -----------------------------------
+  // Struct-of-arrays arc tables, *permuted into CSR slot order*: node n's
+  // in-arcs occupy slots [in_arc_offsets_[n], in_arc_offsets_[n+1]) of the
+  // in_* arrays, its out-arcs the matching slots of the out_* arrays — the
+  // hot loops stream contiguous columns with no arc-id indirection.
+  std::vector<std::int32_t> in_arc_offsets_;   // n_nodes_ + 1
+  std::vector<NodeId> in_src_;
+  std::vector<std::uint32_t> in_lag_;
+  std::vector<model::SourceId> in_attr_source_;
+  std::vector<std::int32_t> in_guard_;     // index into guards_; -1 = none
+  std::vector<std::int32_t> in_prog_off_;  // index into op tables; -1 = pure fixed
+  std::vector<std::int32_t> in_prog_len_;
+  std::vector<mp::Scalar> in_fixed_;       // pure-fixed arcs: pre-folded weight
+
+  std::vector<std::int32_t> out_arc_offsets_;  // n_nodes_ + 1
+  std::vector<NodeId> out_dst_;
+  std::vector<std::uint32_t> out_lag_;
+
+  // Per-node CSR over the *lagged* (lag >= 1) in-arcs only — the part of
+  // frame initialization that depends on older frames; the static part
+  // (attr prerequisites + same-frame arcs) is pre-counted so a fresh
+  // frame's pending column is one memcpy plus a touch-up of the (few)
+  // nodes that actually have history arcs.
+  std::vector<std::int32_t> lagged_offsets_;   // n_nodes_ + 1
+  std::vector<NodeId> lagged_src_;
+  std::vector<std::uint32_t> lagged_lag_;
+  std::vector<std::int32_t> static_pending_;   // -1 for externally fed nodes
+  std::vector<NodeId> lagged_nodes_;           // nodes with >= 1 lagged in-arc
+  std::vector<NodeId> always_ready_;           // static_pending == 0, no lagged arcs
+  /// Per-node hot flags (kRecords | kHasCallback): one byte instead of two
+  /// pointer loads on every mark_known.
+  std::vector<std::uint8_t> node_flags_;
+
+  // Segment program ops (arcs with execute segments); consecutive fixed
+  // segments are pre-folded into single entries:
+  std::vector<std::uint8_t> op_exec_;
+  std::vector<mp::Scalar> op_fixed_;           // fixed entries
+  std::vector<std::int32_t> op_load_;          // exec: index into loads_
+  std::vector<double> op_rate_;                // exec: resource ops/second
+  std::vector<trace::UsageTrace*> op_trace_;   // exec: sink or null
+  std::vector<std::int32_t> op_label_;         // exec: interned label id
+
+  // Hoisted std::function side tables (dense; indexed by the arcs/ops that
+  // actually carry a guard or load):
+  std::vector<GuardFn> guards_;
+  std::vector<model::LoadFn> loads_;
+
+  /// Per source: destination nodes of the attr-needing arcs (what set_attrs
+  /// decrements).
+  std::vector<std::vector<NodeId>> attr_dsts_by_source_;
   std::vector<trace::InstantSeries*> record_series_;  // per node (or null)
-  std::vector<trace::UsageTrace*> usage_by_resource_;  // per resource
+  // --------------------------------------------------------------------------
 
   std::uint64_t computed_ = 0;
   std::uint64_t arc_terms_ = 0;

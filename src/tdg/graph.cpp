@@ -38,14 +38,32 @@ void Graph::add_arc(Arc a) {
 void Graph::freeze() {
   if (frozen_) return;
 
-  in_arcs_.assign(nodes_.size(), {});
-  out_arcs_.assign(nodes_.size(), {});
+  // CSR adjacency: counting pass, prefix sums, then a fill pass in arc
+  // order so each node's list stays in arc-insertion order (the order the
+  // old vector-of-vectors produced).
+  const std::size_t n_nodes = nodes_.size();
+  in_arc_offsets_.assign(n_nodes + 1, 0);
+  out_arc_offsets_.assign(n_nodes + 1, 0);
   max_lag_ = 0;
-  for (std::int32_t i = 0; i < static_cast<std::int32_t>(arcs_.size()); ++i) {
-    const Arc& a = arcs_[i];
-    in_arcs_[a.dst].push_back(i);
-    out_arcs_[a.src].push_back(i);
+  for (const Arc& a : arcs_) {
+    ++in_arc_offsets_[static_cast<std::size_t>(a.dst) + 1];
+    ++out_arc_offsets_[static_cast<std::size_t>(a.src) + 1];
     max_lag_ = std::max(max_lag_, a.lag);
+  }
+  for (std::size_t n = 0; n < n_nodes; ++n) {
+    in_arc_offsets_[n + 1] += in_arc_offsets_[n];
+    out_arc_offsets_[n + 1] += out_arc_offsets_[n];
+  }
+  in_arc_ids_.resize(arcs_.size());
+  out_arc_ids_.resize(arcs_.size());
+  std::vector<std::int32_t> in_fill(in_arc_offsets_.begin(),
+                                    in_arc_offsets_.end() - 1);
+  std::vector<std::int32_t> out_fill(out_arc_offsets_.begin(),
+                                     out_arc_offsets_.end() - 1);
+  for (std::int32_t i = 0; i < static_cast<std::int32_t>(arcs_.size()); ++i) {
+    const Arc& a = arcs_[static_cast<std::size_t>(i)];
+    in_arc_ids_[static_cast<std::size_t>(in_fill[a.dst]++)] = i;
+    out_arc_ids_[static_cast<std::size_t>(out_fill[a.src]++)] = i;
   }
 
   // Kahn's algorithm on the zero-lag subgraph.
@@ -62,8 +80,9 @@ void Graph::freeze() {
   while (head < ready.size()) {
     const NodeId n = ready[head++];
     topo_.push_back(n);
-    for (std::int32_t ai : out_arcs_[n]) {
-      const Arc& a = arcs_[ai];
+    for (std::int32_t i = out_arc_offsets_[static_cast<std::size_t>(n)];
+         i < out_arc_offsets_[static_cast<std::size_t>(n) + 1]; ++i) {
+      const Arc& a = arcs_[static_cast<std::size_t>(out_arc_ids_[static_cast<std::size_t>(i)])];
       if (a.lag != 0) continue;
       if (--zero_in[a.dst] == 0) ready.push_back(a.dst);
     }
@@ -92,14 +111,22 @@ NodeId Graph::find(const std::string& name) const {
   return kNoNode;
 }
 
-const std::vector<std::int32_t>& Graph::in_arcs(NodeId n) const {
+ArcIndexSpan Graph::in_arcs(NodeId n) const {
   if (!frozen_) throw DescriptionError("tdg::Graph: freeze() before in_arcs");
-  return in_arcs_.at(static_cast<std::size_t>(n));
+  if (n < 0 || static_cast<std::size_t>(n) >= nodes_.size())
+    throw DescriptionError("tdg::Graph: bad node id");
+  const std::int32_t* base = in_arc_ids_.data();
+  return ArcIndexSpan{base + in_arc_offsets_[static_cast<std::size_t>(n)],
+                      base + in_arc_offsets_[static_cast<std::size_t>(n) + 1]};
 }
 
-const std::vector<std::int32_t>& Graph::out_arcs(NodeId n) const {
+ArcIndexSpan Graph::out_arcs(NodeId n) const {
   if (!frozen_) throw DescriptionError("tdg::Graph: freeze() before out_arcs");
-  return out_arcs_.at(static_cast<std::size_t>(n));
+  if (n < 0 || static_cast<std::size_t>(n) >= nodes_.size())
+    throw DescriptionError("tdg::Graph: bad node id");
+  const std::int32_t* base = out_arc_ids_.data();
+  return ArcIndexSpan{base + out_arc_offsets_[static_cast<std::size_t>(n)],
+                      base + out_arc_offsets_[static_cast<std::size_t>(n) + 1]};
 }
 
 const std::vector<NodeId>& Graph::topo_order() const {

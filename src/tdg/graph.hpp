@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -85,8 +86,16 @@ struct Node {
   std::string record_series;
 };
 
+/// Non-owning view over a node's arc-index list (a slice of the graph's
+/// flat CSR arrays). Valid while the graph lives.
+using ArcIndexSpan = std::span<const std::int32_t>;
+
 /// The temporal dependency graph. Build directly (add_node/add_arc) or via
 /// tdg::derive_tdg(); call freeze() before handing it to an Engine.
+///
+/// freeze() indexes adjacency in CSR form — flat offset/id arrays instead
+/// of a vector-of-vectors — so the engine's propagation loops walk
+/// contiguous memory (see docs/DESIGN.md §7).
 class Graph {
  public:
   Graph() = default;
@@ -116,10 +125,10 @@ class Graph {
   /// Find a node by name; kNoNode when absent.
   [[nodiscard]] NodeId find(const std::string& name) const;
 
-  /// In-arc indices of a node (into arcs()).
-  [[nodiscard]] const std::vector<std::int32_t>& in_arcs(NodeId n) const;
-  /// Out-arc indices of a node.
-  [[nodiscard]] const std::vector<std::int32_t>& out_arcs(NodeId n) const;
+  /// In-arc indices of a node (into arcs()), in arc-insertion order.
+  [[nodiscard]] ArcIndexSpan in_arcs(NodeId n) const;
+  /// Out-arc indices of a node, in arc-insertion order.
+  [[nodiscard]] ArcIndexSpan out_arcs(NodeId n) const;
   /// Topological order of the zero-lag subgraph.
   [[nodiscard]] const std::vector<NodeId>& topo_order() const;
   /// Maximum lag over all arcs.
@@ -140,8 +149,11 @@ class Graph {
   const model::ArchitectureDesc* desc_ = nullptr;
   std::vector<Node> nodes_;
   std::vector<Arc> arcs_;
-  std::vector<std::vector<std::int32_t>> in_arcs_;
-  std::vector<std::vector<std::int32_t>> out_arcs_;
+  // CSR adjacency (built by freeze): offsets have node_count()+1 entries.
+  std::vector<std::int32_t> in_arc_offsets_;
+  std::vector<std::int32_t> in_arc_ids_;
+  std::vector<std::int32_t> out_arc_offsets_;
+  std::vector<std::int32_t> out_arc_ids_;
   std::vector<NodeId> topo_;
   unsigned max_lag_ = 0;
   bool frozen_ = false;

@@ -25,6 +25,10 @@ class InstantSeries {
 
   void push(TimePoint t) { instants_.push_back(t); }
 
+  /// Pre-size for an expected instant count (capacity hint from the runner;
+  /// observation-on runs should not reallocate mid-flight).
+  void reserve(std::size_t n) { instants_.reserve(n); }
+
   [[nodiscard]] std::size_t size() const { return instants_.size(); }
   [[nodiscard]] TimePoint at(std::size_t k) const;
   [[nodiscard]] const std::vector<TimePoint>& values() const { return instants_; }

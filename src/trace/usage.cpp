@@ -2,27 +2,70 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
 namespace maxev::trace {
 
-void UsageTrace::add(BusyInterval iv) {
-  if (iv.end < iv.start)
+std::int32_t UsageTrace::intern_label(const std::string& label) {
+  for (std::size_t i = 0; i < labels_.size(); ++i)
+    if (labels_[i] == label) return static_cast<std::int32_t>(i);
+  labels_.push_back(label);
+  return static_cast<std::int32_t>(labels_.size()) - 1;
+}
+
+const std::string& UsageTrace::label(std::int32_t id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= labels_.size())
+    throw Error("UsageTrace '" + resource_ + "': bad label id");
+  return labels_[static_cast<std::size_t>(id)];
+}
+
+void UsageTrace::push(TimePoint start, TimePoint end, std::int64_t ops,
+                      std::int32_t label_id) {
+  if (end < start)
     throw Error("UsageTrace '" + resource_ + "': interval ends before start");
-  intervals_.push_back(std::move(iv));
+  starts_.push_back(start);
+  ends_.push_back(end);
+  ops_.push_back(ops);
+  label_ids_.push_back(label_id);
+  view_valid_ = false;
+}
+
+void UsageTrace::add(BusyInterval iv) {
+  push(iv.start, iv.end, iv.ops, intern_label(iv.label));
+}
+
+void UsageTrace::reserve(std::size_t n) {
+  starts_.reserve(n);
+  ends_.reserve(n);
+  ops_.reserve(n);
+  label_ids_.reserve(n);
+}
+
+const std::vector<BusyInterval>& UsageTrace::intervals() const {
+  if (!view_valid_) {
+    view_.clear();
+    view_.reserve(size());
+    for (std::size_t i = 0; i < size(); ++i) {
+      view_.push_back({starts_[i], ends_[i], ops_[i],
+                       labels_[static_cast<std::size_t>(label_ids_[i])]});
+    }
+    view_valid_ = true;
+  }
+  return view_;
 }
 
 Duration UsageTrace::busy_time() const {
   Duration total{};
-  for (const auto& iv : intervals_) total += iv.end - iv.start;
+  for (std::size_t i = 0; i < size(); ++i) total += ends_[i] - starts_[i];
   return total;
 }
 
 std::int64_t UsageTrace::total_ops() const {
   std::int64_t total = 0;
-  for (const auto& iv : intervals_) total += iv.ops;
+  for (const std::int64_t o : ops_) total += o;
   return total;
 }
 
@@ -34,7 +77,7 @@ double UsageTrace::utilization(TimePoint horizon) const {
 
 TimePoint UsageTrace::span_end() const {
   TimePoint end = TimePoint::origin();
-  for (const auto& iv : intervals_) end = std::max(end, iv.end);
+  for (const TimePoint e : ends_) end = std::max(end, e);
   return end;
 }
 
@@ -45,14 +88,15 @@ std::vector<RatePoint> UsageTrace::rate_profile() const {
     double delta;
   };
   std::vector<Edge> edges;
-  edges.reserve(intervals_.size() * 2);
-  for (const auto& iv : intervals_) {
-    const std::int64_t len = (iv.end - iv.start).count();
+  edges.reserve(size() * 2);
+  for (std::size_t i = 0; i < size(); ++i) {
+    const std::int64_t len = (ends_[i] - starts_[i]).count();
     if (len <= 0) continue;  // zero-length work contributes no rate
     // ops per picosecond * 1e3 = GOPS (1 GOPS = 1 op/ns = 1e-3 op/ps).
-    const double gops = static_cast<double>(iv.ops) / static_cast<double>(len) * 1e3;
-    edges.push_back({iv.start.count(), gops});
-    edges.push_back({iv.end.count(), -gops});
+    const double gops =
+        static_cast<double>(ops_[i]) / static_cast<double>(len) * 1e3;
+    edges.push_back({starts_[i].count(), gops});
+    edges.push_back({ends_[i].count(), -gops});
   }
   std::sort(edges.begin(), edges.end(),
             [](const Edge& a, const Edge& b) { return a.t < b.t; });
@@ -82,20 +126,21 @@ std::vector<RatePoint> UsageTrace::windowed_rate(Duration bin) const {
   if (end == 0) return {};
   const auto bins = static_cast<std::size_t>((end + bin.count() - 1) / bin.count());
   std::vector<double> ops_in(bins, 0.0);
-  for (const auto& iv : intervals_) {
-    const std::int64_t len = (iv.end - iv.start).count();
+  for (std::size_t i = 0; i < size(); ++i) {
+    const std::int64_t len = (ends_[i] - starts_[i]).count();
     if (len <= 0) {
       // Instantaneous work: attribute wholly to its containing bin.
-      const auto b = static_cast<std::size_t>(iv.start.count() / bin.count());
-      if (b < bins) ops_in[b] += static_cast<double>(iv.ops);
+      const auto b = static_cast<std::size_t>(starts_[i].count() / bin.count());
+      if (b < bins) ops_in[b] += static_cast<double>(ops_[i]);
       continue;
     }
-    const double density = static_cast<double>(iv.ops) / static_cast<double>(len);
-    std::int64_t lo = iv.start.count();
-    while (lo < iv.end.count()) {
+    const double density =
+        static_cast<double>(ops_[i]) / static_cast<double>(len);
+    std::int64_t lo = starts_[i].count();
+    while (lo < ends_[i].count()) {
       const std::int64_t b = lo / bin.count();
       const std::int64_t bin_end = (b + 1) * bin.count();
-      const std::int64_t hi = std::min(bin_end, iv.end.count());
+      const std::int64_t hi = std::min(bin_end, ends_[i].count());
       if (static_cast<std::size_t>(b) < bins)
         ops_in[static_cast<std::size_t>(b)] +=
             density * static_cast<double>(hi - lo);
@@ -112,12 +157,26 @@ std::vector<RatePoint> UsageTrace::windowed_rate(Duration bin) const {
 }
 
 void UsageTrace::sort() {
-  std::sort(intervals_.begin(), intervals_.end(),
-            [](const BusyInterval& a, const BusyInterval& b) {
-              if (a.start != b.start) return a.start < b.start;
-              if (a.end != b.end) return a.end < b.end;
-              return a.label < b.label;
-            });
+  std::vector<std::size_t> perm(size());
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  std::sort(perm.begin(), perm.end(), [this](std::size_t a, std::size_t b) {
+    if (starts_[a] != starts_[b]) return starts_[a] < starts_[b];
+    if (ends_[a] != ends_[b]) return ends_[a] < ends_[b];
+    const std::string& la = labels_[static_cast<std::size_t>(label_ids_[a])];
+    const std::string& lb = labels_[static_cast<std::size_t>(label_ids_[b])];
+    if (la != lb) return la < lb;
+    return ops_[a] < ops_[b];
+  });
+  const auto apply = [&perm](auto& column) {
+    auto sorted = column;
+    for (std::size_t i = 0; i < perm.size(); ++i) sorted[i] = column[perm[i]];
+    column = std::move(sorted);
+  };
+  apply(starts_);
+  apply(ends_);
+  apply(ops_);
+  apply(label_ids_);
+  view_valid_ = false;
 }
 
 UsageTrace& UsageTraceSet::trace(const std::string& resource) {
@@ -144,17 +203,21 @@ std::optional<std::string> compare_usage(const UsageTraceSet& ref,
       return format("resource '%s': %zu vs %zu intervals", name.c_str(),
                     a.size(), b->size());
     for (std::size_t i = 0; i < a.size(); ++i) {
-      const auto& x = a.intervals()[i];
-      const auto& y = b->intervals()[i];
-      if (!(x == y)) {
+      // Columnar comparison; labels compare by string (intern ids are
+      // per-trace and need not align).
+      const std::string& la = a.label(a.label_ids()[i]);
+      const std::string& lb = b->label(b->label_ids()[i]);
+      if (a.starts()[i] != b->starts()[i] || a.ends()[i] != b->ends()[i] ||
+          a.ops()[i] != b->ops()[i] || la != lb) {
         return format(
             "resource '%s': interval %zu differs: [%s,%s) ops=%lld '%s' vs "
             "[%s,%s) ops=%lld '%s'",
-            name.c_str(), i, x.start.to_string().c_str(),
-            x.end.to_string().c_str(), static_cast<long long>(x.ops),
-            x.label.c_str(), y.start.to_string().c_str(),
-            y.end.to_string().c_str(), static_cast<long long>(y.ops),
-            y.label.c_str());
+            name.c_str(), i, a.starts()[i].to_string().c_str(),
+            a.ends()[i].to_string().c_str(),
+            static_cast<long long>(a.ops()[i]), la.c_str(),
+            b->starts()[i].to_string().c_str(),
+            b->ends()[i].to_string().c_str(),
+            static_cast<long long>(b->ops()[i]), lb.c_str());
       }
     }
   }

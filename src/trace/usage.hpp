@@ -19,10 +19,16 @@
 /// Both the event-driven baseline (recording live) and the equivalent model
 /// (recording from computed instants, without the simulator) fill this same
 /// structure, so accuracy is checked by structural equality.
+///
+/// Storage is columnar (struct-of-arrays): starts, ends, op counts and
+/// interned label ids live in parallel vectors, so the hot append path is
+/// four vector pushes with no string traffic — recording cost is what
+/// Table I's "speed-up (obs. on)" column measures, on both models. The
+/// row-oriented BusyInterval view is materialized on demand.
 
 namespace maxev::trace {
 
-/// One busy interval of a resource.
+/// One busy interval of a resource (row view; storage is columnar).
 struct BusyInterval {
   TimePoint start;
   TimePoint end;
@@ -45,13 +51,36 @@ class UsageTrace {
   UsageTrace() = default;
   explicit UsageTrace(std::string resource) : resource_(std::move(resource)) {}
 
+  /// Intern a busy-interval label, returning its dense id. Idempotent; call
+  /// once at setup so the hot path can use push().
+  std::int32_t intern_label(const std::string& label);
+  /// Label string of an interned id.
+  [[nodiscard]] const std::string& label(std::int32_t id) const;
+
+  /// Hot-path append: columnar, no allocation beyond vector growth.
+  void push(TimePoint start, TimePoint end, std::int64_t ops,
+            std::int32_t label_id);
+  /// Compatibility append; interns the label on every call.
   void add(BusyInterval iv);
 
+  /// Pre-size the columns for an expected interval count (capacity hint
+  /// from the runner; see tdg::Engine::Options::expected_iterations).
+  void reserve(std::size_t n);
+
   [[nodiscard]] const std::string& resource() const { return resource_; }
-  [[nodiscard]] const std::vector<BusyInterval>& intervals() const {
-    return intervals_;
+  /// Row-oriented view, materialized lazily from the columns.
+  [[nodiscard]] const std::vector<BusyInterval>& intervals() const;
+  [[nodiscard]] std::size_t size() const { return starts_.size(); }
+
+  /// \name Columnar accessors (parallel vectors of length size())
+  /// @{
+  [[nodiscard]] const std::vector<TimePoint>& starts() const { return starts_; }
+  [[nodiscard]] const std::vector<TimePoint>& ends() const { return ends_; }
+  [[nodiscard]] const std::vector<std::int64_t>& ops() const { return ops_; }
+  [[nodiscard]] const std::vector<std::int32_t>& label_ids() const {
+    return label_ids_;
   }
-  [[nodiscard]] std::size_t size() const { return intervals_.size(); }
+  /// @}
 
   /// Sum of interval lengths (overlaps counted multiply).
   [[nodiscard]] Duration busy_time() const;
@@ -72,12 +101,20 @@ class UsageTrace {
   /// span_end(); interval ops are apportioned linearly across windows.
   [[nodiscard]] std::vector<RatePoint> windowed_rate(Duration bin) const;
 
-  /// Normalize for comparison: sort by (start, end, label).
+  /// Normalize for comparison: sort by (start, end, label, ops).
   void sort();
 
  private:
   std::string resource_;
-  std::vector<BusyInterval> intervals_;
+  // Parallel columns; label ids index labels_.
+  std::vector<TimePoint> starts_;
+  std::vector<TimePoint> ends_;
+  std::vector<std::int64_t> ops_;
+  std::vector<std::int32_t> label_ids_;
+  std::vector<std::string> labels_;  // intern table (small; linear lookup)
+
+  mutable std::vector<BusyInterval> view_;  // lazily materialized rows
+  mutable bool view_valid_ = false;
 };
 
 /// Usage traces of all resources of one model run.

@@ -1,0 +1,156 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace maxev {
+
+namespace {
+
+std::string escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void JsonWriter::comma() {
+  if (pending_key_) {
+    pending_key_ = false;  // value directly follows its "key":
+    return;
+  }
+  if (first_.empty()) return;
+  if (first_.back()) {
+    first_.back() = false;
+  } else {
+    out_ += ',';
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (first_.empty()) throw Error("JsonWriter: end_object with no container");
+  first_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (first_.empty()) throw Error("JsonWriter: end_array with no container");
+  first_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  comma();
+  out_ += escaped(k);
+  out_ += ':';
+  pending_key_ = true;  // the next value/container follows without a comma
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  comma();
+  out_ += escaped(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  comma();
+  if (std::isfinite(v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out_ += buf;
+  } else {
+    out_ += "null";  // JSON has no NaN/Inf
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  if (!first_.empty()) throw Error("JsonWriter: unclosed container");
+  return out_;
+}
+
+void JsonWriter::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw Error("JsonWriter: cannot open '" + path + "'");
+  f << str() << '\n';
+  if (!f) throw Error("JsonWriter: write to '" + path + "' failed");
+}
+
+std::string extract_json_flag(int& argc, char** argv) {
+  std::string path;
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      path = argv[i] + 7;
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  argc = w;
+  return path;
+}
+
+}  // namespace maxev

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file json.hpp
+/// A minimal streaming JSON writer for the benchmark binaries' machine-
+/// readable output (scripts/bench_report.sh, BENCH_<n>.json). Handles
+/// nesting, comma placement and string escaping; numbers are emitted with
+/// enough precision to round-trip doubles.
+
+namespace maxev {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by a value or container.
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool v);
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& field(const std::string& k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  /// The serialized document. \pre every container has been closed.
+  [[nodiscard]] const std::string& str() const;
+
+  /// Write the document to a file; throws maxev::Error on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  void comma();
+
+  std::string out_;
+  std::vector<bool> first_;  // per open container: no member emitted yet
+  bool pending_key_ = false;  // a "key": was just emitted
+};
+
+/// Extract a `--json <path>` / `--json=<path>` flag from argv, compacting
+/// the array in place (argc is updated). Returns the path, empty when the
+/// flag is absent. Shared by the bench binaries' --json modes.
+[[nodiscard]] std::string extract_json_flag(int& argc, char** argv);
+
+}  // namespace maxev

@@ -118,6 +118,49 @@ TEST(UsageTraceTest, WindowedRateRejectsBadBin) {
   EXPECT_THROW(t.windowed_rate(Duration::ps(0)), Error);
 }
 
+TEST(UsageTraceTest, ColumnarPushMatchesRowAdd) {
+  // The interned fast path and the compatibility add() must be one store.
+  UsageTrace t("P1");
+  const std::int32_t e0 = t.intern_label("F.e0");
+  EXPECT_EQ(t.intern_label("F.e0"), e0);  // idempotent
+  t.push(at(0), at(10), 5, e0);
+  t.add({at(20), at(30), 7, "F.e1"});
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.label(t.label_ids()[0]), "F.e0");
+  EXPECT_EQ(t.intervals()[0], (BusyInterval{at(0), at(10), 5, "F.e0"}));
+  EXPECT_EQ(t.intervals()[1], (BusyInterval{at(20), at(30), 7, "F.e1"}));
+  EXPECT_EQ(t.starts()[1], at(20));
+  EXPECT_EQ(t.ops()[1], 7);
+}
+
+TEST(UsageTraceTest, MaterializedViewTracksMutation) {
+  UsageTrace t("P1");
+  t.add({at(0), at(10), 1, "a"});
+  EXPECT_EQ(t.intervals().size(), 1u);  // materialize once
+  t.add({at(5), at(6), 2, "b"});
+  EXPECT_EQ(t.intervals().size(), 2u);  // invalidated by the append
+  t.sort();
+  EXPECT_EQ(t.intervals()[0].label, "a");  // re-materialized after sort
+  EXPECT_EQ(t.intervals()[1].label, "b");
+}
+
+TEST(UsageTraceTest, PushRejectsNegativeInterval) {
+  UsageTrace t("P1");
+  const std::int32_t id = t.intern_label("x");
+  EXPECT_THROW(t.push(at(10), at(5), 1, id), Error);
+}
+
+TEST(UsageTraceTest, CompareMatchesAcrossDifferentInternOrders) {
+  // Label ids are per-trace; equality must hold by label *string*.
+  UsageTraceSet a, b;
+  a.trace("P1").add({at(0), at(10), 1, "x"});
+  a.trace("P1").add({at(20), at(30), 2, "y"});
+  b.trace("P1").intern_label("y");  // reverse intern order
+  b.trace("P1").add({at(0), at(10), 1, "x"});
+  b.trace("P1").add({at(20), at(30), 2, "y"});
+  EXPECT_EQ(compare_usage(a, b), std::nullopt);
+}
+
 TEST(UsageTraceSetTest, CompareAfterSortIgnoresEmissionOrder) {
   UsageTraceSet a, b;
   a.trace("P1").add({at(0), at(10), 1, "x"});
