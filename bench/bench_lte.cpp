@@ -1,7 +1,8 @@
 /// \file bench_lte.cpp
 /// Reproduces the Section V case-study speed experiment: the LTE receiver
 /// (8 functions, DSP + dedicated decoder) simulated with 20000 data symbols
-/// under per-frame varying parameters.
+/// under per-frame varying parameters, as a two-backend study::Study with
+/// the event-driven baseline as reference.
 ///
 /// Paper: "A simulation speed-up by a factor of 4 has been measured for the
 /// simulation of 20000 data symbols, whereas the ratio of events between
@@ -9,8 +10,8 @@
 
 #include <cstdio>
 
-#include "core/experiment.hpp"
 #include "lte/receiver.hpp"
+#include "study/study.hpp"
 #include "util/strings.hpp"
 
 int main() {
@@ -24,44 +25,54 @@ int main() {
   lte::ReceiverConfig cfg;
   cfg.symbols = kSymbols;
   cfg.seed = 2014;
-  const model::ArchitectureDesc desc = lte::make_receiver(cfg);
 
-  core::ExperimentOptions opts;
+  study::Study st;
+  st.add(study::Scenario("lte_rx", lte::make_receiver(cfg)));
+  st.add(study::Backend::baseline());
+  st.add(study::Backend::equivalent());
+
+  study::StudyOptions opts;
   opts.repetitions = 3;
-  const core::Comparison cmp = core::run_comparison(desc, opts);
+  const study::Report report = st.run(opts);
+
+  const study::Cell& base = report.at("lte_rx", "baseline");
+  const study::Cell& eq = report.at("lte_rx", "equivalent");
 
   ConsoleTable table({"Metric", "Baseline", "Equivalent model"});
   table.add_row({"model execution time (s)",
-                 format("%.3f", cmp.baseline.wall_seconds),
-                 format("%.3f", cmp.equivalent.wall_seconds)});
+                 format("%.3f", base.metrics.wall_seconds),
+                 format("%.3f", eq.metrics.wall_seconds)});
   table.add_row({"relation events",
-                 with_commas(static_cast<std::int64_t>(cmp.baseline.relation_events)),
-                 with_commas(static_cast<std::int64_t>(cmp.equivalent.relation_events))});
+                 with_commas(static_cast<std::int64_t>(base.metrics.relation_events)),
+                 with_commas(static_cast<std::int64_t>(eq.metrics.relation_events))});
   table.add_row({"kernel events",
-                 with_commas(static_cast<std::int64_t>(cmp.baseline.kernel_events)),
-                 with_commas(static_cast<std::int64_t>(cmp.equivalent.kernel_events))});
+                 with_commas(static_cast<std::int64_t>(base.metrics.kernel_events)),
+                 with_commas(static_cast<std::int64_t>(eq.metrics.kernel_events))});
   table.add_row({"context switches",
-                 with_commas(static_cast<std::int64_t>(cmp.baseline.resumes)),
-                 with_commas(static_cast<std::int64_t>(cmp.equivalent.resumes))});
+                 with_commas(static_cast<std::int64_t>(base.metrics.resumes)),
+                 with_commas(static_cast<std::int64_t>(eq.metrics.resumes))});
   table.add_row({"simulated time",
-                 cmp.baseline.sim_end.to_string(),
-                 cmp.equivalent.sim_end.to_string()});
+                 base.metrics.sim_end.to_string(),
+                 eq.metrics.sim_end.to_string()});
   std::printf("%s\n", table.render().c_str());
 
-  std::printf("simulation speed-up : %.2fx   (paper: 4x)\n", cmp.speedup);
-  std::printf("event ratio         : %.2f    (paper: 4.2)\n", cmp.event_ratio);
-  std::printf("kernel-event ratio  : %.2f\n", cmp.kernel_event_ratio);
+  const bool accurate = eq.errors.has_value() && eq.errors->exact();
+  std::printf("simulation speed-up : %.2fx   (paper: 4x)\n",
+              eq.speedup_vs_reference);
+  std::printf("event ratio         : %.2f    (paper: 4.2)\n",
+              eq.event_ratio_vs_reference);
+  std::printf("kernel-event ratio  : %.2f\n",
+              eq.kernel_event_ratio_vs_reference);
   std::printf("TDG nodes           : %zu live, %zu in the paper's counting "
               "(paper: 11)\n",
-              cmp.graph_nodes, cmp.graph_paper_nodes);
+              eq.graph_nodes, eq.graph_paper_nodes);
   std::printf("accuracy            : %s\n",
-              cmp.accurate() ? "instants and resource usage identical"
-                             : "MISMATCH");
-  if (!cmp.accurate()) {
-    if (cmp.instant_mismatch)
-      std::printf("  instants: %s\n", cmp.instant_mismatch->c_str());
-    if (cmp.usage_mismatch)
-      std::printf("  usage: %s\n", cmp.usage_mismatch->c_str());
+              accurate ? "instants and resource usage identical" : "MISMATCH");
+  if (!accurate) {
+    if (eq.errors.has_value() && eq.errors->instant_mismatch)
+      std::printf("  instants: %s\n", eq.errors->instant_mismatch->c_str());
+    if (eq.errors.has_value() && eq.errors->usage_mismatch)
+      std::printf("  usage: %s\n", eq.errors->usage_mismatch->c_str());
     return 1;
   }
   return 0;

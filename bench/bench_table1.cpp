@@ -4,10 +4,13 @@
 ///
 /// Examples 1..4 are chains of 1..4 didactic blocks, each simulated with
 /// 20000 data tokens of varying size through the input relation, exactly as
-/// in Section IV. For every example we report the baseline model execution
-/// time, the event ratio, the achieved speed-up and the node count of the
-/// temporal dependency graph, and we assert the accuracy property (instant
-/// and usage traces identical).
+/// in Section IV. The four chains are the scenarios of one study::Study,
+/// run against the baseline (reference) and equivalent backends — once with
+/// observation on (accuracy-checked) and once off (pure simulation speed).
+/// For every example we report the baseline model execution time, the event
+/// ratio, the achieved speed-up and the node count of the temporal
+/// dependency graph, and we assert the accuracy property (instant and usage
+/// traces identical).
 ///
 /// Paper reference values (Intel CoFluent Studio on a 2.2 GHz Core2 Duo):
 ///   exec time 22 / 41.2 / 59.4 / 80.2 s; event ratio 2.33 / 4.66 / 7 / 9.33;
@@ -17,8 +20,8 @@
 
 #include <cstdio>
 
-#include "core/experiment.hpp"
 #include "gen/chains.hpp"
+#include "study/study.hpp"
 #include "util/strings.hpp"
 
 int main() {
@@ -28,6 +31,24 @@ int main() {
   std::printf("Table I reproduction: %s tokens per model, median of 3 runs\n\n",
               with_commas(static_cast<std::int64_t>(kTokens)).c_str());
 
+  study::Study st;
+  for (std::size_t ex = 1; ex <= 4; ++ex) {
+    st.add(study::Scenario(format("Example %zu", ex),
+                           gen::make_table1_example(ex, kTokens)));
+  }
+  st.add(study::Backend::baseline());
+  st.add(study::Backend::equivalent());
+
+  // Accuracy-checked run (observation traces recorded and compared).
+  study::StudyOptions checked;
+  checked.repetitions = 3;
+  const study::Report obs = st.run(checked);
+  // Pure simulation-speed run (no observation recording, as a plain
+  // what-is-the-simulation-time measurement).
+  study::StudyOptions speed = checked;
+  speed.observe = false;
+  const study::Report fast = st.run(speed);
+
   ConsoleTable table({"Architecture model", "exec time (s)", "Event ratio",
                       "Kernel-event ratio", "Speed-up", "Speed-up (obs. on)",
                       "Nodes (paper conv.)", "Accurate"});
@@ -36,29 +57,26 @@ int main() {
   static const double kPaperRatio[] = {2.33, 4.66, 7.0, 9.33};
 
   for (std::size_t ex = 1; ex <= 4; ++ex) {
-    const model::ArchitectureDesc desc = gen::make_table1_example(ex, kTokens);
-    // Accuracy-checked run (observation traces recorded and compared).
-    core::ExperimentOptions checked;
-    checked.repetitions = 3;
-    const core::Comparison cmp = core::run_comparison(desc, checked);
-    // Pure simulation-speed run (no observation recording, as a plain
-    // what-is-the-simulation-time measurement).
-    core::ExperimentOptions speed = checked;
-    speed.observe = false;
-    const core::Comparison fast = core::run_comparison(desc, speed);
+    const std::string scenario = format("Example %zu", ex);
+    const study::Cell& base_fast = fast.at(scenario, "baseline");
+    const study::Cell& eq_fast = fast.at(scenario, "equivalent");
+    const study::Cell& eq_obs = obs.at(scenario, "equivalent");
+    const bool accurate =
+        eq_obs.errors.has_value() && eq_obs.errors->exact();
 
-    table.add_row({format("Example %zu", ex),
-                   format("%.3f", fast.baseline.wall_seconds),
-                   format("%.2f", cmp.event_ratio),
-                   format("%.2f", cmp.kernel_event_ratio),
-                   format("%.2f", fast.speedup),
-                   format("%.2f", cmp.speedup),
-                   format("%zu", cmp.graph_paper_nodes),
-                   cmp.accurate() ? "yes" : "NO"});
+    table.add_row({scenario,
+                   format("%.3f", base_fast.metrics.wall_seconds),
+                   format("%.2f", eq_obs.event_ratio_vs_reference),
+                   format("%.2f", eq_obs.kernel_event_ratio_vs_reference),
+                   format("%.2f", eq_fast.speedup_vs_reference),
+                   format("%.2f", eq_obs.speedup_vs_reference),
+                   format("%zu", eq_obs.graph_paper_nodes),
+                   accurate ? "yes" : "NO"});
     std::printf("Example %zu: paper speed-up %.2f (event ratio %.2f) -> "
                 "measured %.2f (%.2f)\n",
-                ex, kPaperSpeedup[ex - 1], kPaperRatio[ex - 1], fast.speedup,
-                cmp.event_ratio);
+                ex, kPaperSpeedup[ex - 1], kPaperRatio[ex - 1],
+                eq_fast.speedup_vs_reference,
+                eq_obs.event_ratio_vs_reference);
   }
 
   std::printf("\n%s\n", table.render().c_str());
@@ -69,26 +87,35 @@ int main() {
   // The paper's substrate (Intel CoFluent Studio / SystemC) pays far more
   // per kernel event than this library's coroutine kernel (~60ns). In the
   // commercial-kernel regime — emulated by a synthetic 2us per-event cost
-  // applied to BOTH models — the speed-up converges to the event ratio,
+  // applied to BOTH kernels — the speed-up converges to the event ratio,
   // which is the paper's operating point.
   std::printf("Commercial-kernel regime (synthetic 2us per event, %s tokens):\n",
               with_commas(5000).c_str());
-  ConsoleTable heavy({"Architecture model", "exec time (s)", "Speed-up",
-                      "Kernel-event ratio", "Paper speed-up"});
+  study::Study heavy_study;
   for (std::size_t ex = 1; ex <= 4; ++ex) {
-    const model::ArchitectureDesc desc = gen::make_table1_example(ex, 5000);
-    core::ExperimentOptions opts;
-    opts.repetitions = 1;
-    opts.observe = false;
-    opts.compare_traces = false;
-    opts.event_overhead_ns = 2000.0;
-    const core::Comparison cmp = core::run_comparison(desc, opts);
-    heavy.add_row({format("Example %zu", ex),
-                   format("%.3f", cmp.baseline.wall_seconds),
-                   format("%.2f", cmp.speedup),
-                   format("%.2f", cmp.kernel_event_ratio),
-                   format("%.2f", kPaperSpeedup[ex - 1])});
+    heavy_study.add(study::Scenario(format("Example %zu", ex),
+                                    gen::make_table1_example(ex, 5000)));
   }
-  std::printf("%s\n", heavy.render().c_str());
+  heavy_study.add(study::Backend::baseline());
+  heavy_study.add(study::Backend::equivalent());
+  study::StudyOptions heavy_opts;
+  heavy_opts.repetitions = 1;
+  heavy_opts.observe = false;
+  heavy_opts.compare_traces = false;
+  heavy_opts.event_overhead_ns = 2000.0;
+  const study::Report heavy = heavy_study.run(heavy_opts);
+
+  ConsoleTable heavy_table({"Architecture model", "exec time (s)", "Speed-up",
+                            "Kernel-event ratio", "Paper speed-up"});
+  for (std::size_t ex = 1; ex <= 4; ++ex) {
+    const std::string scenario = format("Example %zu", ex);
+    const study::Cell& base = heavy.at(scenario, "baseline");
+    const study::Cell& eq = heavy.at(scenario, "equivalent");
+    heavy_table.add_row({scenario, format("%.3f", base.metrics.wall_seconds),
+                         format("%.2f", eq.speedup_vs_reference),
+                         format("%.2f", eq.kernel_event_ratio_vs_reference),
+                         format("%.2f", kPaperSpeedup[ex - 1])});
+  }
+  std::printf("%s\n", heavy_table.render().c_str());
   return 0;
 }

@@ -4,16 +4,19 @@
 /// exploration of different architectures in acceptable time".
 ///
 /// We sweep the LTE receiver's platform parameters — DSP rate and decoder
-/// rate — and, for each candidate platform, use the fast equivalent model
-/// to evaluate end-to-end symbol latency and real-time feasibility. The
-/// speed-up of the method is what makes a sweep like this cheap.
+/// rate — through the study front-end: every candidate platform is one
+/// study::Scenario, evaluated on the fast equivalent backend, with
+/// end-to-end symbol latency and real-time feasibility read off the model's
+/// observation traces. The speed-up of the method is what makes a sweep
+/// like this cheap.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 
-#include "core/equivalent_model.hpp"
 #include "lte/receiver.hpp"
 #include "lte/scenario.hpp"
+#include "study/study.hpp"
 #include "util/strings.hpp"
 
 namespace {
@@ -31,48 +34,54 @@ struct Result {
   double dsp_util = 0.0;
 };
 
-Result evaluate(const Candidate& c, std::uint64_t symbols) {
+study::Scenario make_scenario(const Candidate& c, std::uint64_t symbols) {
   lte::ReceiverConfig cfg;
   cfg.symbols = symbols;
   cfg.seed = 7;
   cfg.dsp_ops_per_second = c.dsp_gops * 1e9;
   cfg.decoder_ops_per_second = c.decoder_gops * 1e9;
-  const model::ArchitectureDesc desc = lte::make_receiver(cfg);
+  return study::Scenario(format("dsp%.0f/dec%.0f", c.dsp_gops, c.decoder_gops),
+                         lte::make_receiver(cfg));
+}
 
-  core::EquivalentModel eq(desc, {});
-  const auto outcome = eq.run();
+Result evaluate(const study::Scenario& scenario) {
+  auto model = study::Backend::equivalent().instantiate(scenario);
+  const auto outcome = model->run();
   Result r;
   if (!outcome.completed) return r;
 
   // Worst-case input-to-output latency over all symbols.
-  const trace::InstantSeries* u = eq.instants().find("sym_in");
-  const trace::InstantSeries* y = eq.instants().find("dec_out");
-  for (std::size_t k = 0; k < y->size(); ++k) {
-    r.worst_latency_us = std::max(
-        r.worst_latency_us, (y->values()[k] - u->values()[k]).micros());
-  }
+  r.worst_latency_us = lte::worst_symbol_latency_us(model->instants());
   // Feasible when the receiver keeps up: latency bounded by ~2 symbol
   // periods and the DSP fits the period.
-  const lte::Feasibility f = lte::dsp_feasibility(eq.usage());
+  const lte::Feasibility f = lte::dsp_feasibility(model->usage());
   r.feasible = f.feasible && r.worst_latency_us < 2.0 * f.symbol_period_us;
-  if (const trace::UsageTrace* dsp = eq.usage().find("dsp"))
-    r.dsp_util = dsp->utilization(eq.end_time());
+  if (const trace::UsageTrace* dsp = model->usage().find("dsp"))
+    r.dsp_util = dsp->utilization(model->end_time());
   return r;
 }
 
 }  // namespace
 
-int main() {
-  constexpr std::uint64_t kSymbols = 20 * lte::kSymbolsPerSubframe;
+int main(int argc, char** argv) {
+  std::uint64_t symbols = 20 * lte::kSymbolsPerSubframe;
+  if (argc > 1) {
+    const auto n = parse_count(argv[1]);
+    if (!n) {
+      std::fprintf(stderr, "usage: %s [symbol-count]\n", argv[0]);
+      return 2;
+    }
+    symbols = *n;
+  }
   const Candidate candidates[] = {
       {4, 75},  {6, 75},  {8, 75},  {10, 75},
       {4, 150}, {6, 150}, {8, 150}, {10, 150}, {12, 300},
   };
 
   std::printf("Design-space exploration: LTE receiver platform sizing\n");
-  std::printf("(each candidate evaluated with the equivalent model, %s "
-              "symbols)\n\n",
-              with_commas(static_cast<std::int64_t>(kSymbols)).c_str());
+  std::printf("(each candidate scenario evaluated on the equivalent backend, "
+              "%s symbols)\n\n",
+              with_commas(static_cast<std::int64_t>(symbols)).c_str());
 
   const auto t0 = std::chrono::steady_clock::now();
   ConsoleTable table({"DSP (GOPS)", "decoder (GOPS)", "worst latency (us)",
@@ -81,14 +90,13 @@ int main() {
   double best_cost = 1e300;
   Result best_result;
   for (const Candidate& c : candidates) {
-    const Result r = evaluate(c, kSymbols);
+    const Result r = evaluate(make_scenario(c, symbols));
     // A crude platform cost: area ~ rate.
     const double cost = c.dsp_gops + 0.2 * c.decoder_gops;
     table.add_row({format("%.0f", c.dsp_gops), format("%.0f", c.decoder_gops),
                    r.feasible ? format("%.1f", r.worst_latency_us) : "-",
                    format("%.0f%%", 100.0 * r.dsp_util),
-                   r.feasible ? (cost < best_cost ? "feasible" : "feasible")
-                              : "infeasible"});
+                   r.feasible ? "feasible" : "infeasible"});
     if (r.feasible && cost < best_cost) {
       best_cost = cost;
       best = &c;
@@ -105,6 +113,23 @@ int main() {
                 "GOPS (worst latency %.1fus)\n",
                 best->dsp_gops, best->decoder_gops,
                 best_result.worst_latency_us);
+
+    // How much did the fast backend buy us? Re-run the winner as a
+    // two-backend study: the report carries the speed-up and certifies the
+    // equivalent model's instants are exact.
+    study::Scenario winner = make_scenario(*best, symbols);
+    const std::string winner_name = winner.name();
+    study::Study st;
+    st.add(std::move(winner));
+    st.add(study::Backend::baseline());
+    st.add(study::Backend::equivalent());
+    const study::Report report = st.run();
+    const study::Cell& eq = report.at(winner_name, "equivalent");
+    std::printf("winner cross-check: equivalent backend %.1fx faster than "
+                "the baseline, instants %s.\n",
+                eq.speedup_vs_reference,
+                eq.errors.has_value() && eq.errors->exact() ? "exact"
+                                                            : "NOT exact");
   }
   std::printf("entire sweep took %.2fs of wall-clock time.\n", sweep_secs);
   return 0;

@@ -11,12 +11,21 @@
 #include "lte/scenario.hpp"
 #include "util/strings.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace maxev;
 
-  // 50 subframes with per-frame varying PRB allocation and modulation.
+  // 50 subframes with per-frame varying PRB allocation and modulation
+  // (argv[1] overrides the symbol count; CI smoke runs use a small one).
   lte::ReceiverConfig cfg;
   cfg.symbols = 50 * lte::kSymbolsPerSubframe;
+  if (argc > 1) {
+    const auto n = parse_count(argv[1]);
+    if (!n) {
+      std::fprintf(stderr, "usage: %s [symbol-count]\n", argv[0]);
+      return 2;
+    }
+    cfg.symbols = *n;
+  }
   cfg.seed = 42;
   const model::ArchitectureDesc desc = lte::make_receiver(cfg);
 

@@ -1,25 +1,37 @@
 /// \file quickstart.cpp
 /// Five-minute tour of the library on the paper's didactic example
-/// (Fig. 1): describe an architecture once, run it event-driven, run it as
-/// an equivalent model with dynamically computed evolution instants, and
-/// check that you got the same instants several times faster.
+/// (Fig. 1): describe an architecture once, wrap it in a study::Scenario,
+/// and run it through the three execution backends — event-driven baseline,
+/// equivalent model with dynamically computed evolution instants, and the
+/// loosely-timed foil — getting identical instants from the equivalent
+/// model several times faster.
 
 #include <cstdio>
 
-#include "core/experiment.hpp"
 #include "gen/didactic.hpp"
+#include "study/study.hpp"
 #include "tdg/derive.hpp"
 #include "tdg/export.hpp"
 #include "tdg/simplify.hpp"
 #include "util/strings.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace maxev;
+  using namespace maxev::literals;
 
   // 1. One architecture description: 4 functions on 2 resources, fed by a
-  //    source with data-size-dependent execution times.
+  //    source with data-size-dependent execution times. An optional argv[1]
+  //    bounds the workload (CI smoke runs use a small count).
   gen::DidacticConfig cfg;
   cfg.tokens = 5000;
+  if (argc > 1) {
+    const auto n = parse_count(argv[1]);
+    if (!n) {
+      std::fprintf(stderr, "usage: %s [token-count]\n", argv[0]);
+      return 2;
+    }
+    cfg.tokens = *n;
+  }
   const model::ArchitectureDesc desc = gen::make_didactic(cfg);
   std::printf("architecture: %zu functions, %zu relations, %zu resources\n",
               desc.functions().size(), desc.channels().size(),
@@ -33,18 +45,35 @@ int main() {
   graph.freeze();
   std::printf("%s\n", tdg::to_dot(graph).c_str());
 
-  // 3. Paired run: event-driven baseline vs equivalent model.
-  core::ExperimentOptions opts;
+  // 3. A scenario (what to evaluate) times a set of backends (how to
+  //    evaluate it). The baseline is the reference: every other backend's
+  //    evolution instants are compared against it, exactly.
+  study::Study st;
+  st.add(study::Scenario("didactic", desc));
+  st.add(study::Backend::baseline());
+  st.add(study::Backend::equivalent());
+  st.add(study::Backend::loosely_timed(10_us));
+
+  study::StudyOptions opts;
   opts.repetitions = 3;
-  const core::Comparison cmp = core::run_comparison(desc, opts);
+  const study::Report report = st.run(opts);
+  std::printf("%s\n", report.to_string().c_str());
 
-  std::printf("baseline   : %s\n", cmp.baseline.to_string().c_str());
-  std::printf("equivalent : %s\n", cmp.equivalent.to_string().c_str());
-  std::printf("\n%s\n", cmp.to_string().c_str());
-
-  if (!cmp.accurate()) return 1;
-  std::printf("\nsame evolution instants, %.1fx faster, %.1fx fewer relation "
-              "events.\n",
-              cmp.speedup, cmp.event_ratio);
+  // 4. The paper's claims, read off the report: the equivalent model is
+  //    exact (identical instants) and faster; temporal decoupling is fast
+  //    but pays with timing error.
+  const study::Cell* eq = report.find("didactic", "equivalent");
+  const study::Cell* lt = report.find("didactic", "lt(10us)");
+  if (eq == nullptr || !eq->errors.has_value() || !eq->errors->exact())
+    return 1;
+  std::printf(
+      "\nequivalent model: same evolution instants, %.1fx faster, %.1fx "
+      "fewer relation events.\n",
+      eq->speedup_vs_reference, eq->event_ratio_vs_reference);
+  if (lt != nullptr && lt->errors.has_value()) {
+    std::printf("loosely-timed (10us quantum): max instant error %.1fus — "
+                "the trade-off the paper's method avoids.\n",
+                lt->errors->max_abs_seconds * 1e6);
+  }
   return 0;
 }

@@ -13,11 +13,24 @@ using model::Token;
 
 EquivalentModel::EquivalentModel(const model::ArchitectureDesc& desc,
                                  std::vector<bool> group)
-    : EquivalentModel(desc, std::move(group), Options{}) {}
+    : EquivalentModel(std::make_shared<const model::ArchitectureDesc>(desc),
+                      std::move(group), Options{}) {}
 
 EquivalentModel::EquivalentModel(const model::ArchitectureDesc& desc,
                                  std::vector<bool> group, Options opts)
-    : desc_(&desc), group_(std::move(group)) {
+    : EquivalentModel(std::make_shared<const model::ArchitectureDesc>(desc),
+                      std::move(group), opts) {}
+
+EquivalentModel::EquivalentModel(model::DescPtr desc_in,
+                                 std::vector<bool> group)
+    : EquivalentModel(std::move(desc_in), std::move(group), Options{}) {}
+
+EquivalentModel::EquivalentModel(model::DescPtr desc_in,
+                                 std::vector<bool> group, Options opts)
+    : desc_(std::move(desc_in)), group_(std::move(group)) {
+  if (desc_ == nullptr)
+    throw DescriptionError("EquivalentModel: null description");
+  const model::ArchitectureDesc& desc = *desc_;
   if (group_.empty()) group_.assign(desc.functions().size(), true);
   group_.resize(desc.functions().size(), false);
 
@@ -29,8 +42,8 @@ EquivalentModel::EquivalentModel(const model::ArchitectureDesc& desc,
   g.freeze();
   graph_ = std::move(g);
 
-  // Simulate everything outside the group.
-  runtime_ = std::make_unique<model::ModelRuntime>(desc, group_, opts.observe);
+  // Simulate everything outside the group (sharing the description).
+  runtime_ = std::make_unique<model::ModelRuntime>(desc_, group_, opts.observe);
   tdg::Engine::Options eng_opts;
   if (opts.observe) {
     eng_opts.instant_sink = &runtime_->mutable_instants();

@@ -50,13 +50,17 @@ class EquivalentModel {
   };
 
   /// Abstract the functions marked in \p group (empty = all functions).
+  /// Shares ownership of the description with the caller (the study layer
+  /// hands the same description to several backends without copies).
+  EquivalentModel(model::DescPtr desc, std::vector<bool> group);
+  EquivalentModel(model::DescPtr desc, std::vector<bool> group, Options opts);
+  /// \deprecated Legacy shims: copy the description into shared ownership.
+  /// Temporaries are safe now, so the deleted-rvalue-overload guard that
+  /// used to protect against dangling references is gone. Prefer the
+  /// model::DescPtr overload (no copy).
   EquivalentModel(const model::ArchitectureDesc& desc, std::vector<bool> group);
   EquivalentModel(const model::ArchitectureDesc& desc, std::vector<bool> group,
                   Options opts);
-  /// The model keeps a reference to the description; a temporary would
-  /// dangle.
-  EquivalentModel(model::ArchitectureDesc&&, std::vector<bool>) = delete;
-  EquivalentModel(model::ArchitectureDesc&&, std::vector<bool>, Options) = delete;
 
   EquivalentModel(const EquivalentModel&) = delete;
   EquivalentModel& operator=(const EquivalentModel&) = delete;
@@ -111,7 +115,7 @@ class EquivalentModel {
   sim::Process virtual_fifo_reader_proc(std::size_t idx);
   void raise_retain_floor();
 
-  const model::ArchitectureDesc* desc_;
+  model::DescPtr desc_;
   std::vector<bool> group_;
   tdg::Graph graph_;
   std::vector<InputState> inputs_;

@@ -17,6 +17,15 @@
 /// model on the same description, measures wall-clock medians over
 /// repetitions, computes the event ratio and speed-up, and checks that
 /// evolution instants and resource-usage traces are identical.
+///
+/// Both functions are thin wrappers over study::Study (src/study/study.hpp):
+/// a comparison is a two-backend study with the baseline as reference. They
+/// are deliberately *implemented* in the study module
+/// (src/study/experiment.cpp) because the delegation points up the module
+/// DAG — link the `maxev` umbrella target (or maxev_study) to get them;
+/// maxev_core alone does not carry these symbols. Use the study API
+/// directly for wider matrices — more backends, many scenarios,
+/// multi-instance composition.
 
 namespace maxev::core {
 

@@ -17,7 +17,15 @@ using model::Token;
 
 LooselyTimedModel::LooselyTimedModel(const model::ArchitectureDesc& desc,
                                      Duration quantum)
-    : desc_(&desc), quantum_(quantum) {
+    : LooselyTimedModel(std::make_shared<const model::ArchitectureDesc>(desc),
+                        quantum) {}
+
+LooselyTimedModel::LooselyTimedModel(model::DescPtr desc_in, Duration quantum,
+                                     bool observe)
+    : desc_(std::move(desc_in)), quantum_(quantum), observe_(observe) {
+  if (desc_ == nullptr)
+    throw DescriptionError("LooselyTimedModel: null description");
+  const model::ArchitectureDesc& desc = *desc_;
   if (!desc.validated())
     throw DescriptionError("LooselyTimedModel: description must be validated");
   if (quantum_.count() <= 0)
@@ -80,7 +88,8 @@ sim::Process LooselyTimedModel::function_proc(FunctionId f) {
         }
         case StatementKind::kWrite: {
           LtChannel& ch = channels_[s.channel];
-          instants_.series(desc_->channels()[s.channel].name).push(local);
+          if (observe_)
+            instants_.series(desc_->channels()[s.channel].name).push(local);
           ch.queue.emplace_back(tok, local);
           ch.available->notify();
           break;
@@ -100,7 +109,9 @@ sim::Process LooselyTimedModel::source_proc(SourceId s) {
     if (src.gap) local = local + src.gap(k);
     local = std::max(local, src.earliest(k));
     Token tok{k, s, src.attrs(k)};
-    instants_.series(desc_->channels()[src.channel].name + ".offer").push(local);
+    if (observe_)
+      instants_.series(desc_->channels()[src.channel].name + ".offer")
+          .push(local);
     ch.queue.emplace_back(std::move(tok), local);
     ch.available->notify();
     if (needs_sync(local)) co_await kernel_.delay_until(local - quantum_);
@@ -124,8 +135,8 @@ sim::Process LooselyTimedModel::sink_proc(SinkId s) {
   }
 }
 
-bool LooselyTimedModel::run() {
-  kernel_.run();
+bool LooselyTimedModel::run(std::optional<TimePoint> until) {
+  last_run_idle_ = kernel_.run(until) == sim::Kernel::RunResult::kIdle;
   if (sources_finished_ != desc_->sources().size()) return false;
   std::uint64_t expected = 0;
   if (!desc_->sources().empty()) {
@@ -140,23 +151,9 @@ bool LooselyTimedModel::run() {
 
 LooselyTimedModel::ErrorStats LooselyTimedModel::error_against(
     const trace::InstantTraceSet& reference) const {
-  ErrorStats st;
-  double sum = 0.0;
-  for (const auto& [name, ref] : reference.all()) {
-    const trace::InstantSeries* mine = instants_.find(name);
-    if (mine == nullptr) continue;
-    const std::size_t n = std::min(ref.size(), mine->size());
-    for (std::size_t k = 0; k < n; ++k) {
-      const double err = std::abs(
-          (mine->values()[k] - ref.values()[k]).seconds());
-      st.max_abs_seconds = std::max(st.max_abs_seconds, err);
-      sum += err;
-      ++st.instants;
-    }
-  }
-  st.mean_abs_seconds =
-      st.instants > 0 ? sum / static_cast<double>(st.instants) : 0.0;
-  return st;
+  const trace::InstantErrorStats st =
+      trace::instant_error_stats(reference, instants_);
+  return {st.max_abs_seconds, st.mean_abs_seconds, st.instants};
 }
 
 }  // namespace maxev::core

@@ -44,19 +44,31 @@ namespace maxev::core {
 
 class LooselyTimedModel {
  public:
+  /// Shares ownership of the description with the caller.
+  /// \param observe record write-instant traces; disable for pure
+  ///        simulation-speed measurements (matching the other models).
+  LooselyTimedModel(model::DescPtr desc, Duration quantum,
+                    bool observe = true);
+  /// \deprecated Legacy shim: copies the description into shared ownership
+  /// (temporaries are safe; the deleted-rvalue-overload guard is gone).
   LooselyTimedModel(const model::ArchitectureDesc& desc, Duration quantum);
-  /// Keeps a reference to the description; a temporary would dangle.
-  LooselyTimedModel(model::ArchitectureDesc&&, Duration) = delete;
 
   LooselyTimedModel(const LooselyTimedModel&) = delete;
   LooselyTimedModel& operator=(const LooselyTimedModel&) = delete;
 
-  /// Run to completion. Returns false if the run stalled.
-  bool run();
+  /// Run to completion (or to the horizon; note that temporal decoupling
+  /// is quantum-grained, so processes may have run locally up to a quantum
+  /// past the horizon). Returns false if the run stalled or was cut short.
+  bool run(std::optional<TimePoint> until = std::nullopt);
+
+  /// True when the last run() drained the event queue (rather than
+  /// stopping at the horizon).
+  [[nodiscard]] bool last_run_idle() const { return last_run_idle_; }
 
   [[nodiscard]] const trace::InstantTraceSet& instants() const {
     return instants_;
   }
+  [[nodiscard]] sim::Kernel& kernel() { return kernel_; }
   [[nodiscard]] const sim::KernelStats& kernel_stats() const {
     return kernel_.stats();
   }
@@ -89,13 +101,15 @@ class LooselyTimedModel {
   /// kernel_.delay_until(local - quantum) when needed.
   [[nodiscard]] bool needs_sync(TimePoint local) const;
 
-  const model::ArchitectureDesc* desc_;
+  model::DescPtr desc_;
   Duration quantum_;
+  bool observe_ = true;
   sim::Kernel kernel_;
   std::vector<LtChannel> channels_;
   std::vector<TimePoint> resource_free_;  // per resource (sequential only)
   trace::InstantTraceSet instants_;
   TimePoint horizon_;
+  bool last_run_idle_ = false;
   std::uint64_t sources_finished_ = 0;
   std::vector<std::uint64_t> sink_received_;
 };

@@ -72,6 +72,35 @@ model::ArchitectureDesc make_random_architecture(std::uint64_t seed,
                              rng.uniform_i64(0, 4));
   };
 
+  // Multi-rate producer bundle: r bounded FIFOs, each fed by its own
+  // source, all drained by one dedicated consumer on the concurrent
+  // resource (where multiple reads per body are always deadlock-free). Its
+  // aggregate then joins the normal flow through an open channel. The
+  // whole block is gated on the probability so the default configuration
+  // draws nothing and historical seeds stay stable.
+  if (cfg.multi_rate_producer_probability > 0 && cfg.max_producer_rate < 2)
+    throw DescriptionError(
+        "make_random_architecture: max_producer_rate must be >= 2 when "
+        "multi_rate_producer_probability > 0");
+  if (cfg.multi_rate_producer_probability > 0 &&
+      rng.chance(cfg.multi_rate_producer_probability)) {
+    const std::size_t rate = 2 + rng.next_below(cfg.max_producer_rate - 1);
+    const FunctionId mr = d.add_function("MR", resources[0]);
+    for (std::size_t r = 0; r < rate; ++r) {
+      const ChannelId ch =
+          d.add_fifo("mr" + std::to_string(r), 1 + rng.next_below(3));
+      source_channels.push_back(ch);
+      d.fn_read(mr, ch);
+      d.fn_execute(mr, random_load());
+    }
+    const bool out_fifo = rng.chance(cfg.fifo_probability);
+    const ChannelId out = out_fifo
+                              ? d.add_fifo("mrout", 1 + rng.next_below(3))
+                              : d.add_rendezvous("mrout");
+    d.fn_write(mr, out);
+    open.push_back({out, mr, resources[0], true, out_fifo});
+  }
+
   for (std::size_t i = 0; i < n_fn; ++i) {
     ResourceId res = resources[rng.next_below(resources.size())];
     const bool sequential = d.resources()[res].policy ==

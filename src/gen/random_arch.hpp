@@ -30,6 +30,15 @@ struct RandomArchConfig {
   double periodic_source_probability = 0.5;
   /// Allow two sources (multi-input equivalent models).
   double second_source_probability = 0.25;
+  /// Probability the architecture gains a multi-rate producer bundle: a
+  /// dedicated consumer function fed by r bounded FIFOs, each with its own
+  /// source, so r tokens arrive per consumer iteration (r uniform in
+  /// [2, max_producer_rate]). Exercises FIFO input boundaries with several
+  /// reads per function body. 0 (the default) draws nothing from the RNG,
+  /// so historical seeds keep producing identical architectures.
+  double multi_rate_producer_probability = 0.0;
+  /// Largest bundle width r.
+  std::size_t max_producer_rate = 3;
 };
 
 /// Generate a validated architecture; identical seeds give identical

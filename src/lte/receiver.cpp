@@ -1,5 +1,7 @@
 #include "lte/receiver.hpp"
 
+#include <iterator>
+
 #include "lte/workload.hpp"
 #include "util/rng.hpp"
 
@@ -103,6 +105,40 @@ model::ArchitectureDesc make_receiver(const ReceiverConfig& cfg) {
 
   d.validate();
   return d;
+}
+
+std::vector<CarrierVariant> carrier_aggregation_variants(
+    std::size_t n, std::uint64_t symbols, std::uint64_t seed) {
+  // Bandwidth classes with platforms sized to keep each carrier feasible:
+  // DSP demand scales with PRB (Fig. 6b steps), decoder demand with the
+  // coded-bit rate (Fig. 6c).
+  struct Class {
+    int n_prb;
+    double dsp_gops;
+    double dec_gops;
+  };
+  static constexpr Class kClasses[] = {
+      {100, 10.0, 150.0}, {75, 8.0, 150.0}, {50, 6.0, 75.0}, {25, 4.0, 75.0}};
+
+  std::vector<CarrierVariant> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Class& cls = kClasses[i % std::size(kClasses)];
+    CarrierVariant v;
+    v.name = "cc" + std::to_string(i);
+    v.n_prb = cls.n_prb;
+    v.config.symbols = symbols;
+    v.config.seed = seed + i;
+    v.config.dsp_ops_per_second = cls.dsp_gops * 1e9;
+    v.config.decoder_ops_per_second = cls.dec_gops * 1e9;
+    FrameParams frame;
+    frame.n_prb = cls.n_prb;
+    frame.modulation = Modulation::kQam64;
+    frame.code_rate = 0.75;
+    v.config.schedule = fixed_frame_schedule(frame);
+    out.push_back(std::move(v));
+  }
+  return out;
 }
 
 }  // namespace maxev::lte

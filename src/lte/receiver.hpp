@@ -2,6 +2,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
+#include <vector>
 
 #include "lte/params.hpp"
 #include "model/desc.hpp"
@@ -43,5 +45,22 @@ struct ReceiverConfig {
 
 /// Build the validated receiver architecture.
 [[nodiscard]] model::ArchitectureDesc make_receiver(const ReceiverConfig& cfg);
+
+/// One component carrier of a carrier-aggregation study: a named receiver
+/// configuration with a fixed per-carrier bandwidth. Feed each config to
+/// make_receiver() and compose the results (study::compose) to simulate
+/// all carriers in one kernel.
+struct CarrierVariant {
+  std::string name;    ///< "cc0", "cc1", ...
+  int n_prb = 100;     ///< the carrier's bandwidth (PRB allocation)
+  ReceiverConfig config;
+};
+
+/// Carrier-aggregation variants: \p n component carriers with decreasing
+/// bandwidth (100/75/50/25 PRB cycle) and proportionally sized platforms,
+/// each processing \p symbols OFDM symbols under its own fixed frame
+/// parameters. Deterministic in \p seed.
+[[nodiscard]] std::vector<CarrierVariant> carrier_aggregation_variants(
+    std::size_t n, std::uint64_t symbols, std::uint64_t seed = 2014);
 
 }  // namespace maxev::lte

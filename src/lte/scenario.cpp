@@ -34,6 +34,17 @@ Feasibility dsp_feasibility(const trace::UsageTraceSet& usage) {
   return f;
 }
 
+double worst_symbol_latency_us(const trace::InstantTraceSet& instants) {
+  const trace::InstantSeries* u = instants.find("sym_in");
+  const trace::InstantSeries* y = instants.find("dec_out");
+  if (u == nullptr || y == nullptr) return 0.0;
+  const std::size_t n = std::min(u->size(), y->size());
+  double worst = 0.0;
+  for (std::size_t k = 0; k < n; ++k)
+    worst = std::max(worst, (y->values()[k] - u->values()[k]).micros());
+  return worst;
+}
+
 std::string Feasibility::to_string() const {
   return format(
       "DSP worst-case busy %.2fus per %.2fus symbol period => %s",

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "lte/receiver.hpp"
+#include "trace/instants.hpp"
 #include "trace/usage.hpp"
 
 /// \file scenario.hpp
@@ -31,5 +32,12 @@ struct Feasibility {
 };
 
 [[nodiscard]] Feasibility dsp_feasibility(const trace::UsageTraceSet& usage);
+
+/// Worst-case end-to-end symbol latency of a receiver run, in microseconds:
+/// max over the common prefix of the "sym_in" offer and "dec_out" delivery
+/// instants. 0 when either series is absent. Shared by the design-space
+/// and multi-receiver examples so they agree on the latency definition.
+[[nodiscard]] double worst_symbol_latency_us(
+    const trace::InstantTraceSet& instants);
 
 }  // namespace maxev::lte

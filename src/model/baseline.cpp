@@ -9,7 +9,15 @@ namespace maxev::model {
 
 ModelRuntime::ModelRuntime(const ArchitectureDesc& desc,
                            std::vector<bool> skip, bool observe)
-    : desc_(&desc), skip_(std::move(skip)), observe_(observe) {
+    : ModelRuntime(std::make_shared<const ArchitectureDesc>(desc),
+                   std::move(skip), observe) {}
+
+ModelRuntime::ModelRuntime(DescPtr desc_in, std::vector<bool> skip,
+                           bool observe)
+    : desc_(std::move(desc_in)), skip_(std::move(skip)), observe_(observe) {
+  if (desc_ == nullptr)
+    throw DescriptionError("ModelRuntime: null description");
+  const ArchitectureDesc& desc = *desc_;
   if (!desc.validated())
     throw DescriptionError("ModelRuntime: description must be validated");
   skip_.resize(desc.functions().size(), false);

@@ -37,17 +37,19 @@ struct ChannelRt {
 
 class ModelRuntime {
  public:
+  /// \param desc shared ownership of the (validated) description.
   /// \param skip functions to exclude from simulation (abstraction group);
   ///        empty = full baseline. Channels with both endpoints in the skip
   ///        set are not constructed at all — their events are "saved".
   /// \param observe record instant and usage traces (accuracy-check mode).
   ///        Disable for pure simulation-speed measurements.
+  explicit ModelRuntime(DescPtr desc, std::vector<bool> skip = {},
+                        bool observe = true);
+  /// Convenience shim: copies the description into shared ownership, so
+  /// temporaries are safe (the historical dangling-reference hazard — and
+  /// its deleted-rvalue-overload guard — are gone).
   explicit ModelRuntime(const ArchitectureDesc& desc,
                         std::vector<bool> skip = {}, bool observe = true);
-  /// The runtime keeps a reference to the description for its whole
-  /// lifetime; passing a temporary is a guaranteed dangling pointer.
-  explicit ModelRuntime(ArchitectureDesc&&, std::vector<bool> = {},
-                        bool = true) = delete;
 
   ModelRuntime(const ModelRuntime&) = delete;
   ModelRuntime& operator=(const ModelRuntime&) = delete;
@@ -83,6 +85,7 @@ class ModelRuntime {
 
   [[nodiscard]] TimePoint end_time() const { return kernel_.now(); }
   [[nodiscard]] const ArchitectureDesc& desc() const { return *desc_; }
+  [[nodiscard]] const DescPtr& desc_ptr() const { return desc_; }
   [[nodiscard]] std::uint64_t sink_received(SinkId s) const;
   [[nodiscard]] bool function_skipped(FunctionId f) const;
 
@@ -97,7 +100,7 @@ class ModelRuntime {
   [[nodiscard]] bool gate_implied_by_first_read(FunctionId f,
                                                 FunctionId pred) const;
 
-  const ArchitectureDesc* desc_;
+  DescPtr desc_;
   std::vector<bool> skip_;
   bool observe_;
   sim::Kernel kernel_;

@@ -224,4 +224,9 @@ std::uint64_t ArchitectureDesc::max_source_tokens() const {
   return max;
 }
 
+DescPtr share(ArchitectureDesc desc) {
+  desc.validate();
+  return std::make_shared<const ArchitectureDesc>(std::move(desc));
+}
+
 }  // namespace maxev::model

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -179,5 +180,15 @@ class ArchitectureDesc {
   std::vector<std::size_t> schedule_pos_;           // per function
   bool validated_ = false;
 };
+
+/// Shared-ownership handle to a validated architecture description. Model
+/// runtimes hold one of these for their whole lifetime, so one description
+/// can be shared between models (and between the instances of a
+/// multi-instance study) without lifetime footguns.
+using DescPtr = std::shared_ptr<const ArchitectureDesc>;
+
+/// Move a description into shared ownership (validating it on the way when
+/// needed). The natural way to build a study::Scenario.
+[[nodiscard]] DescPtr share(ArchitectureDesc desc);
 
 }  // namespace maxev::model

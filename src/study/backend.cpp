@@ -1,0 +1,155 @@
+#include "study/backend.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "core/equivalent_model.hpp"
+#include "core/lt_runner.hpp"
+#include "util/error.hpp"
+
+namespace maxev::study {
+
+namespace {
+
+void apply_overhead(sim::Kernel& kernel, double ns) {
+  if (ns > 0) {
+    kernel.set_synthetic_event_overhead(
+        std::chrono::nanoseconds(static_cast<std::int64_t>(ns)));
+  }
+}
+
+class BaselineModel final : public Model {
+ public:
+  BaselineModel(const Scenario& s, const RunConfig& rc)
+      : rt_(s.desc_ptr(), {}, rc.observe) {
+    apply_overhead(rt_.kernel(), rc.event_overhead_ns);
+  }
+
+  Outcome run(std::optional<TimePoint> until) override { return rt_.run(until); }
+  const trace::InstantTraceSet& instants() const override {
+    return rt_.instants();
+  }
+  const trace::UsageTraceSet& usage() const override { return rt_.usage(); }
+  const sim::KernelStats& kernel_stats() const override {
+    return rt_.kernel_stats();
+  }
+  std::uint64_t relation_events() const override {
+    return rt_.relation_events();
+  }
+  TimePoint end_time() const override { return rt_.end_time(); }
+  sim::Kernel& kernel() override { return rt_.kernel(); }
+
+ private:
+  model::ModelRuntime rt_;
+};
+
+class EquivalentBackendModel final : public Model {
+ public:
+  EquivalentBackendModel(const Scenario& s, const RunConfig& rc)
+      : eq_(s.desc_ptr(), s.options().group, options_of(s, rc)) {
+    apply_overhead(eq_.runtime().kernel(), rc.event_overhead_ns);
+  }
+
+  Outcome run(std::optional<TimePoint> until) override { return eq_.run(until); }
+  const trace::InstantTraceSet& instants() const override {
+    return eq_.instants();
+  }
+  const trace::UsageTraceSet& usage() const override { return eq_.usage(); }
+  const sim::KernelStats& kernel_stats() const override {
+    return eq_.kernel_stats();
+  }
+  std::uint64_t relation_events() const override {
+    return eq_.relation_events();
+  }
+  TimePoint end_time() const override { return eq_.end_time(); }
+  sim::Kernel& kernel() override { return eq_.runtime().kernel(); }
+  std::uint64_t instances_computed() const override {
+    return eq_.engine().instances_computed();
+  }
+  std::uint64_t arc_terms_evaluated() const override {
+    return eq_.engine().arc_terms_evaluated();
+  }
+  GraphShape graph_shape() const override {
+    return {eq_.graph().node_count(), eq_.graph().paper_node_count(),
+            eq_.graph().arc_count()};
+  }
+
+ private:
+  static core::EquivalentModel::Options options_of(const Scenario& s,
+                                                   const RunConfig& rc) {
+    core::EquivalentModel::Options opts;
+    opts.fold = s.options().fold;
+    opts.pad_nodes = s.options().pad_nodes;
+    opts.observe = rc.observe;
+    opts.expected_iterations = s.options().expected_iterations;
+    return opts;
+  }
+
+  core::EquivalentModel eq_;
+};
+
+class LooselyTimedBackendModel final : public Model {
+ public:
+  LooselyTimedBackendModel(const Scenario& s, const RunConfig& rc,
+                           Duration quantum)
+      : lt_(s.desc_ptr(), quantum, rc.observe) {
+    apply_overhead(lt_.kernel(), rc.event_overhead_ns);
+  }
+
+  Outcome run(std::optional<TimePoint> until) override {
+    Outcome out;
+    out.completed = lt_.run(until);
+    out.idle = lt_.last_run_idle();
+    if (!out.completed && out.idle)
+      out.stall_report = "loosely-timed run stalled";
+    return out;
+  }
+  const trace::InstantTraceSet& instants() const override {
+    return lt_.instants();
+  }
+  const trace::UsageTraceSet& usage() const override { return empty_usage_; }
+  bool records_usage() const override { return false; }
+  const sim::KernelStats& kernel_stats() const override {
+    return lt_.kernel_stats();
+  }
+  std::uint64_t relation_events() const override { return 0; }
+  TimePoint end_time() const override { return lt_.end_time(); }
+  sim::Kernel& kernel() override { return lt_.kernel(); }
+
+ private:
+  core::LooselyTimedModel lt_;
+  trace::UsageTraceSet empty_usage_;  // LT records no resource usage
+};
+
+}  // namespace
+
+Backend Backend::baseline() {
+  return Backend(Kind::kBaseline, "baseline", Duration::ps(0));
+}
+
+Backend Backend::equivalent() {
+  return Backend(Kind::kEquivalent, "equivalent", Duration::ps(0));
+}
+
+Backend Backend::loosely_timed(Duration quantum) {
+  return Backend(Kind::kLooselyTimed, "lt(" + quantum.to_string() + ")",
+                 quantum);
+}
+
+std::unique_ptr<Model> Backend::instantiate(const Scenario& scenario,
+                                            const RunConfig& config) const {
+  if (!scenario.valid())
+    throw DescriptionError("Backend::instantiate: invalid scenario");
+  switch (kind_) {
+    case Kind::kBaseline:
+      return std::make_unique<BaselineModel>(scenario, config);
+    case Kind::kEquivalent:
+      return std::make_unique<EquivalentBackendModel>(scenario, config);
+    case Kind::kLooselyTimed:
+      return std::make_unique<LooselyTimedBackendModel>(scenario, config,
+                                                        quantum_);
+  }
+  throw Error("Backend::instantiate: unreachable");
+}
+
+}  // namespace maxev::study

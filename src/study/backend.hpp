@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "model/baseline.hpp"
+#include "sim/kernel.hpp"
+#include "study/scenario.hpp"
+#include "trace/instants.hpp"
+#include "trace/usage.hpp"
+#include "util/time.hpp"
+
+/// \file backend.hpp
+/// A Backend is *how* to evaluate a scenario: the event-driven baseline
+/// (every relation simulated), the equivalent model (internal relations
+/// replaced by dynamically computed instants — the paper's method), or the
+/// loosely-timed runner (temporal decoupling under a global quantum — the
+/// TLM-LT foil from the paper's introduction). Backend::instantiate() hides
+/// the three divergent model classes behind one Model interface, so studies,
+/// examples and benches drive every execution style the same way.
+
+namespace maxev::study {
+
+/// Outcome of a model run (same semantics across all backends).
+using Outcome = model::ModelRuntime::Outcome;
+
+/// The unified executable-model interface. One Model = one simulation
+/// kernel; a composed scenario puts every instance into this one kernel.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  Model(const Model&) = delete;
+  Model& operator=(const Model&) = delete;
+
+  /// Run to completion (event queue drained) or to the horizon.
+  virtual Outcome run(std::optional<TimePoint> until = std::nullopt) = 0;
+
+  [[nodiscard]] virtual const trace::InstantTraceSet& instants() const = 0;
+  [[nodiscard]] virtual const trace::UsageTraceSet& usage() const = 0;
+  /// False when this backend produces no resource-usage observations by
+  /// design (the loosely-timed runner) — studies then skip the usage
+  /// comparison instead of reporting a spurious mismatch.
+  [[nodiscard]] virtual bool records_usage() const { return true; }
+  [[nodiscard]] virtual const sim::KernelStats& kernel_stats() const = 0;
+  /// Completed channel transfers (the paper's event-ratio quantity); 0 for
+  /// the loosely-timed backend, whose queues bypass the kernel entirely.
+  [[nodiscard]] virtual std::uint64_t relation_events() const = 0;
+  [[nodiscard]] virtual TimePoint end_time() const = 0;
+  /// The simulation kernel driving this model.
+  [[nodiscard]] virtual sim::Kernel& kernel() = 0;
+
+  /// TDG cost counters; zero for backends without a computation engine.
+  [[nodiscard]] virtual std::uint64_t instances_computed() const { return 0; }
+  [[nodiscard]] virtual std::uint64_t arc_terms_evaluated() const { return 0; }
+
+  /// Shape of the temporal dependency graph; all-zero for backends
+  /// without one.
+  struct GraphShape {
+    std::size_t nodes = 0;
+    std::size_t paper_nodes = 0;
+    std::size_t arcs = 0;
+  };
+  [[nodiscard]] virtual GraphShape graph_shape() const { return {}; }
+
+ protected:
+  Model() = default;
+};
+
+/// Instantiation knobs shared across a study's whole matrix (as opposed to
+/// ScenarioOptions, which travel with each scenario).
+struct RunConfig {
+  /// Record instant/usage traces. Disable for pure simulation-speed runs.
+  bool observe = true;
+  /// Synthetic wall-clock cost per kernel event (emulates heavier
+  /// commercial kernels; applied identically to every backend).
+  double event_overhead_ns = 0.0;
+};
+
+/// Value-semantic backend selector (a closed sum over the three execution
+/// styles). Equality of names identifies cells in a Report.
+class Backend {
+ public:
+  enum class Kind : std::uint8_t { kBaseline, kEquivalent, kLooselyTimed };
+
+  /// Event-driven reference: every relation goes through the kernel.
+  [[nodiscard]] static Backend baseline();
+  /// The paper's method: the scenario's abstraction group replaced by
+  /// dynamically computed instants.
+  [[nodiscard]] static Backend equivalent();
+  /// Temporal decoupling with the given global quantum.
+  [[nodiscard]] static Backend loosely_timed(Duration quantum);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  /// Stable display/identity name: "baseline", "equivalent", "lt(10us)".
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Duration quantum() const { return quantum_; }
+
+  /// Build an executable model of \p scenario behind the unified interface.
+  /// The model shares ownership of the scenario's description.
+  [[nodiscard]] std::unique_ptr<Model> instantiate(
+      const Scenario& scenario, const RunConfig& config = {}) const;
+
+ private:
+  Backend(Kind kind, std::string name, Duration quantum)
+      : kind_(kind), name_(std::move(name)), quantum_(quantum) {}
+
+  Kind kind_;
+  std::string name_;
+  Duration quantum_;
+};
+
+}  // namespace maxev::study

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "trace/instants.hpp"
+#include "trace/usage.hpp"
+
+/// \file report.hpp
+/// Structured result of a study: one Cell per (scenario, backend) pair with
+/// the measured RunMetrics, the TDG shape (when the backend has one), and
+/// accuracy against the study's designated reference backend — exact trace
+/// comparison (the paper's accuracy criterion) plus max/mean absolute
+/// instant error in seconds (the right metric for the loosely-timed
+/// backend, which is approximate by design). Writers reuse util/csv and
+/// util/json so reports feed the same tooling as the bench trajectory.
+
+namespace maxev::study {
+
+/// Accuracy of one cell against the reference backend's traces.
+struct ErrorStats {
+  /// nullopt = every evolution instant identical (the paper's claim).
+  std::optional<std::string> instant_mismatch;
+  /// nullopt = every resource busy interval identical.
+  std::optional<std::string> usage_mismatch;
+  /// Absolute instant error over all series common with the reference.
+  double max_abs_seconds = 0.0;
+  double mean_abs_seconds = 0.0;
+  std::uint64_t instants_compared = 0;
+
+  [[nodiscard]] bool exact() const {
+    return !instant_mismatch && !usage_mismatch;
+  }
+};
+
+/// One (scenario, backend) cell.
+struct Cell {
+  std::string scenario;
+  std::string backend;
+  bool is_reference = false;
+  /// The backend is approximate by design (loosely-timed): timing drift in
+  /// its traces is its normal state, not an accuracy regression. Drives the
+  /// console rendering ("max err" vs "MISMATCH").
+  bool approximate_backend = false;
+
+  core::RunMetrics metrics;
+
+  /// TDG shape (equivalent backend only; zero otherwise).
+  std::size_t graph_nodes = 0;
+  std::size_t graph_paper_nodes = 0;
+  std::size_t graph_arcs = 0;
+
+  /// reference wall / this wall (1 for the reference itself; 0 if unknown).
+  double speedup_vs_reference = 0.0;
+  /// reference relation events / this cell's (0 when undefined).
+  double event_ratio_vs_reference = 0.0;
+  /// reference kernel events / this cell's (0 when undefined).
+  double kernel_event_ratio_vs_reference = 0.0;
+
+  /// Accuracy vs the reference backend; absent for the reference cell and
+  /// for runs without trace comparison.
+  std::optional<ErrorStats> errors;
+
+  /// The rep-0 run's observation traces, retained when
+  /// StudyOptions::keep_traces is set (null otherwise) — analyses like
+  /// per-instance latency read them without re-simulating. Not serialized
+  /// by the CSV/JSON writers.
+  std::shared_ptr<const trace::InstantTraceSet> instants;
+  std::shared_ptr<const trace::UsageTraceSet> usage;
+};
+
+/// The full matrix, scenario-major in insertion order.
+class Report {
+ public:
+  std::vector<std::string> scenarios;
+  std::vector<std::string> backends;
+  std::string reference_backend;
+  std::vector<Cell> cells;
+
+  /// Cell lookup by names; nullptr when absent.
+  [[nodiscard]] const Cell* find(const std::string& scenario,
+                                 const std::string& backend) const;
+
+  /// Like find(), but throws maxev::Error naming the missing cell — for
+  /// callers that know the cell must exist (benches, reports).
+  [[nodiscard]] const Cell& at(const std::string& scenario,
+                               const std::string& backend) const;
+
+  /// Console rendering (one table row per cell).
+  [[nodiscard]] std::string to_string() const;
+
+  /// One CSV row per cell. Throws maxev::Error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+  /// The report as a JSON document (scenarios, backends, reference, cells).
+  [[nodiscard]] std::string to_json() const;
+  void write_json(const std::string& path) const;
+};
+
+}  // namespace maxev::study

@@ -1,0 +1,186 @@
+#include "study/study.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace maxev::study {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+double ratio(std::uint64_t ref, std::uint64_t cell) {
+  return cell > 0 ? static_cast<double>(ref) / static_cast<double>(cell) : 0.0;
+}
+
+/// One measured cell: repetitions of instantiate + run; the rep-0 model is
+/// kept alive (its traces are the comparison payload).
+struct MeasuredCell {
+  Cell cell;
+  std::unique_ptr<Model> model;  // rep-0 model, traces intact
+};
+
+MeasuredCell measure(const Scenario& scenario, const Backend& backend,
+                     const StudyOptions& opts) {
+  MeasuredCell out;
+  out.cell.scenario = scenario.name();
+  out.cell.backend = backend.name();
+  out.cell.approximate_backend =
+      backend.kind() == Backend::Kind::kLooselyTimed;
+
+  RunConfig rc;
+  rc.observe = opts.observe;
+  rc.event_overhead_ns = opts.event_overhead_ns;
+
+  std::vector<double> walls;
+  walls.reserve(static_cast<std::size_t>(opts.repetitions));
+  for (int rep = 0; rep < opts.repetitions; ++rep) {
+    std::unique_ptr<Model> model = backend.instantiate(scenario, rc);
+    const auto t0 = Clock::now();
+    const Outcome outcome = model->run();
+    walls.push_back(seconds_since(t0));
+    if (rep == 0) {
+      core::RunMetrics& m = out.cell.metrics;
+      m.kernel_events = model->kernel_stats().events_scheduled;
+      m.resumes = model->kernel_stats().resumes;
+      m.relation_events = model->relation_events();
+      m.instances_computed = model->instances_computed();
+      m.arc_terms = model->arc_terms_evaluated();
+      m.sim_end = model->end_time();
+      m.completed = outcome.completed;
+      const Model::GraphShape shape = model->graph_shape();
+      out.cell.graph_nodes = shape.nodes;
+      out.cell.graph_paper_nodes = shape.paper_nodes;
+      out.cell.graph_arcs = shape.arcs;
+      if (opts.require_completion && !outcome.completed)
+        throw SimulationError(backend.name() + ": " + outcome.stall_report);
+      if (opts.keep_traces && opts.observe) {
+        out.cell.instants = std::make_shared<const trace::InstantTraceSet>(
+            model->instants());
+        out.cell.usage =
+            std::make_shared<const trace::UsageTraceSet>(model->usage());
+      }
+      out.model = std::move(model);
+    }
+  }
+  out.cell.metrics.wall_seconds = median_of(std::move(walls));
+  return out;
+}
+
+}  // namespace
+
+Study& Study::add(Scenario scenario) {
+  if (!scenario.valid()) throw DescriptionError("Study::add: invalid scenario");
+  // Names are the cells' identity (Report::find/at): duplicates would make
+  // one run's metrics silently unaddressable.
+  for (const Scenario& s : scenarios_)
+    if (s.name() == scenario.name())
+      throw DescriptionError("Study::add: duplicate scenario '" +
+                             scenario.name() + "'");
+  scenarios_.push_back(std::move(scenario));
+  return *this;
+}
+
+Study& Study::add(Backend backend) {
+  for (const Backend& b : backends_)
+    if (b.name() == backend.name())
+      throw DescriptionError("Study::add: duplicate backend '" +
+                             backend.name() + "'");
+  backends_.push_back(std::move(backend));
+  return *this;
+}
+
+Study& Study::reference(const std::string& backend_name) {
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    if (backends_[i].name() == backend_name) {
+      reference_ = i;
+      return *this;
+    }
+  }
+  throw Error("Study::reference: unknown backend '" + backend_name + "'");
+}
+
+Report Study::run(const StudyOptions& opts) const {
+  if (opts.repetitions < 1)
+    throw Error("Study::run: repetitions must be >= 1");
+  if (scenarios_.empty()) throw Error("Study::run: no scenarios");
+  if (backends_.empty()) throw Error("Study::run: no backends");
+
+  Report report;
+  for (const Scenario& s : scenarios_) report.scenarios.push_back(s.name());
+  for (const Backend& b : backends_) report.backends.push_back(b.name());
+  report.reference_backend = backends_[reference_].name();
+
+  const bool compare = opts.observe && opts.compare_traces;
+
+  for (const Scenario& scenario : scenarios_) {
+    // Reference backend first: its rep-0 traces anchor the comparisons.
+    MeasuredCell ref = measure(scenario, backends_[reference_], opts);
+    ref.cell.is_reference = true;
+    ref.cell.speedup_vs_reference = 1.0;
+    ref.cell.event_ratio_vs_reference = 1.0;
+    ref.cell.kernel_event_ratio_vs_reference = 1.0;
+
+    // One sorted copy of the reference usage serves every comparison.
+    trace::UsageTraceSet ref_usage_sorted;
+    if (compare && backends_.size() > 1) {
+      ref_usage_sorted = ref.model->usage();
+      ref_usage_sorted.sort_all();
+    }
+
+    std::vector<Cell> row;
+    for (std::size_t b = 0; b < backends_.size(); ++b) {
+      if (b == reference_) continue;
+      MeasuredCell mc = measure(scenario, backends_[b], opts);
+      Cell& cell = mc.cell;
+      cell.speedup_vs_reference =
+          cell.metrics.wall_seconds > 0.0
+              ? ref.cell.metrics.wall_seconds / cell.metrics.wall_seconds
+              : 0.0;
+      cell.event_ratio_vs_reference = ratio(ref.cell.metrics.relation_events,
+                                            cell.metrics.relation_events);
+      cell.kernel_event_ratio_vs_reference = ratio(
+          ref.cell.metrics.kernel_events, cell.metrics.kernel_events);
+      if (compare) {
+        ErrorStats errors;
+        errors.instant_mismatch = trace::compare_instants(
+            ref.model->instants(), mc.model->instants());
+        // Backends that record no usage by design (loosely-timed) are not
+        // marked mismatching for it; absence of data is not a difference.
+        if (mc.model->records_usage()) {
+          trace::UsageTraceSet bu = mc.model->usage();
+          bu.sort_all();
+          errors.usage_mismatch = trace::compare_usage(ref_usage_sorted, bu);
+        }
+        const trace::InstantErrorStats mag = trace::instant_error_stats(
+            ref.model->instants(), mc.model->instants());
+        errors.max_abs_seconds = mag.max_abs_seconds;
+        errors.mean_abs_seconds = mag.mean_abs_seconds;
+        errors.instants_compared = mag.instants;
+        cell.errors = std::move(errors);
+      }
+      row.push_back(std::move(cell));
+    }
+
+    // Emit in backend insertion order, reference in place.
+    std::size_t next = 0;
+    for (std::size_t b = 0; b < backends_.size(); ++b) {
+      if (b == reference_)
+        report.cells.push_back(std::move(ref.cell));
+      else
+        report.cells.push_back(std::move(row[next++]));
+    }
+  }
+  return report;
+}
+
+}  // namespace maxev::study

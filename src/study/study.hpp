@@ -1,0 +1,71 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "study/backend.hpp"
+#include "study/report.hpp"
+#include "study/scenario.hpp"
+
+/// \file study.hpp
+/// The exploration front-end: a Study executes a matrix of scenarios ×
+/// backends (paper Section IV's protocol generalized from one pair to a
+/// whole design space) and returns a structured Report. One backend is the
+/// *reference*: every other backend's traces are compared against it (the
+/// paper's accuracy criterion) and its wall time is the speed-up
+/// denominator. core::run_comparison() is a thin wrapper over a two-backend
+/// study; the design-space and multi-instance examples drive wider
+/// matrices through the same API.
+
+namespace maxev::study {
+
+/// Execution options shared by every cell of the matrix.
+struct StudyOptions {
+  /// Wall-clock repetitions per cell; the median is reported.
+  int repetitions = 1;
+  /// Record observation traces during the measured runs. When false the
+  /// runs measure pure simulation speed and compare_traces is ignored.
+  bool observe = true;
+  /// Compare instant and usage traces against the reference backend.
+  bool compare_traces = true;
+  /// Throw maxev::SimulationError when any run fails to complete.
+  bool require_completion = true;
+  /// Synthetic wall-clock cost per kernel event, applied to every backend
+  /// (commercial-kernel regime; 0 = this library's native cost).
+  double event_overhead_ns = 0.0;
+  /// Retain each cell's rep-0 observation traces in the report (Cell::
+  /// instants/usage), so downstream analyses need not re-simulate. Only
+  /// meaningful with observe; costs one trace copy per cell.
+  bool keep_traces = false;
+};
+
+class Study {
+ public:
+  /// Add a scenario (column of the matrix). Insertion order is preserved.
+  Study& add(Scenario scenario);
+  /// Add a backend (row of the matrix). The first added backend is the
+  /// reference unless reference() overrides it.
+  Study& add(Backend backend);
+  /// Designate the reference backend by name (must have been added).
+  Study& reference(const std::string& backend_name);
+
+  [[nodiscard]] const std::vector<Scenario>& scenarios() const {
+    return scenarios_;
+  }
+  [[nodiscard]] const std::vector<Backend>& backends() const {
+    return backends_;
+  }
+
+  /// Execute the matrix. For each scenario the reference backend runs
+  /// first (its rep-0 traces are kept for comparison), then every other
+  /// backend in insertion order. \throws maxev::Error on an empty matrix
+  /// or bad options; maxev::SimulationError per require_completion.
+  [[nodiscard]] Report run(const StudyOptions& opts = {}) const;
+
+ private:
+  std::vector<Scenario> scenarios_;
+  std::vector<Backend> backends_;
+  std::size_t reference_ = 0;
+};
+
+}  // namespace maxev::study

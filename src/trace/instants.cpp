@@ -1,5 +1,8 @@
 #include "trace/instants.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -53,6 +56,27 @@ std::optional<std::string> compare_instants(const InstantTraceSet& ref,
     }
   }
   return std::nullopt;
+}
+
+InstantErrorStats instant_error_stats(const InstantTraceSet& ref,
+                                      const InstantTraceSet& other) {
+  InstantErrorStats st;
+  double sum = 0.0;
+  for (const auto& [name, a] : ref.all()) {
+    const InstantSeries* b = other.find(name);
+    if (b == nullptr) continue;
+    const std::size_t n = std::min(a.size(), b->size());
+    for (std::size_t k = 0; k < n; ++k) {
+      const double err =
+          std::abs((b->values()[k] - a.values()[k]).seconds());
+      st.max_abs_seconds = std::max(st.max_abs_seconds, err);
+      sum += err;
+      ++st.instants;
+    }
+  }
+  st.mean_abs_seconds =
+      st.instants > 0 ? sum / static_cast<double>(st.instants) : 0.0;
+  return st;
 }
 
 }  // namespace maxev::trace

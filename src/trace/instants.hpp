@@ -69,4 +69,18 @@ class InstantTraceSet {
 [[nodiscard]] std::optional<std::string> compare_instants(
     const InstantTraceSet& ref, const InstantTraceSet& other);
 
+/// Magnitude of the timing error between two instant trace sets, over the
+/// common prefix of every series common to both (series or tail instants
+/// present on only one side are not counted). Shared by the loosely-timed
+/// model's error_against() and the study layer's per-cell error stats, so
+/// the two always agree on the error definition.
+struct InstantErrorStats {
+  double max_abs_seconds = 0.0;
+  double mean_abs_seconds = 0.0;
+  std::uint64_t instants = 0;  ///< instants compared
+};
+
+[[nodiscard]] InstantErrorStats instant_error_stats(
+    const InstantTraceSet& ref, const InstantTraceSet& other);
+
 }  // namespace maxev::trace

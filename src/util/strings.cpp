@@ -72,4 +72,16 @@ std::string ConsoleTable::render() const {
   return out;
 }
 
+std::optional<std::uint64_t> parse_count(const char* s) {
+  if (s == nullptr || *s == '\0') return std::nullopt;
+  std::uint64_t v = 0;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return std::nullopt;  // signs and junk included
+    const std::uint64_t digit = static_cast<std::uint64_t>(*p - '0');
+    if (v > (UINT64_MAX - digit) / 10) return std::nullopt;  // overflow
+    v = v * 10 + digit;
+  }
+  return v > 0 ? std::optional<std::uint64_t>(v) : std::nullopt;
+}
+
 }  // namespace maxev

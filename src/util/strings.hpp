@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,11 @@ namespace maxev {
 
 /// Render an integer with thousands separators, e.g. 1234567 -> "1,234,567".
 [[nodiscard]] std::string with_commas(std::int64_t v);
+
+/// Parse a strictly positive decimal count (a workload size from argv).
+/// nullopt on anything else: empty, signs, trailing junk, zero, overflow.
+/// Shared by the example binaries' optional workload-bound argument.
+[[nodiscard]] std::optional<std::uint64_t> parse_count(const char* s);
 
 /// A simple console table: fixed column set, auto-sized column widths,
 /// ASCII rules. Used by the bench binaries to print the paper's tables.

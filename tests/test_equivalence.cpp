@@ -308,5 +308,52 @@ TEST_P(RandomPartialGroupTest, AbstractingOneResourceAgrees) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomPartialGroupTest,
                          ::testing::Range<std::uint64_t>(100, 120));
 
+// Multi-rate producers: r sources emit r tokens per consumer iteration
+// through bounded FIFOs (gen::RandomArchConfig::multi_rate_producer_*).
+// Exercises FIFO input boundaries written by sources and several reads per
+// function body — instants must still be bit-identical.
+
+class MultiRateEquivalenceTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MultiRateEquivalenceTest, BaselineAndEquivalentAgree) {
+  gen::RandomArchConfig cfg;
+  cfg.tokens = 50;
+  cfg.multi_rate_producer_probability = 1.0;
+  model::ArchitectureDesc d = gen::make_random_architecture(GetParam(), cfg);
+  expect_equivalent(d, {},
+                    ("multi-rate seed " + std::to_string(GetParam())).c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiRateEquivalenceTest,
+                         ::testing::Range<std::uint64_t>(500, 525));
+
+class MultiRatePartialGroupTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MultiRatePartialGroupTest, AbstractingTheConcurrentResourceAgrees) {
+  gen::RandomArchConfig cfg;
+  cfg.tokens = 40;
+  cfg.multi_rate_producer_probability = 1.0;
+  model::ArchitectureDesc d = gen::make_random_architecture(GetParam(), cfg);
+  // Abstract the concurrent resource R0 — always home to the multi-rate
+  // consumer, so its bundle FIFOs become input boundaries of the group.
+  std::vector<bool> group(d.functions().size(), false);
+  bool any = false;
+  for (auto f : d.schedule(0)) {
+    group[f] = true;
+    any = true;
+  }
+  if (!any) GTEST_SKIP();
+  ExperimentOptions opts;
+  opts.group = group;
+  expect_equivalent(
+      d, opts,
+      ("multi-rate partial seed " + std::to_string(GetParam())).c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiRatePartialGroupTest,
+                         ::testing::Range<std::uint64_t>(600, 615));
+
 }  // namespace
 }  // namespace maxev::core

@@ -162,6 +162,20 @@ TEST(StringsTest, WithCommas) {
   EXPECT_EQ(with_commas(-1234567), "-1,234,567");
 }
 
+TEST(StringsTest, ParseCount) {
+  EXPECT_EQ(parse_count("1"), 1u);
+  EXPECT_EQ(parse_count("20000"), 20000u);
+  EXPECT_EQ(parse_count("18446744073709551615"), UINT64_MAX);
+  EXPECT_EQ(parse_count(nullptr), std::nullopt);
+  EXPECT_EQ(parse_count(""), std::nullopt);
+  EXPECT_EQ(parse_count("0"), std::nullopt);       // zero workload
+  EXPECT_EQ(parse_count("-3"), std::nullopt);      // no silent wraparound
+  EXPECT_EQ(parse_count("+3"), std::nullopt);
+  EXPECT_EQ(parse_count("12x"), std::nullopt);     // trailing junk
+  EXPECT_EQ(parse_count("--help"), std::nullopt);
+  EXPECT_EQ(parse_count("18446744073709551616"), std::nullopt);  // overflow
+}
+
 TEST(StringsTest, ConsoleTableAlignsColumns) {
   ConsoleTable t({"a", "long header"});
   t.add_row({"1", "2"});
