@@ -8,21 +8,29 @@
 ///     TDG) vs the measured steady-state output period;
 ///  3. marginal computation cost per padding node (the slope behind
 ///     Fig. 5's degradation);
-///  4. event-cost sensitivity (speed-up vs synthetic per-event cost).
+///  4. event-cost sensitivity (speed-up vs synthetic per-event cost);
+///  5. batched vs isolated multi-instance composition (docs/DESIGN.md §9):
+///     N same-description LTE receivers in one kernel, evaluated through
+///     one shared tdg::BatchEngine program vs the N-fold merged graph,
+///     swept over per-instance graph complexity (padding).
 ///
 /// With `--json <path>` (or `--json=<path>`) the key metrics are also
 /// written as a JSON document — the repo's bench trajectory
 /// (scripts/bench_report.sh, BENCH_<n>.json).
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/equivalent_model.hpp"
 #include "core/experiment.hpp"
 #include "gen/didactic.hpp"
+#include "lte/receiver.hpp"
 #include "sim/kernel.hpp"
+#include "study/study.hpp"
 #include "tdg/derive.hpp"
 #include "tdg/export.hpp"
 #include "tdg/simplify.hpp"
@@ -192,6 +200,63 @@ int main(int argc, char** argv) {
   std::printf("Ablation 4: event-cost sensitivity (didactic example)\n%s\n",
               t4.render().c_str());
 
+  // --- 5. batched vs isolated multi-instance composition -------------------
+  // N identical LTE receivers share one description (study::compose keeps
+  // them batch-eligible) and run in one kernel either through the batched
+  // equivalent model (one compiled program + shared frame arena) or the
+  // isolated merged graph (StudyOptions::batch_composed off). Padding
+  // sweeps the per-instance TDG complexity: at pad 0 the composed receiver
+  // is kernel-bound and batching is neutral; as computation grows (the
+  // Fig. 5 regime) the shared-program fronts pull ahead.
+  constexpr std::size_t kBatchInstances = 8;
+  constexpr std::uint64_t kBatchSymbols = 2000;
+  lte::ReceiverConfig bcfg;
+  bcfg.symbols = kBatchSymbols;
+  bcfg.seed = 2014;
+  const model::DescPtr receiver = model::share(lte::make_receiver(bcfg));
+  struct BatchRow {
+    std::size_t pad;
+    double isolated_s;
+    double batched_s;
+    double speedup;
+  };
+  std::vector<BatchRow> batch_rows;
+  ConsoleTable t5({"pad/instance", "isolated (s)", "batched (s)", "speed-up"});
+  for (std::size_t pad : {0u, 100u, 400u}) {
+    std::vector<study::Scenario> parts;
+    for (std::size_t i = 0; i < kBatchInstances; ++i) {
+      study::Scenario s("rx" + std::to_string(i), receiver);
+      s.with_pad_nodes(pad);
+      parts.push_back(std::move(s));
+    }
+    const study::Scenario composed = study::compose("ca8", parts);
+    double wall[2] = {0.0, 0.0};
+    for (int batched = 0; batched < 2; ++batched) {
+      study::RunConfig rc;
+      rc.batch_composed = batched == 1;
+      double best = 1e100;
+      for (int rep = 0; rep < 3; ++rep) {
+        auto model = study::Backend::equivalent().instantiate(composed, rc);
+        const auto t0 = std::chrono::steady_clock::now();
+        (void)model->run();
+        best = std::min(
+            best, std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count());
+      }
+      wall[batched] = best;
+    }
+    const double speedup = wall[0] / wall[1];
+    batch_rows.push_back({pad, wall[0], wall[1], speedup});
+    t5.add_row({format("%zu", pad), format("%.3f", wall[0]),
+                format("%.3f", wall[1]), format("%.2fx", speedup)});
+  }
+  std::printf("Ablation 5: batched vs isolated composition (%zu LTE "
+              "receivers, %s symbols each)\n%s\n",
+              kBatchInstances,
+              with_commas(static_cast<std::int64_t>(kBatchSymbols)).c_str(),
+              t5.render().c_str());
+
   if (!json_path.empty()) {
     JsonWriter w;
     w.begin_object();
@@ -226,6 +291,18 @@ int main(int argc, char** argv) {
       w.field("event_overhead_ns", r.overhead_ns);
       w.field("speedup", r.speedup);
       w.field("kernel_event_ratio", r.kernel_event_ratio);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("batch_sweep").begin_array();
+    for (const BatchRow& r : batch_rows) {
+      w.begin_object();
+      w.field("instances", static_cast<std::uint64_t>(kBatchInstances));
+      w.field("symbols", kBatchSymbols);
+      w.field("pad_nodes_per_instance", static_cast<std::uint64_t>(r.pad));
+      w.field("isolated_run_s", r.isolated_s);
+      w.field("batched_run_s", r.batched_s);
+      w.field("batched_speedup", r.speedup);
       w.end_object();
     }
     w.end_array();

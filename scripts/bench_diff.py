@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Diff two bench_ablation JSON entries of the repo's perf trajectory.
+
+Usage: bench_diff.py OLD.json NEW.json
+
+Prints a Markdown table of the key metrics with relative deltas — the
+advisory CI bench job appends it to the GitHub job summary so regressions
+between BENCH_<n>.json entries are visible at a glance. Timings on shared
+runners are indicative; the point is spotting order-of-magnitude drifts,
+not single-digit percentages.
+
+Exit code is always 0: the job is advisory, the table is the signal.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def fmt(value):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def delta(old, new):
+    if old is None or new is None or not isinstance(old, (int, float)) \
+            or not isinstance(new, (int, float)) or old == 0:
+        return "-"
+    return f"{100.0 * (new - old) / old:+.1f}%"
+
+
+def rows(doc):
+    """Flatten the comparable metrics of one bench_ablation document.
+
+    Lower-is-better metrics carry 'time' semantics (runs, ns); the sweeps
+    are keyed by their sweep parameter so entries align across documents
+    even when the sweep grids change.
+    """
+    out = {}
+    out["native event (ns)"] = doc.get("native_event_ns")
+    fold = doc.get("fold", {})
+    out["fold: raw run (s)"] = fold.get("raw_run_s")
+    out["fold: folded run (s)"] = fold.get("folded_run_s")
+    tb = doc.get("throughput_bound", {})
+    out["throughput bound rel. diff"] = tb.get("relative_difference")
+    for entry in doc.get("pad_sweep", []):
+        key = f"pad {entry.get('pad_nodes')}: ns/token/node"
+        out[key] = entry.get("ns_per_token_per_node")
+    for entry in doc.get("event_cost_sweep", []):
+        key = f"event cost +{fmt(entry.get('event_overhead_ns'))}ns: speed-up"
+        out[key] = entry.get("speedup")
+    for entry in doc.get("batch_sweep", []):
+        key = (f"batch x{entry.get('instances')} pad "
+               f"{entry.get('pad_nodes_per_instance')}: speed-up")
+        out[key] = entry.get("batched_speedup")
+    return out
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    old_path, new_path = sys.argv[1], sys.argv[2]
+    old = rows(load(old_path))
+    new = rows(load(new_path))
+
+    print(f"### Bench trajectory: `{old_path}` → `{new_path}`\n")
+    print("| metric | old | new | delta |")
+    print("|---|---|---|---|")
+    for key in list(old.keys()) + [k for k in new if k not in old]:
+        o, n = old.get(key), new.get(key)
+        print(f"| {key} | {fmt(o)} | {fmt(n)} | {delta(o, n)} |")
+    print()
+    print("_Speed-ups: higher is better. Times/ns: lower is better. "
+          "Shared-runner timings are indicative only._")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

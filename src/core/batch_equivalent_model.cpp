@@ -1,0 +1,351 @@
+#include "core/batch_equivalent_model.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "tdg/simplify.hpp"
+#include "util/error.hpp"
+
+namespace maxev::core {
+
+using model::ChannelKind;
+using model::Token;
+
+BatchEquivalentModel::BatchEquivalentModel(model::DescPtr merged,
+                                           model::DescPtr base,
+                                           std::vector<std::string> names,
+                                           std::vector<bool> group)
+    : BatchEquivalentModel(std::move(merged), std::move(base),
+                           std::move(names), std::move(group), Options{}) {}
+
+BatchEquivalentModel::BatchEquivalentModel(model::DescPtr merged,
+                                           model::DescPtr base,
+                                           std::vector<std::string> names,
+                                           std::vector<bool> group,
+                                           Options opts)
+    : desc_(std::move(merged)),
+      base_desc_(std::move(base)),
+      instance_names_(std::move(names)),
+      group_(std::move(group)) {
+  if (desc_ == nullptr || base_desc_ == nullptr)
+    throw DescriptionError("BatchEquivalentModel: null description");
+  width_ = instance_names_.size();
+  if (width_ == 0)
+    throw DescriptionError("BatchEquivalentModel: no instances");
+
+  const model::ArchitectureDesc& bd = *base_desc_;
+  // The merged description must be an N-fold replication of the base one:
+  // instance i's entities occupy the contiguous id block [i * n, (i+1) * n)
+  // of every table (study::compose() builds exactly this layout). Checked
+  // structurally — table sizes, namespaced names, resource policies/rates,
+  // channel kinds/capacities, source token counts. Workload/schedule
+  // std::functions cannot be compared; the study layer guarantees them by
+  // pointer identity of the shared description (Scenario::batch_base()).
+  if (desc_->functions().size() != width_ * bd.functions().size() ||
+      desc_->channels().size() != width_ * bd.channels().size() ||
+      desc_->resources().size() != width_ * bd.resources().size() ||
+      desc_->sources().size() != width_ * bd.sources().size() ||
+      desc_->sinks().size() != width_ * bd.sinks().size())
+    throw DescriptionError(
+        "BatchEquivalentModel: merged description is not an N-fold "
+        "replication of the base description");
+  const auto mismatch = [](const std::string& what) {
+    throw DescriptionError(
+        "BatchEquivalentModel: merged description disagrees with the base "
+        "description on " + what);
+  };
+  for (std::size_t i = 0; i < width_; ++i) {
+    const std::string prefix = instance_names_[i] + "/";
+    for (std::size_t r = 0; r < bd.resources().size(); ++r) {
+      const auto& m = desc_->resources()[i * bd.resources().size() + r];
+      const auto& b = bd.resources()[r];
+      if (m.name != prefix + b.name || m.policy != b.policy ||
+          m.ops_per_second != b.ops_per_second)
+        mismatch("resource '" + b.name + "' of instance '" +
+                 instance_names_[i] + "'");
+    }
+    for (std::size_t c = 0; c < bd.channels().size(); ++c) {
+      const auto& m = desc_->channels()[i * bd.channels().size() + c];
+      const auto& b = bd.channels()[c];
+      if (m.name != prefix + b.name || m.kind != b.kind ||
+          m.capacity != b.capacity)
+        mismatch("channel '" + b.name + "' of instance '" +
+                 instance_names_[i] + "'");
+    }
+    for (std::size_t f = 0; f < bd.functions().size(); ++f) {
+      const auto& m = desc_->functions()[i * bd.functions().size() + f];
+      const auto& b = bd.functions()[f];
+      if (m.name != prefix + b.name || m.body.size() != b.body.size())
+        mismatch("function '" + b.name + "' of instance '" +
+                 instance_names_[i] + "'");
+    }
+    for (std::size_t s = 0; s < bd.sources().size(); ++s) {
+      const auto& m = desc_->sources()[i * bd.sources().size() + s];
+      const auto& b = bd.sources()[s];
+      if (m.name != prefix + b.name || m.count != b.count)
+        mismatch("source '" + b.name + "' of instance '" +
+                 instance_names_[i] + "'");
+    }
+  }
+
+  if (group_.empty()) group_.assign(bd.functions().size(), true);
+  group_.resize(bd.functions().size(), false);
+
+  // Compile the *base* abstraction group once; every instance shares the
+  // resulting program.
+  tdg::DerivedTdg derived = tdg::derive_tdg(bd, group_);
+  tdg::Graph g = std::move(derived.graph);
+  if (opts.fold) g = tdg::fold_pass_through(g);
+  if (opts.pad_nodes > 0) g = tdg::pad_graph(g, opts.pad_nodes);
+  g.freeze();
+  graph_ = std::move(g);
+
+  // Simulate everything outside the group from the merged description —
+  // the identical runtime the merged equivalent model uses, so kernel
+  // behaviour (and every per-instance trace) matches it bit for bit.
+  std::vector<bool> merged_skip;
+  merged_skip.reserve(width_ * group_.size());
+  for (std::size_t i = 0; i < width_; ++i)
+    merged_skip.insert(merged_skip.end(), group_.begin(), group_.end());
+  runtime_ =
+      std::make_unique<model::ModelRuntime>(desc_, merged_skip, opts.observe);
+
+  tdg::BatchEngine::Options eng_opts;
+  eng_opts.instances.resize(width_);
+  for (std::size_t i = 0; i < width_; ++i) {
+    tdg::BatchEngine::InstanceSinks& sinks = eng_opts.instances[i];
+    sinks.scope = instance_names_[i] + "/";
+    if (opts.observe) {
+      sinks.instant_sink = &runtime_->mutable_instants();
+      sinks.usage_sink = &runtime_->mutable_usage();
+    }
+  }
+  if (opts.observe) {
+    eng_opts.expected_iterations = opts.expected_iterations > 0
+                                       ? opts.expected_iterations
+                                       : bd.max_source_tokens();
+  }
+  engine_ = std::make_unique<tdg::BatchEngine>(graph_, std::move(eng_opts));
+
+  // Iteration fronts drain at timestep boundaries: every instance's feeds
+  // of one simulated instant accumulate before one batched propagation.
+  runtime_->kernel().set_timestep_hook([this] { return engine_->flush(); });
+
+  // Resolve boundary nodes by name once (fold/pad preserve names; the node
+  // ids are shared by every instance) and wire the reception/emission
+  // machinery per instance.
+  auto resolve = [this](const std::string& name) {
+    if (name.empty()) return tdg::kNoNode;
+    const tdg::NodeId n = graph_.find(name);
+    if (n == tdg::kNoNode)
+      throw Error("BatchEquivalentModel: boundary node '" + name +
+                  "' missing after graph transforms");
+    return n;
+  };
+
+  const auto n_ch = static_cast<model::ChannelId>(bd.channels().size());
+  inputs_.reserve(width_ * derived.inputs.size());
+  outputs_.reserve(width_ * derived.outputs.size());
+  for (std::size_t i = 0; i < width_; ++i) {
+    for (const auto& bi : derived.inputs) {
+      InputState st;
+      st.meta = bi;
+      st.inst = i;
+      st.merged_channel =
+          bi.channel + static_cast<model::ChannelId>(i) * n_ch;
+      st.u = resolve(bi.u_node);
+      st.x = resolve(bi.x_node);
+      st.xw = resolve(bi.xw_node);
+      st.xr = resolve(bi.xr_node);
+      inputs_.push_back(std::move(st));
+    }
+    for (const auto& bo : derived.outputs) {
+      OutputState st;
+      st.meta = bo;
+      st.inst = i;
+      st.merged_channel =
+          bo.channel + static_cast<model::ChannelId>(i) * n_ch;
+      st.offer = resolve(bo.offer_node);
+      st.actual = resolve(bo.actual_node);
+      st.xr_actual = resolve(bo.xr_actual_node);
+      if (st.actual == st.offer) st.actual = tdg::kNoNode;  // single-node case
+      outputs_.push_back(std::move(st));
+    }
+  }
+
+  for (std::size_t i = 0; i < inputs_.size(); ++i) wire_input(i);
+  for (std::size_t i = 0; i < outputs_.size(); ++i) wire_output(i);
+}
+
+void BatchEquivalentModel::wire_input(std::size_t idx) {
+  InputState& st = inputs_[idx];
+  model::ChannelRt* ch = runtime_->channel(st.merged_channel);
+  if (ch == nullptr)
+    throw Error("BatchEquivalentModel: input channel not constructed");
+  const auto n_src =
+      static_cast<model::SourceId>(base_desc_->sources().size());
+
+  if (!st.meta.fifo) {
+    // Rendezvous input: gated reader. On each offer, feed u(k) and the
+    // token attributes, then park — the deferred engine computes x_in(k)
+    // at the timestep boundary and the on_known callback completes the
+    // rendezvous there, at the same simulated instant a solo run would.
+    engine_->on_known(st.inst, st.x, [this, idx](std::uint64_t k, TimePoint t) {
+      InputState& s = inputs_[idx];
+      if (s.parked && s.parked_k == k) {
+        s.parked = false;
+        model::ChannelRt* c = runtime_->channel(s.merged_channel);
+        c->rendezvous->resolve_gated(t);
+      }
+    });
+    ch->rendezvous->set_gated_reader(
+        [this, idx, n_src](TimePoint offer,
+                           const Token& tok) -> std::optional<TimePoint> {
+          InputState& s = inputs_[idx];
+          const std::uint64_t k = s.next_k++;
+          // Token sources carry merged ids; the engine speaks base ids.
+          engine_->set_attrs(
+              s.inst, tok.source - static_cast<model::SourceId>(s.inst) * n_src,
+              k, tok.attrs);
+          engine_->set_external(s.inst, s.u, k, offer);
+          // Deferred propagation: x_in(k) is normally computed at the next
+          // timestep boundary, so park. The value can pre-exist only when
+          // a guard disconnected it from u(k) in an earlier front — then
+          // answer synchronously (no on_known will fire again for it).
+          if (auto v = engine_->value(s.inst, s.x, k)) return *v;
+          s.parked = true;
+          s.parked_k = k;
+          return std::nullopt;
+        });
+  } else {
+    // FIFO input: write instants are observed live; a virtual reader pops
+    // tokens at the computed read instants.
+    st.ready = std::make_unique<sim::Event>(runtime_->kernel(),
+                                            "vread:" + std::to_string(idx));
+    engine_->on_known(st.inst, st.xr, [this, idx](std::uint64_t, TimePoint) {
+      inputs_[idx].ready->notify();
+    });
+    ch->fifo->on_write_complete(
+        [this, idx, n_src](std::uint64_t k, TimePoint t, const Token& tok) {
+          InputState& s = inputs_[idx];
+          engine_->set_attrs(
+              s.inst, tok.source - static_cast<model::SourceId>(s.inst) * n_src,
+              k, tok.attrs);
+          engine_->set_external(s.inst, s.xw, k, t);
+        });
+    runtime_->kernel().spawn(
+        "vreader:" + desc_->channels()[st.merged_channel].name,
+        [this, idx] { return virtual_fifo_reader_proc(idx); });
+  }
+}
+
+sim::Process BatchEquivalentModel::virtual_fifo_reader_proc(std::size_t idx) {
+  InputState& st = inputs_[idx];
+  model::ChannelRt* ch = runtime_->channel(st.merged_channel);
+  for (std::uint64_t k = 0;; ++k) {
+    std::optional<TimePoint> t;
+    while (!(t = engine_->value(st.inst, st.xr, k)))
+      co_await st.ready->wait();
+    co_await runtime_->kernel().delay_until(*t);
+    (void)co_await ch->fifo->read();
+    st.consumed = k + 1;
+    raise_retain_floor(st.inst);
+  }
+}
+
+void BatchEquivalentModel::wire_output(std::size_t idx) {
+  OutputState& st = outputs_[idx];
+  model::ChannelRt* ch = runtime_->channel(st.merged_channel);
+  if (ch == nullptr)
+    throw Error("BatchEquivalentModel: output channel not constructed");
+
+  st.ready = std::make_unique<sim::Event>(runtime_->kernel(),
+                                          "emit:" + std::to_string(idx));
+  engine_->on_known(st.inst, st.offer, [this, idx](std::uint64_t, TimePoint) {
+    outputs_[idx].ready->notify();
+  });
+
+  if (!st.meta.fifo) {
+    if (st.actual != tdg::kNoNode) {
+      ch->rendezvous->on_transfer(
+          [this, idx](std::uint64_t k, TimePoint t, const Token&) {
+            OutputState& s = outputs_[idx];
+            engine_->set_external(s.inst, s.actual, k, t);
+          });
+    }
+  } else {
+    ch->fifo->on_write_complete(
+        [this, idx](std::uint64_t k, TimePoint t, const Token&) {
+          OutputState& s = outputs_[idx];
+          engine_->set_external(s.inst, s.actual, k, t);
+        });
+    ch->fifo->on_read_complete(
+        [this, idx](std::uint64_t k, TimePoint t, const Token&) {
+          OutputState& s = outputs_[idx];
+          engine_->set_external(s.inst, s.xr_actual, k, t);
+        });
+  }
+
+  runtime_->kernel().spawn(
+      "emission:" + desc_->channels()[st.merged_channel].name,
+      [this, idx] { return emission_proc(idx); });
+}
+
+sim::Process BatchEquivalentModel::emission_proc(std::size_t idx) {
+  OutputState& st = outputs_[idx];
+  model::ChannelRt* ch = runtime_->channel(st.merged_channel);
+  const auto n_src = static_cast<model::SourceId>(base_desc_->sources().size());
+  for (std::uint64_t k = 0;; ++k) {
+    std::optional<TimePoint> y;
+    while (!(y = engine_->value(st.inst, st.offer, k)))
+      co_await st.ready->wait();
+
+    // Build the output token from the stored provenance attributes, under
+    // the merged source id (what the merged model's consumers see).
+    Token tok;
+    tok.k = k;
+    tok.source =
+        st.meta.provenance + static_cast<model::SourceId>(st.inst) * n_src;
+    if (auto attrs = engine_->attrs_of(st.inst, st.meta.provenance, k))
+      tok.attrs = *attrs;
+
+    co_await runtime_->kernel().delay_until(*y);
+    if (!st.meta.fifo) {
+      co_await ch->rendezvous->write(tok);
+    } else {
+      co_await ch->fifo->write(tok);
+    }
+    st.emitted = k + 1;
+    raise_retain_floor(st.inst);
+  }
+}
+
+void BatchEquivalentModel::raise_retain_floor(std::size_t inst) {
+  // Per-instance floor: an instance's frames may be reclaimed once every
+  // one of *its* boundary consumers has moved past them; the shared arena
+  // additionally waits for every other instance (BatchEngine takes the
+  // minimum across lanes). inputs_/outputs_ are instance-major, so one
+  // instance's boundary states are a contiguous span — this runs per
+  // emitted/consumed token and must not scan the whole batch.
+  const std::size_t n_out = outputs_.size() / width_;
+  const std::size_t n_in = inputs_.size() / width_;
+  std::uint64_t floor = std::numeric_limits<std::uint64_t>::max();
+  bool any = false;
+  for (std::size_t b = inst * n_out; b < (inst + 1) * n_out; ++b) {
+    floor = std::min(floor, outputs_[b].emitted);
+    any = true;
+  }
+  for (std::size_t b = inst * n_in; b < (inst + 1) * n_in; ++b) {
+    if (!inputs_[b].meta.fifo) continue;
+    floor = std::min(floor, inputs_[b].consumed);
+    any = true;
+  }
+  if (any) engine_->set_retain_floor(inst, floor);
+}
+
+model::ModelRuntime::Outcome BatchEquivalentModel::run(
+    std::optional<TimePoint> until) {
+  return runtime_->run(until);
+}
+
+}  // namespace maxev::core

@@ -1,0 +1,154 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/baseline.hpp"
+#include "model/desc.hpp"
+#include "sim/event.hpp"
+#include "tdg/batch_engine.hpp"
+#include "tdg/derive.hpp"
+#include "tdg/graph.hpp"
+
+/// \file batch_equivalent_model.hpp
+/// The batched multi-instance equivalent model (docs/DESIGN.md §9).
+///
+/// A composed scenario (study::compose) whose N instances share one
+/// architecture description runs N identical abstraction groups in one
+/// simulation kernel. core::EquivalentModel over the *merged* description
+/// would derive and compile an N-times-larger temporal dependency graph;
+/// this class instead derives the TDG of the *base* description once and
+/// evaluates all N instances through one tdg::BatchEngine — a single
+/// shared program, one shared frame arena, and iteration fronts drained at
+/// timestep boundaries (sim::Kernel::set_timestep_hook) so same-instant
+/// feeds from all instances propagate in one batched pass.
+///
+/// The simulated side is byte-for-byte the merged path: the same
+/// model::ModelRuntime over the merged description simulates sources,
+/// sinks and non-abstracted functions, so kernel behaviour — and with it
+/// every per-instance trace — stays bit-identical to both the merged
+/// equivalent model and the N solo runs. Boundary wiring (gated reception,
+/// emission processes, virtual FIFO readers) deliberately *mirrors*
+/// core::EquivalentModel per instance instead of sharing code with it —
+/// the two sides index different engines (solo vs batch lane) and drain
+/// at different times (inline vs quiescence), and the accuracy claim
+/// rests on both implementing the same boundary protocol: any change to
+/// that protocol in equivalent_model.cpp must be mirrored here (the
+/// bit-identity suite in tests/test_batch_engine.cpp catches divergence).
+/// The two behavioural differences:
+///  * gated input offers always park (the deferred engine computes x(k)
+///    at the next timestep boundary and resolves the rendezvous then, at
+///    the same simulated instant);
+///  * retain floors are tracked per instance; the shared arena reclaims a
+///    frame once every instance has moved past it.
+
+namespace maxev::core {
+
+class BatchEquivalentModel {
+ public:
+  struct Options {
+    /// Fold pass-through completion nodes (paper's Fig. 3 compact form).
+    bool fold = true;
+    /// Insert this many pass-through padding nodes (Fig. 5 sweeps).
+    std::size_t pad_nodes = 0;
+    /// Record instant/usage traces ("observation time").
+    bool observe = true;
+    /// Capacity hint for the observation sinks: expected iteration count
+    /// per instance. 0 = derive from the base description.
+    std::size_t expected_iterations = 0;
+  };
+
+  /// \param merged the composed description (every instance side by side,
+  ///        names prefixed "<instance>/"), exactly as study::compose()
+  ///        builds it — it drives the shared ModelRuntime.
+  /// \param base the single description every instance shares — it drives
+  ///        the TDG derivation and the batch engine.
+  /// \param instance_names composition-order instance names (the trace
+  ///        namespace prefixes); size = batch width N.
+  /// \param group base-description abstraction group (empty = all
+  ///        functions), identical for every instance.
+  /// \throws maxev::DescriptionError when the merged description is not an
+  ///         N-fold replication of the base description.
+  BatchEquivalentModel(model::DescPtr merged, model::DescPtr base,
+                       std::vector<std::string> instance_names,
+                       std::vector<bool> group);
+  BatchEquivalentModel(model::DescPtr merged, model::DescPtr base,
+                       std::vector<std::string> instance_names,
+                       std::vector<bool> group, Options opts);
+
+  BatchEquivalentModel(const BatchEquivalentModel&) = delete;
+  BatchEquivalentModel& operator=(const BatchEquivalentModel&) = delete;
+
+  /// Run to completion (or horizon). Same outcome semantics as the merged
+  /// equivalent model.
+  model::ModelRuntime::Outcome run(
+      std::optional<TimePoint> until = std::nullopt);
+
+  [[nodiscard]] model::ModelRuntime& runtime() { return *runtime_; }
+  /// The base (per-instance) graph — the compiled program's shape.
+  [[nodiscard]] const tdg::Graph& graph() const { return graph_; }
+  [[nodiscard]] const tdg::BatchEngine& engine() const { return *engine_; }
+  [[nodiscard]] const trace::InstantTraceSet& instants() const {
+    return runtime_->instants();
+  }
+  [[nodiscard]] const trace::UsageTraceSet& usage() const {
+    return runtime_->usage();
+  }
+  [[nodiscard]] std::uint64_t relation_events() const {
+    return runtime_->relation_events();
+  }
+  [[nodiscard]] const sim::KernelStats& kernel_stats() const {
+    return runtime_->kernel_stats();
+  }
+  [[nodiscard]] TimePoint end_time() const { return runtime_->end_time(); }
+
+ private:
+  /// Boundary state of one instance's input/output, mirroring
+  /// core::EquivalentModel's wiring with the instance lane attached.
+  struct InputState {
+    tdg::BoundaryInput meta;              // base-description ids/names
+    std::size_t inst = 0;                 // batch lane
+    model::ChannelId merged_channel = model::kInvalidId;
+    tdg::NodeId u = tdg::kNoNode;
+    tdg::NodeId x = tdg::kNoNode;
+    tdg::NodeId xw = tdg::kNoNode;
+    tdg::NodeId xr = tdg::kNoNode;
+    std::uint64_t next_k = 0;
+    bool parked = false;
+    std::uint64_t parked_k = 0;
+    std::uint64_t consumed = 0;
+    std::unique_ptr<sim::Event> ready;
+  };
+
+  struct OutputState {
+    tdg::BoundaryOutput meta;
+    std::size_t inst = 0;
+    model::ChannelId merged_channel = model::kInvalidId;
+    tdg::NodeId offer = tdg::kNoNode;
+    tdg::NodeId actual = tdg::kNoNode;
+    tdg::NodeId xr_actual = tdg::kNoNode;
+    std::uint64_t emitted = 0;
+    std::unique_ptr<sim::Event> ready;
+  };
+
+  void wire_input(std::size_t idx);
+  void wire_output(std::size_t idx);
+  sim::Process emission_proc(std::size_t idx);
+  sim::Process virtual_fifo_reader_proc(std::size_t idx);
+  void raise_retain_floor(std::size_t inst);
+
+  model::DescPtr desc_;       // merged (runtime side)
+  model::DescPtr base_desc_;  // base (engine side)
+  std::vector<std::string> instance_names_;
+  std::vector<bool> group_;   // base group, expanded
+  std::size_t width_ = 1;
+  tdg::Graph graph_;          // base graph
+  std::vector<InputState> inputs_;    // instance-major: all of inst 0, ...
+  std::vector<OutputState> outputs_;
+  std::unique_ptr<model::ModelRuntime> runtime_;
+  std::unique_ptr<tdg::BatchEngine> engine_;
+};
+
+}  // namespace maxev::core

@@ -54,10 +54,12 @@ class EquivalentModel {
   /// hands the same description to several backends without copies).
   EquivalentModel(model::DescPtr desc, std::vector<bool> group);
   EquivalentModel(model::DescPtr desc, std::vector<bool> group, Options opts);
-  /// \deprecated Legacy shims: copy the description into shared ownership.
-  /// Temporaries are safe now, so the deleted-rvalue-overload guard that
-  /// used to protect against dangling references is gone. Prefer the
-  /// model::DescPtr overload (no copy).
+  /// Convenience overloads for single-model runs: copy the description
+  /// into shared ownership (one validated copy at construction; safe with
+  /// temporaries). Deliberately kept: tests, benches and examples build
+  /// descriptions ad hoc and run one model — a copy there is simpler and
+  /// harmless. Use the model::DescPtr overloads wherever one description
+  /// feeds several models (the study layer always does).
   EquivalentModel(const model::ArchitectureDesc& desc, std::vector<bool> group);
   EquivalentModel(const model::ArchitectureDesc& desc, std::vector<bool> group,
                   Options opts);

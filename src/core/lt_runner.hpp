@@ -49,8 +49,10 @@ class LooselyTimedModel {
   ///        simulation-speed measurements (matching the other models).
   LooselyTimedModel(model::DescPtr desc, Duration quantum,
                     bool observe = true);
-  /// \deprecated Legacy shim: copies the description into shared ownership
-  /// (temporaries are safe; the deleted-rvalue-overload guard is gone).
+  /// Convenience overload for single-model runs: copies the description
+  /// into shared ownership (safe with temporaries). Deliberately kept for
+  /// ad-hoc test/bench use; prefer the model::DescPtr overload when one
+  /// description feeds several models.
   LooselyTimedModel(const model::ArchitectureDesc& desc, Duration quantum);
 
   LooselyTimedModel(const LooselyTimedModel&) = delete;

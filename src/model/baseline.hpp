@@ -45,9 +45,12 @@ class ModelRuntime {
   ///        Disable for pure simulation-speed measurements.
   explicit ModelRuntime(DescPtr desc, std::vector<bool> skip = {},
                         bool observe = true);
-  /// Convenience shim: copies the description into shared ownership, so
-  /// temporaries are safe (the historical dangling-reference hazard — and
-  /// its deleted-rvalue-overload guard — are gone).
+  /// Convenience overload for single-model runs: copies the description
+  /// into shared ownership, so temporaries are safe (the historical
+  /// dangling-reference hazard — and its deleted-rvalue-overload guard —
+  /// are gone). Deliberately kept: tests, benches and examples build
+  /// descriptions ad hoc and run one model; prefer the DescPtr overload
+  /// when one description feeds several models (as the study layer does).
   explicit ModelRuntime(const ArchitectureDesc& desc,
                         std::vector<bool> skip = {}, bool observe = true);
 

@@ -76,8 +76,27 @@ void Kernel::reap(std::uint32_t id) {
 }
 
 Kernel::RunResult Kernel::run(std::optional<TimePoint> until) {
-  while (!queue_.empty()) {
+  // The hook test is hoisted out of the event loop (a template parameter)
+  // so the common hook-less path pays nothing per event. Consequence: a
+  // hook must be installed before run() — installing one mid-run takes
+  // effect at the next run() call.
+  return timestep_hook_ ? run_loop<true>(until) : run_loop<false>(until);
+}
+
+template <bool WithHook>
+Kernel::RunResult Kernel::run_loop(std::optional<TimePoint> until) {
+  for (;;) {
+    if (queue_.empty()) {
+      // Timestep boundary: give deferred computation (batched iteration
+      // fronts) a chance to schedule follow-up events before going idle.
+      if (WithHook && timestep_hook_()) continue;
+      return RunResult::kIdle;
+    }
     const TimePoint t = TimePoint::at_ps(queue_.top().t);
+    // Timestep boundary: the next event lies beyond the current instant.
+    // The hook may add events at now_, which then run before time
+    // advances (and before a horizon cut).
+    if (WithHook && t > now_ && timestep_hook_()) continue;
     if (until && t > *until) {
       now_ = *until;
       return RunResult::kTimeLimit;
@@ -106,7 +125,6 @@ Kernel::RunResult Kernel::run(std::optional<TimePoint> until) {
       fn();
     }
   }
-  return RunResult::kIdle;
 }
 
 std::vector<std::string> Kernel::blocked_process_names() const {

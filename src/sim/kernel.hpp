@@ -75,6 +75,24 @@ class Kernel {
   /// name (fail fast, keep diagnostics).
   RunResult run(std::optional<TimePoint> until = std::nullopt);
 
+  /// Register a hook fired at every timestep boundary: when the queue has
+  /// no event left at the current simulation time — before time advances,
+  /// and before run() returns. The hook returns true when it did work (it
+  /// may schedule new events, including at the current time, which are
+  /// then processed before time advances); it is re-invoked until it
+  /// returns false, so it must be idempotent at quiescence.
+  ///
+  /// This is how deferred computation batches across same-instant events:
+  /// core::BatchEquivalentModel lets all instances' feeds of one instant
+  /// accumulate and drains the resulting iteration fronts here, in one
+  /// pass (docs/DESIGN.md §9). One hook per kernel; passing an empty
+  /// function removes it. Install before run(): the hook's presence is
+  /// sampled once per run() call (the hook-less event loop stays free of
+  /// the check).
+  void set_timestep_hook(std::function<bool()> hook) {
+    timestep_hook_ = std::move(hook);
+  }
+
   /// Event-cost sensitivity knob: spin for this much *wall-clock* time per
   /// processed event, emulating the heavier per-event cost of commercial
   /// kernels (the reproduced paper's substrate, Intel CoFluent Studio,
@@ -109,6 +127,8 @@ class Kernel {
   };
 
   void reap(std::uint32_t id);
+  template <bool WithHook>
+  RunResult run_loop(std::optional<TimePoint> until);
 
   LadderQueue<QueueItem> queue_;
   std::vector<ProcInfo> procs_;
@@ -118,6 +138,7 @@ class Kernel {
   TimePoint now_ = TimePoint::origin();
   std::uint64_t seq_ = 0;
   std::chrono::nanoseconds event_overhead_{0};
+  std::function<bool()> timestep_hook_;
   KernelStats stats_;
 };
 

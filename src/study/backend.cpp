@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "core/batch_equivalent_model.hpp"
 #include "core/equivalent_model.hpp"
 #include "core/lt_runner.hpp"
 #include "util/error.hpp"
@@ -79,13 +80,85 @@ class EquivalentBackendModel final : public Model {
                                                    const RunConfig& rc) {
     core::EquivalentModel::Options opts;
     opts.fold = s.options().fold;
-    opts.pad_nodes = s.options().pad_nodes;
+    // pad_nodes is per instance (ScenarioOptions): the merged graph of a
+    // composed scenario carries one padding block per instance, matching
+    // the batched path's padded base graph evaluated N times.
+    opts.pad_nodes = s.composed()
+                         ? s.options().pad_nodes * s.instances().size()
+                         : s.options().pad_nodes;
     opts.observe = rc.observe;
     opts.expected_iterations = s.options().expected_iterations;
     return opts;
   }
 
   core::EquivalentModel eq_;
+};
+
+/// The batched path for batch-eligible composed scenarios: one compiled
+/// program + shared frame arena for every instance (docs/DESIGN.md §9).
+class BatchEquivalentBackendModel final : public Model {
+ public:
+  BatchEquivalentBackendModel(const Scenario& s, const RunConfig& rc)
+      : eq_(s.desc_ptr(), s.batch_base(), names_of(s), base_group_of(s),
+            options_of(s, rc)) {
+    apply_overhead(eq_.runtime().kernel(), rc.event_overhead_ns);
+  }
+
+  Outcome run(std::optional<TimePoint> until) override { return eq_.run(until); }
+  const trace::InstantTraceSet& instants() const override {
+    return eq_.instants();
+  }
+  const trace::UsageTraceSet& usage() const override { return eq_.usage(); }
+  const sim::KernelStats& kernel_stats() const override {
+    return eq_.kernel_stats();
+  }
+  std::uint64_t relation_events() const override {
+    return eq_.relation_events();
+  }
+  TimePoint end_time() const override { return eq_.end_time(); }
+  sim::Kernel& kernel() override { return eq_.runtime().kernel(); }
+  std::uint64_t instances_computed() const override {
+    return eq_.engine().instances_computed();
+  }
+  std::uint64_t arc_terms_evaluated() const override {
+    return eq_.engine().arc_terms_evaluated();
+  }
+  /// The *compiled program's* shape — the base graph evaluated for every
+  /// instance, not the N-fold merged graph the isolated path would build.
+  GraphShape graph_shape() const override {
+    return {eq_.graph().node_count(), eq_.graph().paper_node_count(),
+            eq_.graph().arc_count()};
+  }
+
+ private:
+  static std::vector<std::string> names_of(const Scenario& s) {
+    std::vector<std::string> names;
+    names.reserve(s.instances().size());
+    for (const Instance& inst : s.instances()) names.push_back(inst.name);
+    return names;
+  }
+
+  /// All instances of a batchable scenario carry the same group; the
+  /// composed group is its N-fold concatenation (or empty = abstract all).
+  static std::vector<bool> base_group_of(const Scenario& s) {
+    const std::vector<bool>& composed = s.options().group;
+    if (composed.empty()) return {};
+    const std::size_t n = composed.size() / s.instances().size();
+    return {composed.begin(),
+            composed.begin() + static_cast<std::ptrdiff_t>(n)};
+  }
+
+  static core::BatchEquivalentModel::Options options_of(const Scenario& s,
+                                                        const RunConfig& rc) {
+    core::BatchEquivalentModel::Options opts;
+    opts.fold = s.options().fold;
+    opts.pad_nodes = s.options().pad_nodes;
+    opts.observe = rc.observe;
+    opts.expected_iterations = s.options().expected_iterations;
+    return opts;
+  }
+
+  core::BatchEquivalentModel eq_;
 };
 
 class LooselyTimedBackendModel final : public Model {
@@ -144,6 +217,8 @@ std::unique_ptr<Model> Backend::instantiate(const Scenario& scenario,
     case Kind::kBaseline:
       return std::make_unique<BaselineModel>(scenario, config);
     case Kind::kEquivalent:
+      if (config.batch_composed && scenario.batchable())
+        return std::make_unique<BatchEquivalentBackendModel>(scenario, config);
       return std::make_unique<EquivalentBackendModel>(scenario, config);
     case Kind::kLooselyTimed:
       return std::make_unique<LooselyTimedBackendModel>(scenario, config,

@@ -167,6 +167,22 @@ Scenario compose(std::string name, const std::vector<Scenario>& instances) {
     }
   }
   out.instances_ = std::move(spans);
+
+  // Batch eligibility: when every instance shares the same description
+  // object *and* the same abstraction group, the composed scenario is an
+  // N-fold replication of one base model and the equivalent backend can
+  // evaluate it through one batched program (docs/DESIGN.md §9). Pointer
+  // identity is deliberate: equal-but-distinct descriptions hold distinct
+  // std::function workloads that cannot be proven equivalent.
+  bool uniform = true;
+  for (const Scenario& part : instances) {
+    if (part.desc_ptr() != instances.front().desc_ptr() ||
+        part.options().group != instances.front().options().group) {
+      uniform = false;
+      break;
+    }
+  }
+  if (uniform) out.batch_base_ = instances.front().desc_ptr();
   return out;
 }
 

@@ -34,7 +34,10 @@ struct ScenarioOptions {
   std::vector<bool> group;
   /// Fold pass-through completion nodes (paper's Fig. 3 compact form).
   bool fold = true;
-  /// Insert this many pass-through padding nodes (Fig. 5 sweeps).
+  /// Insert this many pass-through padding nodes (Fig. 5 sweeps). For a
+  /// composed scenario this is *per instance*: the batched path pads the
+  /// base graph (evaluated once per instance) and the merged path pads the
+  /// merged graph N-fold, so both execute the same padded workload.
   std::size_t pad_nodes = 0;
   /// Capacity hint for the observation sinks: expected iteration count.
   /// 0 = derive from the description (largest source token count).
@@ -82,6 +85,15 @@ class Scenario {
   }
   [[nodiscard]] bool composed() const { return !instances_.empty(); }
 
+  /// The single description all instances of a composed scenario share
+  /// (same model::DescPtr and same abstraction group), or null. When
+  /// non-null the equivalent backend may run this scenario through
+  /// tdg::BatchEngine — one compiled program evaluated for every instance
+  /// — instead of the N-times-larger merged graph (docs/DESIGN.md §9).
+  [[nodiscard]] const model::DescPtr& batch_base() const { return batch_base_; }
+  /// True when this composed scenario is eligible for batched execution.
+  [[nodiscard]] bool batchable() const { return batch_base_ != nullptr; }
+
  private:
   friend Scenario compose(std::string, const std::vector<Scenario>&);
 
@@ -89,6 +101,7 @@ class Scenario {
   model::DescPtr desc_;
   ScenarioOptions options_;
   std::vector<Instance> instances_;
+  model::DescPtr batch_base_;
 };
 
 /// Merge N scenario instances into one scenario running in one kernel.

@@ -40,6 +40,7 @@ MeasuredCell measure(const Scenario& scenario, const Backend& backend,
   RunConfig rc;
   rc.observe = opts.observe;
   rc.event_overhead_ns = opts.event_overhead_ns;
+  rc.batch_composed = opts.batch_composed;
 
   std::vector<double> walls;
   walls.reserve(static_cast<std::size_t>(opts.repetitions));

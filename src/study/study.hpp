@@ -37,6 +37,12 @@ struct StudyOptions {
   /// instants/usage), so downstream analyses need not re-simulate. Only
   /// meaningful with observe; costs one trace copy per cell.
   bool keep_traces = false;
+  /// Run batch-eligible composed scenarios (every instance sharing one
+  /// description + group) through the batched equivalent model instead of
+  /// the merged graph (RunConfig::batch_composed). On by default;
+  /// per-instance traces are identical either way — turn off to measure
+  /// the isolated path (the bench_ablation batched-vs-isolated ablation).
+  bool batch_composed = true;
 };
 
 class Study {

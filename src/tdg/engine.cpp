@@ -16,12 +16,9 @@ constexpr std::uint8_t kHasCallback = 2;  // node has an on_known callback
 Engine::Engine(const Graph& g, Options opts) : graph_(&g), opts_(opts) {
   if (!g.frozen()) throw DescriptionError("tdg::Engine: graph must be frozen");
 
-  n_nodes_ = g.node_count();
-  n_sources_ = 1;
-  if (g.desc() != nullptr)
-    n_sources_ = std::max<std::size_t>(1, g.desc()->sources().size());
-  for (const Arc& a : g.arcs())
-    n_sources_ = std::max(n_sources_, static_cast<std::size_t>(a.attr_source) + 1);
+  prog_ = Program::compile(g);
+  n_nodes_ = prog_.n_nodes;
+  n_sources_ = prog_.n_sources;
 
   callbacks_.resize(n_nodes_);
   next_flush_.assign(n_nodes_, 0);
@@ -32,10 +29,11 @@ Engine::Engine(const Graph& g, Options opts) : graph_(&g), opts_(opts) {
 
 void Engine::compile() {
   const Graph& g = *graph_;
-  const std::size_t n_arcs = g.arc_count();
 
-  // Resolve sinks once (map lookups are off the hot path), pre-sizing the
-  // columns when the caller provided an expected iteration count.
+  // Bind the program's observation metadata to this run's sinks: resolve
+  // series/trace pointers once (map lookups are off the hot path),
+  // pre-sizing the columns when the caller provided an expected iteration
+  // count (Options::expected_iterations).
   record_series_.assign(n_nodes_, nullptr);
   if (opts_.instant_sink != nullptr) {
     for (NodeId n = 0; n < static_cast<NodeId>(n_nodes_); ++n) {
@@ -52,157 +50,23 @@ void Engine::compile() {
       usage_by_resource.push_back(&opts_.usage_sink->trace(r.name));
   }
 
-  // ---- In-arc program, in CSR slot order ------------------------------------
-  // Walking nodes in id order and each node's in-arcs in insertion order
-  // keeps every table (including the hoisted guard/load side tables and the
-  // segment ops) deterministic.
-  in_arc_offsets_.assign(n_nodes_ + 1, 0);
-  in_src_.reserve(n_arcs);
-  in_lag_.reserve(n_arcs);
-  in_attr_source_.reserve(n_arcs);
-  in_guard_.reserve(n_arcs);
-  in_prog_off_.reserve(n_arcs);
-  in_prog_len_.reserve(n_arcs);
-  in_fixed_.reserve(n_arcs);
-  attr_dsts_by_source_.assign(n_sources_, {});
-  lagged_offsets_.assign(n_nodes_ + 1, 0);
-  static_pending_.assign(n_nodes_, 0);
+  const std::size_t n_ops = prog_.op_exec.size();
+  op_trace_.assign(n_ops, nullptr);
+  op_label_.assign(n_ops, -1);
   std::vector<std::size_t> obs_per_resource(usage_by_resource.size(), 0);
-
-  for (NodeId n = 0; n < static_cast<NodeId>(n_nodes_); ++n) {
-    const NodeKind kind = g.node(n).kind;
-    const bool external_fed =
-        kind == NodeKind::kInput || kind == NodeKind::kExternal;
-    std::int32_t stat = 0;
-    for (const std::int32_t ai : g.in_arcs(n)) {
-      const Arc& a = g.arcs()[static_cast<std::size_t>(ai)];
-      in_src_.push_back(a.src);
-      in_lag_.push_back(a.lag);
-      in_attr_source_.push_back(a.attr_source);
-      if (a.guard) {
-        in_guard_.push_back(static_cast<std::int32_t>(guards_.size()));
-        guards_.push_back(a.guard);
-      } else {
-        in_guard_.push_back(-1);
-      }
-
-      bool has_exec = false;
-      for (const Segment& s : a.segments) has_exec = has_exec || s.is_exec();
-      const bool needs_attrs = a.guard || has_exec;
-      if (needs_attrs) {
-        attr_dsts_by_source_[static_cast<std::size_t>(a.attr_source)]
-            .push_back(a.dst);
-      }
-
-      // Frame-init bookkeeping: attr prerequisites and same-frame arcs are
-      // static; only lagged arcs need a per-frame look at older frames.
-      if (needs_attrs) ++stat;
-      if (a.lag == 0) {
-        ++stat;
-      } else if (!external_fed) {
-        lagged_src_.push_back(a.src);
-        lagged_lag_.push_back(a.lag);
-      }
-
-      if (!has_exec) {
-        // Pure delay: pre-fold every fixed segment into one weight (⊗ keeps
-        // the overflow check of the per-segment composition).
-        mp::Scalar w = mp::Scalar::e();
-        for (const Segment& s : a.segments)
-          if (!s.fixed.is_zero()) w = w * mp::Scalar::from_duration(s.fixed);
-        in_fixed_.push_back(w);
-        in_prog_off_.push_back(-1);
-        in_prog_len_.push_back(0);
-        continue;
-      }
-      in_fixed_.push_back(mp::Scalar::e());
-
-      // Segment program: runs of fixed segments fold into single entries;
-      // execute segments carry a hoisted load, the resource's rate constant
-      // (duration_for() becomes inlined arithmetic) and a pre-resolved
-      // columnar sink with an interned label.
-      const auto prog_off = static_cast<std::int32_t>(op_exec_.size());
-      in_prog_off_.push_back(prog_off);
-      mp::Scalar pending_fixed = mp::Scalar::e();
-      const auto flush_fixed = [&] {
-        if (pending_fixed == mp::Scalar::e()) return;
-        op_exec_.push_back(0);
-        op_fixed_.push_back(pending_fixed);
-        op_load_.push_back(-1);
-        op_rate_.push_back(0.0);
-        op_trace_.push_back(nullptr);
-        op_label_.push_back(-1);
-        pending_fixed = mp::Scalar::e();
-      };
-      for (const Segment& s : a.segments) {
-        if (!s.is_exec()) {
-          if (!s.fixed.is_zero())
-            pending_fixed = pending_fixed * mp::Scalar::from_duration(s.fixed);
-          continue;
-        }
-        flush_fixed();
-        op_exec_.push_back(1);
-        op_fixed_.push_back(mp::Scalar::e());
-        op_load_.push_back(static_cast<std::int32_t>(loads_.size()));
-        loads_.push_back(s.load);
-        op_rate_.push_back(g.desc()
-                               ->resources()[static_cast<std::size_t>(s.resource)]
-                               .ops_per_second);
-        trace::UsageTrace* sink = nullptr;
-        std::int32_t label = -1;
-        if (!usage_by_resource.empty() && !s.label.empty()) {
-          sink = usage_by_resource[static_cast<std::size_t>(s.resource)];
-          label = sink->intern_label(s.label);
-          ++obs_per_resource[static_cast<std::size_t>(s.resource)];
-        }
-        op_trace_.push_back(sink);
-        op_label_.push_back(label);
-      }
-      flush_fixed();
-      in_prog_len_.push_back(static_cast<std::int32_t>(op_exec_.size()) -
-                             prog_off);
-    }
-    in_arc_offsets_[static_cast<std::size_t>(n) + 1] =
-        static_cast<std::int32_t>(in_src_.size());
-
-    if (external_fed) {
-      static_pending_[static_cast<std::size_t>(n)] = -1;  // externally fed
-      lagged_offsets_[static_cast<std::size_t>(n) + 1] =
-          lagged_offsets_[static_cast<std::size_t>(n)];
-      continue;
-    }
-    static_pending_[static_cast<std::size_t>(n)] = stat;
-    const bool has_lagged =
-        static_cast<std::int32_t>(lagged_src_.size()) !=
-        lagged_offsets_[static_cast<std::size_t>(n)];
-    lagged_offsets_[static_cast<std::size_t>(n) + 1] =
-        static_cast<std::int32_t>(lagged_src_.size());
-    if (has_lagged) {
-      lagged_nodes_.push_back(n);
-    } else if (stat == 0) {
-      always_ready_.push_back(n);  // computable the moment the frame exists
-    }
+  for (std::size_t j = 0; j < n_ops; ++j) {
+    if (!prog_.op_exec[j] || prog_.op_label[j].empty()) continue;
+    if (usage_by_resource.empty()) continue;
+    const auto r = static_cast<std::size_t>(prog_.op_resource[j]);
+    op_trace_[j] = usage_by_resource[r];
+    op_label_[j] = op_trace_[j]->intern_label(prog_.op_label[j]);
+    ++obs_per_resource[r];
   }
-
   if (opts_.expected_iterations > 0) {
     for (std::size_t r = 0; r < usage_by_resource.size(); ++r)
       if (obs_per_resource[r] > 0)
         usage_by_resource[r]->reserve(obs_per_resource[r] *
                                       opts_.expected_iterations);
-  }
-
-  // ---- Out-arc table, in CSR slot order -------------------------------------
-  out_arc_offsets_.assign(n_nodes_ + 1, 0);
-  out_dst_.reserve(n_arcs);
-  out_lag_.reserve(n_arcs);
-  for (NodeId n = 0; n < static_cast<NodeId>(n_nodes_); ++n) {
-    for (const std::int32_t ai : g.out_arcs(n)) {
-      const Arc& a = g.arcs()[static_cast<std::size_t>(ai)];
-      out_dst_.push_back(a.dst);
-      out_lag_.push_back(a.lag);
-    }
-    out_arc_offsets_[static_cast<std::size_t>(n) + 1] =
-        static_cast<std::int32_t>(out_dst_.size());
   }
 
   node_flags_.assign(n_nodes_, 0);
@@ -223,18 +87,19 @@ void Engine::init_frame(Frame& f, std::uint64_t k) {
   // same-frame arcs, external markers); only nodes with history arcs need a
   // per-frame look at older frames.
   if (n_nodes_ > 0) {
-    std::memcpy(f.pending.data(), static_pending_.data(),
+    std::memcpy(f.pending.data(), prog_.static_pending.data(),
                 n_nodes_ * sizeof(std::int32_t));
   }
-  for (const NodeId n : always_ready_) worklist_.push_back({n, k});
-  for (const NodeId n : lagged_nodes_) {
+  for (const NodeId n : prog_.always_ready) worklist_.push_back({n, k});
+  for (const NodeId n : prog_.lagged_nodes) {
     std::int32_t p = f.pending[static_cast<std::size_t>(n)];
-    for (std::int32_t i = lagged_offsets_[static_cast<std::size_t>(n)];
-         i < lagged_offsets_[static_cast<std::size_t>(n) + 1]; ++i) {
+    for (std::int32_t i = prog_.lagged_offsets[static_cast<std::size_t>(n)];
+         i < prog_.lagged_offsets[static_cast<std::size_t>(n) + 1]; ++i) {
       const auto s = static_cast<std::size_t>(i);
-      if (lagged_lag_[s] > k) continue;  // pre-history: simulation origin
-      const Frame* sf = frame_at(k - lagged_lag_[s]);
-      if (sf == nullptr || !sf->known[static_cast<std::size_t>(lagged_src_[s])])
+      if (prog_.lagged_lag[s] > k) continue;  // pre-history: simulation origin
+      const Frame* sf = frame_at(k - prog_.lagged_lag[s]);
+      if (sf == nullptr ||
+          !sf->known[static_cast<std::size_t>(prog_.lagged_src[s])])
         ++p;
     }
     f.pending[static_cast<std::size_t>(n)] = p;
@@ -299,7 +164,7 @@ void Engine::set_attrs(model::SourceId s, std::uint64_t k,
   if (f.attr_known[static_cast<std::size_t>(s)]) return;  // idempotent
   f.attrs[static_cast<std::size_t>(s)] = attrs;
   f.attr_known[static_cast<std::size_t>(s)] = 1;
-  for (const NodeId dst : attr_dsts_by_source_[static_cast<std::size_t>(s)])
+  for (const NodeId dst : prog_.attr_dsts_by_source[static_cast<std::size_t>(s)])
     decrement(f, dst, k);
   drain();
 }
@@ -341,18 +206,18 @@ void Engine::resolve_dependents(Frame& f, NodeId n, std::uint64_t k) {
   Frame* fk = node_flags_[static_cast<std::size_t>(n)] & kHasCallback
                   ? frame_at(k)
                   : &f;
-  for (std::int32_t i = out_arc_offsets_[static_cast<std::size_t>(n)];
-       i < out_arc_offsets_[static_cast<std::size_t>(n) + 1]; ++i) {
+  for (std::int32_t i = prog_.out_arc_offsets[static_cast<std::size_t>(n)];
+       i < prog_.out_arc_offsets[static_cast<std::size_t>(n) + 1]; ++i) {
     const auto s = static_cast<std::size_t>(i);
-    const std::uint32_t lag = out_lag_[s];
+    const std::uint32_t lag = prog_.out_lag[s];
     if (lag == 0) {
-      if (fk != nullptr) decrement(*fk, out_dst_[s], k);
+      if (fk != nullptr) decrement(*fk, prog_.out_dst[s], k);
       continue;
     }
     const std::uint64_t kk = k + lag;
     // If the target frame does not exist yet, its init will see this
     // instance as already known and not count it.
-    if (Frame* tf = frame_at(kk)) decrement(*tf, out_dst_[s], kk);
+    if (Frame* tf = frame_at(kk)) decrement(*tf, prog_.out_dst[s], kk);
   }
 }
 
@@ -375,46 +240,52 @@ void Engine::compute(NodeId n, std::uint64_t k) {
   // Every prerequisite is resolved: ⊕ over arcs of src ⊗ (composed segment
   // weights), emitting busy intervals as segment positions are determined
   // (the paper's observation time). Loads are evaluated exactly once.
+  //
+  // MIRRORED BY BatchEngine::compute_one (src/tdg/batch_engine.cpp): the
+  // batched==solo bit-identity guarantee requires any arithmetic change
+  // here to be applied there too (and to its full-front fast path for the
+  // pure-fixed case).
   mp::Scalar acc = mp::Scalar::eps();
-  for (std::int32_t i = in_arc_offsets_[static_cast<std::size_t>(n)];
-       i < in_arc_offsets_[static_cast<std::size_t>(n) + 1]; ++i) {
+  for (std::int32_t i = prog_.in_arc_offsets[static_cast<std::size_t>(n)];
+       i < prog_.in_arc_offsets[static_cast<std::size_t>(n) + 1]; ++i) {
     const auto s = static_cast<std::size_t>(i);
-    const std::int32_t gi = in_guard_[s];
+    const std::int32_t gi = prog_.in_guard[s];
     if (gi >= 0 &&
-        !guards_[static_cast<std::size_t>(gi)](
-            f.attrs[static_cast<std::size_t>(in_attr_source_[s])], k))
+        !prog_.guards[static_cast<std::size_t>(gi)](
+            f.attrs[static_cast<std::size_t>(prog_.in_attr_source[s])], k))
       continue;
-    const std::uint32_t lag = in_lag_[s];
+    const std::uint32_t lag = prog_.in_lag[s];
     mp::Scalar cursor;
     if (lag == 0) {  // same-frame source: skip the frame lookup
-      cursor = f.value[static_cast<std::size_t>(in_src_[s])];
+      cursor = f.value[static_cast<std::size_t>(prog_.in_src[s])];
     } else if (lag > k) {
       cursor = mp::Scalar::e();  // simulation origin
     } else {
-      cursor = frame_at(k - lag)->value[static_cast<std::size_t>(in_src_[s])];
+      cursor =
+          frame_at(k - lag)->value[static_cast<std::size_t>(prog_.in_src[s])];
     }
     ++arc_terms_;
     if (cursor.is_eps()) continue;  // guarded-off upstream
-    const std::int32_t po = in_prog_off_[s];
+    const std::int32_t po = prog_.in_prog_off[s];
     if (po < 0) {
-      cursor = cursor * in_fixed_[s];  // pure delay, pre-folded
+      cursor = cursor * prog_.in_fixed[s];  // pure delay, pre-folded
     } else {
       const model::TokenAttrs& attrs =
-          f.attrs[static_cast<std::size_t>(in_attr_source_[s])];
-      const auto end = static_cast<std::size_t>(po + in_prog_len_[s]);
+          f.attrs[static_cast<std::size_t>(prog_.in_attr_source[s])];
+      const auto end = static_cast<std::size_t>(po + prog_.in_prog_len[s]);
       for (auto j = static_cast<std::size_t>(po); j < end; ++j) {
-        if (!op_exec_[j]) {
-          cursor = cursor * op_fixed_[j];
+        if (!prog_.op_exec[j]) {
+          cursor = cursor * prog_.op_fixed[j];
           continue;
         }
         const std::int64_t ops =
-            loads_[static_cast<std::size_t>(op_load_[j])](attrs, k);
+            prog_.loads[static_cast<std::size_t>(prog_.op_load[j])](attrs, k);
         // ResourceDesc::duration_for(ops), inlined with the pre-resolved
         // rate constant (identical arithmetic, hence identical instants).
         const std::int64_t d_ps =
             ops <= 0 ? 0
                      : static_cast<std::int64_t>(std::llround(
-                           static_cast<double>(ops) / op_rate_[j] * 1e12));
+                           static_cast<double>(ops) / prog_.op_rate[j] * 1e12));
         const mp::Scalar end_pos =
             cursor * mp::Scalar::from_duration(Duration::ps(d_ps));
         if (op_trace_[j] != nullptr) {

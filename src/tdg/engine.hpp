@@ -9,6 +9,7 @@
 #include "maxplus/scalar.hpp"
 #include "model/token.hpp"
 #include "tdg/graph.hpp"
+#include "tdg/program.hpp"
 #include "trace/instants.hpp"
 #include "trace/usage.hpp"
 
@@ -35,23 +36,36 @@
 /// resource usage with no simulator involvement.
 ///
 /// Construction *compiles* the frozen graph into a flat, cache-friendly
-/// program (docs/DESIGN.md §7): CSR adjacency, struct-of-arrays arc and
-/// segment tables with pre-folded fixed weights and pre-resolved resource
-/// rates, guard/load std::functions hoisted into dense side tables indexed
-/// only by the arcs that carry them, and observation sinks resolved to
-/// direct columnar pointers with interned labels. The propagation hot path
-/// never touches the Graph object, a map, or a string.
+/// program (tdg::Program, docs/DESIGN.md §7): CSR adjacency,
+/// struct-of-arrays arc and segment tables with pre-folded fixed weights
+/// and pre-resolved resource rates, guard/load std::functions hoisted into
+/// dense side tables indexed only by the arcs that carry them, and
+/// observation sinks resolved to direct columnar pointers with interned
+/// labels. The propagation hot path never touches the Graph object, a map,
+/// or a string. The same Program type also backs tdg::BatchEngine, which
+/// evaluates one program for N composed instances at once.
 
 namespace maxev::tdg {
 
 class Engine {
  public:
   struct Options {
+    /// Destination for computed channel instants (nodes with a non-empty
+    /// record_series name). Null = instants are not recorded. Resolved to
+    /// direct InstantSeries pointers at construction; consumed by
+    /// mark_known()/flush_instants() on the propagation hot path.
     trace::InstantTraceSet* instant_sink = nullptr;
+    /// Destination for execute-segment busy intervals ("observation
+    /// time"). Null = usage is not recorded. Resolved to per-op columnar
+    /// trace pointers with interned labels at construction; consumed by
+    /// compute() as segment positions are determined.
     trace::UsageTraceSet* usage_sink = nullptr;
     /// Expected iteration count (tokens). When non-zero, instant series and
-    /// usage traces are pre-sized so observation-on runs do not reallocate
-    /// mid-flight.
+    /// usage traces are pre-sized at construction (series to this count,
+    /// usage traces to observed-ops-per-iteration × this count) so
+    /// observation-on runs do not reallocate mid-flight. Plumbed from
+    /// core::EquivalentModel::Options / study::ScenarioOptions; 0 = no
+    /// pre-sizing.
     std::size_t expected_iterations = 0;
   };
 
@@ -151,56 +165,22 @@ class Engine {
   std::vector<std::function<void(std::uint64_t, TimePoint)>> callbacks_;
   std::vector<std::uint64_t> next_flush_;  // per node, for instant recording
 
-  // ---- Compiled program (see compile()) -----------------------------------
+  // ---- Compiled program (tdg::Program, shared type with BatchEngine) ------
   // Struct-of-arrays arc tables, *permuted into CSR slot order*: node n's
-  // in-arcs occupy slots [in_arc_offsets_[n], in_arc_offsets_[n+1]) of the
+  // in-arcs occupy slots [in_arc_offsets[n], in_arc_offsets[n+1]) of the
   // in_* arrays, its out-arcs the matching slots of the out_* arrays — the
-  // hot loops stream contiguous columns with no arc-id indirection.
-  std::vector<std::int32_t> in_arc_offsets_;   // n_nodes_ + 1
-  std::vector<NodeId> in_src_;
-  std::vector<std::uint32_t> in_lag_;
-  std::vector<model::SourceId> in_attr_source_;
-  std::vector<std::int32_t> in_guard_;     // index into guards_; -1 = none
-  std::vector<std::int32_t> in_prog_off_;  // index into op tables; -1 = pure fixed
-  std::vector<std::int32_t> in_prog_len_;
-  std::vector<mp::Scalar> in_fixed_;       // pure-fixed arcs: pre-folded weight
+  // hot loops stream contiguous columns with no arc-id indirection. Held by
+  // value: member access compiles to fixed offsets from `this`, same as the
+  // pre-extraction flat members.
+  Program prog_;
 
-  std::vector<std::int32_t> out_arc_offsets_;  // n_nodes_ + 1
-  std::vector<NodeId> out_dst_;
-  std::vector<std::uint32_t> out_lag_;
-
-  // Per-node CSR over the *lagged* (lag >= 1) in-arcs only — the part of
-  // frame initialization that depends on older frames; the static part
-  // (attr prerequisites + same-frame arcs) is pre-counted so a fresh
-  // frame's pending column is one memcpy plus a touch-up of the (few)
-  // nodes that actually have history arcs.
-  std::vector<std::int32_t> lagged_offsets_;   // n_nodes_ + 1
-  std::vector<NodeId> lagged_src_;
-  std::vector<std::uint32_t> lagged_lag_;
-  std::vector<std::int32_t> static_pending_;   // -1 for externally fed nodes
-  std::vector<NodeId> lagged_nodes_;           // nodes with >= 1 lagged in-arc
-  std::vector<NodeId> always_ready_;           // static_pending == 0, no lagged arcs
+  // ---- Sink bindings (compile()-time resolution of prog_'s observation
+  // metadata against this run's sinks) -------------------------------------
   /// Per-node hot flags (kRecords | kHasCallback): one byte instead of two
   /// pointer loads on every mark_known.
   std::vector<std::uint8_t> node_flags_;
-
-  // Segment program ops (arcs with execute segments); consecutive fixed
-  // segments are pre-folded into single entries:
-  std::vector<std::uint8_t> op_exec_;
-  std::vector<mp::Scalar> op_fixed_;           // fixed entries
-  std::vector<std::int32_t> op_load_;          // exec: index into loads_
-  std::vector<double> op_rate_;                // exec: resource ops/second
-  std::vector<trace::UsageTrace*> op_trace_;   // exec: sink or null
-  std::vector<std::int32_t> op_label_;         // exec: interned label id
-
-  // Hoisted std::function side tables (dense; indexed by the arcs/ops that
-  // actually carry a guard or load):
-  std::vector<GuardFn> guards_;
-  std::vector<model::LoadFn> loads_;
-
-  /// Per source: destination nodes of the attr-needing arcs (what set_attrs
-  /// decrements).
-  std::vector<std::vector<NodeId>> attr_dsts_by_source_;
+  std::vector<trace::UsageTrace*> op_trace_;   // per op: exec sink or null
+  std::vector<std::int32_t> op_label_;         // per op: interned label id
   std::vector<trace::InstantSeries*> record_series_;  // per node (or null)
   // --------------------------------------------------------------------------
 
