@@ -12,7 +12,11 @@
 ///  5. batched vs isolated multi-instance composition (docs/DESIGN.md §9):
 ///     N same-description LTE receivers in one kernel, evaluated through
 ///     one shared tdg::BatchEngine program vs the N-fold merged graph,
-///     swept over per-instance graph complexity (padding).
+///     swept over per-instance graph complexity (padding);
+///  6. heterogeneous sub-batch grouping (docs/DESIGN.md §10): a mixed
+///     4+4 composition of two carrier-aggregation receiver variants, each
+///     equal-structure quad on its own shared program, vs the
+///     fully-isolated merged graph.
 ///
 /// With `--json <path>` (or `--json=<path>`) the key metrics are also
 /// written as a JSON document — the repo's bench trajectory
@@ -257,6 +261,65 @@ int main(int argc, char** argv) {
               with_commas(static_cast<std::int64_t>(kBatchSymbols)).c_str(),
               t5.render().c_str());
 
+  // --- 6. heterogeneous sub-batch grouping ---------------------------------
+  // A mixed composition: 4+4 receivers of two carrier-aggregation variants
+  // (different bandwidths, hence structurally distinct descriptions). The
+  // grouped path runs each equal-structure quad through its own shared
+  // tdg::Program + BatchEngine; the isolated path compiles the 8-fold
+  // merged graph. Same padding sweep as Ablation 5.
+  constexpr std::size_t kMixedPerVariant = 4;
+  constexpr std::uint64_t kMixedSymbols = 2000;
+  const std::vector<lte::CarrierVariant> variants =
+      lte::carrier_aggregation_variants(2, kMixedSymbols, 2014);
+  std::vector<model::DescPtr> variant_descs;
+  for (const lte::CarrierVariant& v : variants)
+    variant_descs.push_back(model::share(lte::make_receiver(v.config)));
+  struct MixedRow {
+    std::size_t pad;
+    double isolated_s;
+    double batched_s;
+    double speedup;
+  };
+  std::vector<MixedRow> mixed_rows;
+  ConsoleTable t6({"pad/instance", "isolated (s)", "batched (s)", "speed-up"});
+  for (std::size_t pad : {0u, 100u, 400u}) {
+    std::vector<study::Scenario> parts;
+    for (std::size_t v = 0; v < variant_descs.size(); ++v) {
+      for (std::size_t i = 0; i < kMixedPerVariant; ++i) {
+        study::Scenario s(variants[v].name + "rx" + std::to_string(i),
+                          variant_descs[v]);
+        s.with_pad_nodes(pad);
+        parts.push_back(std::move(s));
+      }
+    }
+    const study::Scenario composed = study::compose("camix8", parts);
+    double wall[2] = {0.0, 0.0};
+    for (int batched = 0; batched < 2; ++batched) {
+      study::RunConfig rc;
+      rc.batch_composed = batched == 1;
+      double best = 1e100;
+      for (int rep = 0; rep < 3; ++rep) {
+        auto model = study::Backend::equivalent().instantiate(composed, rc);
+        const auto t0 = std::chrono::steady_clock::now();
+        (void)model->run();
+        best = std::min(
+            best, std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count());
+      }
+      wall[batched] = best;
+    }
+    const double speedup = wall[0] / wall[1];
+    mixed_rows.push_back({pad, wall[0], wall[1], speedup});
+    t6.add_row({format("%zu", pad), format("%.3f", wall[0]),
+                format("%.3f", wall[1]), format("%.2fx", speedup)});
+  }
+  std::printf("Ablation 6: heterogeneous sub-batches (%zu+%zu receivers of "
+              "two carrier variants, %s symbols each)\n%s\n",
+              kMixedPerVariant, kMixedPerVariant,
+              with_commas(static_cast<std::int64_t>(kMixedSymbols)).c_str(),
+              t6.render().c_str());
+
   if (!json_path.empty()) {
     JsonWriter w;
     w.begin_object();
@@ -299,6 +362,20 @@ int main(int argc, char** argv) {
       w.begin_object();
       w.field("instances", static_cast<std::uint64_t>(kBatchInstances));
       w.field("symbols", kBatchSymbols);
+      w.field("pad_nodes_per_instance", static_cast<std::uint64_t>(r.pad));
+      w.field("isolated_run_s", r.isolated_s);
+      w.field("batched_run_s", r.batched_s);
+      w.field("batched_speedup", r.speedup);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("mixed_batch_sweep").begin_array();
+    for (const MixedRow& r : mixed_rows) {
+      w.begin_object();
+      w.field("instances",
+              static_cast<std::uint64_t>(2 * kMixedPerVariant));
+      w.field("groups", static_cast<std::uint64_t>(2));
+      w.field("symbols", kMixedSymbols);
       w.field("pad_nodes_per_instance", static_cast<std::uint64_t>(r.pad));
       w.field("isolated_run_s", r.isolated_s);
       w.field("batched_run_s", r.batched_s);

@@ -9,11 +9,16 @@ between BENCH_<n>.json entries are visible at a glance. Timings on shared
 runners are indicative; the point is spotting order-of-magnitude drifts,
 not single-digit percentages.
 
-Exit code is always 0: the job is advisory, the table is the signal.
+Exit code: 0 when no metric regressed by more than REGRESSION_THRESHOLD
+(20%), 1 when at least one did (regressed rows carry a ⚠ marker). The
+bench job itself stays advisory — it turns a non-zero exit into a warning
+annotation instead of failing the build.
 """
 
 import json
 import sys
+
+REGRESSION_THRESHOLD = 0.20
 
 
 def load(path):
@@ -29,38 +34,60 @@ def fmt(value):
     return str(value)
 
 
-def delta(old, new):
+def rel_delta(old, new):
     if old is None or new is None or not isinstance(old, (int, float)) \
             or not isinstance(new, (int, float)) or old == 0:
-        return "-"
-    return f"{100.0 * (new - old) / old:+.1f}%"
+        return None
+    return (new - old) / old
+
+
+def delta_str(old, new):
+    d = rel_delta(old, new)
+    return "-" if d is None else f"{100.0 * d:+.1f}%"
 
 
 def rows(doc):
     """Flatten the comparable metrics of one bench_ablation document.
 
-    Lower-is-better metrics carry 'time' semantics (runs, ns); the sweeps
-    are keyed by their sweep parameter so entries align across documents
-    even when the sweep grids change.
+    Each entry maps a metric name to (value, direction), direction being
+    'lower' (times, ns) or 'higher' (speed-ups); None direction = not a
+    perf metric (informational only, never a regression). The sweeps are
+    keyed by their sweep parameter so entries align across documents even
+    when the sweep grids change.
     """
     out = {}
-    out["native event (ns)"] = doc.get("native_event_ns")
+    out["native event (ns)"] = (doc.get("native_event_ns"), "lower")
     fold = doc.get("fold", {})
-    out["fold: raw run (s)"] = fold.get("raw_run_s")
-    out["fold: folded run (s)"] = fold.get("folded_run_s")
+    out["fold: raw run (s)"] = (fold.get("raw_run_s"), "lower")
+    out["fold: folded run (s)"] = (fold.get("folded_run_s"), "lower")
     tb = doc.get("throughput_bound", {})
-    out["throughput bound rel. diff"] = tb.get("relative_difference")
+    out["throughput bound rel. diff"] = (tb.get("relative_difference"), None)
     for entry in doc.get("pad_sweep", []):
         key = f"pad {entry.get('pad_nodes')}: ns/token/node"
-        out[key] = entry.get("ns_per_token_per_node")
+        out[key] = (entry.get("ns_per_token_per_node"), "lower")
     for entry in doc.get("event_cost_sweep", []):
         key = f"event cost +{fmt(entry.get('event_overhead_ns'))}ns: speed-up"
-        out[key] = entry.get("speedup")
+        out[key] = (entry.get("speedup"), "higher")
     for entry in doc.get("batch_sweep", []):
         key = (f"batch x{entry.get('instances')} pad "
                f"{entry.get('pad_nodes_per_instance')}: speed-up")
-        out[key] = entry.get("batched_speedup")
+        out[key] = (entry.get("batched_speedup"), "higher")
+    for entry in doc.get("mixed_batch_sweep", []):
+        key = (f"mixed batch x{entry.get('instances')} "
+               f"({entry.get('groups')} groups) pad "
+               f"{entry.get('pad_nodes_per_instance')}: speed-up")
+        out[key] = (entry.get("batched_speedup"), "higher")
     return out
+
+
+def regressed(old, new, direction):
+    """True when the metric moved against its direction by > threshold."""
+    d = rel_delta(old, new)
+    if d is None or direction is None:
+        return False
+    if direction == "lower":
+        return d > REGRESSION_THRESHOLD
+    return d < -REGRESSION_THRESHOLD
 
 
 def main():
@@ -71,15 +98,25 @@ def main():
     old = rows(load(old_path))
     new = rows(load(new_path))
 
+    any_regression = False
     print(f"### Bench trajectory: `{old_path}` → `{new_path}`\n")
     print("| metric | old | new | delta |")
     print("|---|---|---|---|")
     for key in list(old.keys()) + [k for k in new if k not in old]:
-        o, n = old.get(key), new.get(key)
-        print(f"| {key} | {fmt(o)} | {fmt(n)} | {delta(o, n)} |")
+        o, direction = old.get(key, (None, None))
+        n, n_dir = new.get(key, (None, None))
+        mark = ""
+        if regressed(o, n, direction or n_dir):
+            any_regression = True
+            mark = " ⚠"
+        print(f"| {key}{mark} | {fmt(o)} | {fmt(n)} | {delta_str(o, n)} |")
     print()
     print("_Speed-ups: higher is better. Times/ns: lower is better. "
           "Shared-runner timings are indicative only._")
+    if any_regression:
+        print(f"\n**⚠ at least one metric regressed by more than "
+              f"{REGRESSION_THRESHOLD:.0%}.**")
+        return 1
     return 0
 
 

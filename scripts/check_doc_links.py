@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Check the repo's Markdown docs for dead relative links.
+
+Usage: check_doc_links.py [FILE.md ...]
+
+With no arguments, checks README.md and docs/*.md (run from anywhere; the
+repo root is resolved from this script's location). For every Markdown
+inline link `[text](target)` whose target is not an external URL
+(http/https/mailto) or a pure in-page anchor (#...), the referenced path —
+resolved relative to the linking file, anchors stripped — must exist.
+
+Exit code: 0 when every link resolves, 1 otherwise (one line per dead
+link). Wired into the advisory CI docs job.
+"""
+
+import os
+import re
+import sys
+
+# Inline links, excluding images' alt-text brackets handled identically;
+# the target group stops at the first closing paren (no nested parens in
+# this repo's docs).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def links_of(path):
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+    # Fenced code blocks frequently contain bracket/paren sequences that
+    # are not links (e.g. C++ lambdas); strip them before matching.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    text = re.sub(r"`[^`\n]*`", "", text)
+    return LINK_RE.findall(text)
+
+
+def main():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    files = sys.argv[1:]
+    if not files:
+        files = [os.path.join(root, "README.md")]
+        docs = os.path.join(root, "docs")
+        if os.path.isdir(docs):
+            files += sorted(
+                os.path.join(docs, f) for f in os.listdir(docs)
+                if f.endswith(".md"))
+
+    dead = []
+    for path in files:
+        if not os.path.isfile(path):
+            dead.append((path, "(file itself missing)"))
+            continue
+        base = os.path.dirname(path)
+        for target in links_of(path):
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            if not os.path.exists(os.path.join(base, rel)):
+                dead.append((path, target))
+
+    for path, target in dead:
+        print(f"dead link: {os.path.relpath(path, root)} -> {target}")
+    if dead:
+        print(f"{len(dead)} dead link(s) found.", file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} file(s): all relative links resolve.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "tdg/simplify.hpp"
 #include "util/error.hpp"
@@ -10,6 +11,64 @@ namespace maxev::core {
 
 using model::ChannelKind;
 using model::Token;
+
+namespace {
+
+/// Validate that the merged description's slice at \p span is a structural
+/// replication of \p base under the "<name>/" namespace prefix — the
+/// per-member generalization of the PR-4 N-fold validator, checking the
+/// same surface as model::structurally_equal (table blocks, prefixed
+/// names, resource policies/rates, channel kinds/capacities, function body
+/// sizes, source token counts). Workload/schedule std::functions cannot be
+/// compared; the study layer guarantees them by handing every member the
+/// same shared description (docs/DESIGN.md §10).
+void validate_replication(const model::ArchitectureDesc& merged,
+                          const model::ArchitectureDesc& base,
+                          const std::string& name,
+                          const BatchEquivalentModel::InstanceSpan& span) {
+  const std::string prefix = name + "/";
+  const auto mismatch = [&](const std::string& what) {
+    throw DescriptionError(
+        "BatchEquivalentModel: merged description disagrees with the group "
+        "base on " + what + " of instance '" + name + "'");
+  };
+  if (span.res + base.resources().size() > merged.resources().size() ||
+      span.ch + base.channels().size() > merged.channels().size() ||
+      span.fn + base.functions().size() > merged.functions().size() ||
+      span.src + base.sources().size() > merged.sources().size() ||
+      span.sink + base.sinks().size() > merged.sinks().size())
+    throw DescriptionError(
+        "BatchEquivalentModel: instance '" + name +
+        "' span exceeds the merged description's tables");
+  for (std::size_t r = 0; r < base.resources().size(); ++r) {
+    const auto& m = merged.resources()[span.res + r];
+    const auto& b = base.resources()[r];
+    if (m.name != prefix + b.name || m.policy != b.policy ||
+        m.ops_per_second != b.ops_per_second)
+      mismatch("resource '" + b.name + "'");
+  }
+  for (std::size_t c = 0; c < base.channels().size(); ++c) {
+    const auto& m = merged.channels()[span.ch + c];
+    const auto& b = base.channels()[c];
+    if (m.name != prefix + b.name || m.kind != b.kind ||
+        m.capacity != b.capacity)
+      mismatch("channel '" + b.name + "'");
+  }
+  for (std::size_t f = 0; f < base.functions().size(); ++f) {
+    const auto& m = merged.functions()[span.fn + f];
+    const auto& b = base.functions()[f];
+    if (m.name != prefix + b.name || m.body.size() != b.body.size())
+      mismatch("function '" + b.name + "'");
+  }
+  for (std::size_t s = 0; s < base.sources().size(); ++s) {
+    const auto& m = merged.sources()[span.src + s];
+    const auto& b = base.sources()[s];
+    if (m.name != prefix + b.name || m.count != b.count)
+      mismatch("source '" + b.name + "'");
+  }
+}
+
+}  // namespace
 
 BatchEquivalentModel::BatchEquivalentModel(model::DescPtr merged,
                                            model::DescPtr base,
@@ -23,98 +82,151 @@ BatchEquivalentModel::BatchEquivalentModel(model::DescPtr merged,
                                            std::vector<std::string> names,
                                            std::vector<bool> group,
                                            Options opts)
-    : desc_(std::move(merged)),
-      base_desc_(std::move(base)),
-      instance_names_(std::move(names)),
-      group_(std::move(group)) {
-  if (desc_ == nullptr || base_desc_ == nullptr)
-    throw DescriptionError("BatchEquivalentModel: null description");
-  width_ = instance_names_.size();
-  if (width_ == 0)
-    throw DescriptionError("BatchEquivalentModel: no instances");
-
-  const model::ArchitectureDesc& bd = *base_desc_;
-  // The merged description must be an N-fold replication of the base one:
-  // instance i's entities occupy the contiguous id block [i * n, (i+1) * n)
-  // of every table (study::compose() builds exactly this layout). Checked
-  // structurally — table sizes, namespaced names, resource policies/rates,
-  // channel kinds/capacities, source token counts. Workload/schedule
-  // std::functions cannot be compared; the study layer guarantees them by
-  // pointer identity of the shared description (Scenario::batch_base()).
-  if (desc_->functions().size() != width_ * bd.functions().size() ||
-      desc_->channels().size() != width_ * bd.channels().size() ||
-      desc_->resources().size() != width_ * bd.resources().size() ||
-      desc_->sources().size() != width_ * bd.sources().size() ||
-      desc_->sinks().size() != width_ * bd.sinks().size())
+    : BatchEquivalentModel(
+          std::move(merged),
+          [&]() -> std::vector<GroupSpec> {
+            if (base == nullptr)
+              throw DescriptionError("BatchEquivalentModel: null description");
+            GroupSpec spec;
+            spec.base = base;
+            spec.group = std::move(group);
+            spec.names = std::move(names);
+            // The homogeneous layout: instance i occupies the contiguous
+            // block [i * n, (i + 1) * n) of every merged table.
+            for (std::size_t i = 0; i < spec.names.size(); ++i) {
+              InstanceSpan span;
+              span.fn = i * base->functions().size();
+              span.ch = i * base->channels().size();
+              span.res = i * base->resources().size();
+              span.src = i * base->sources().size();
+              span.sink = i * base->sinks().size();
+              spec.spans.push_back(span);
+            }
+            return {std::move(spec)};
+          }(),
+          std::move(opts)) {
+  // The N-fold shape promised by the convenience signature: the merged
+  // tables are *exactly* N base blocks (the grouped constructor only
+  // bounds-checks each span, since groups may interleave with a
+  // remainder).
+  const model::ArchitectureDesc& bd = *groups_[0].base;
+  const std::size_t width = groups_[0].names.size();
+  if (desc_->functions().size() != width * bd.functions().size() ||
+      desc_->channels().size() != width * bd.channels().size() ||
+      desc_->resources().size() != width * bd.resources().size() ||
+      desc_->sources().size() != width * bd.sources().size() ||
+      desc_->sinks().size() != width * bd.sinks().size())
     throw DescriptionError(
         "BatchEquivalentModel: merged description is not an N-fold "
         "replication of the base description");
-  const auto mismatch = [](const std::string& what) {
-    throw DescriptionError(
-        "BatchEquivalentModel: merged description disagrees with the base "
-        "description on " + what);
-  };
-  for (std::size_t i = 0; i < width_; ++i) {
-    const std::string prefix = instance_names_[i] + "/";
-    for (std::size_t r = 0; r < bd.resources().size(); ++r) {
-      const auto& m = desc_->resources()[i * bd.resources().size() + r];
-      const auto& b = bd.resources()[r];
-      if (m.name != prefix + b.name || m.policy != b.policy ||
-          m.ops_per_second != b.ops_per_second)
-        mismatch("resource '" + b.name + "' of instance '" +
-                 instance_names_[i] + "'");
-    }
-    for (std::size_t c = 0; c < bd.channels().size(); ++c) {
-      const auto& m = desc_->channels()[i * bd.channels().size() + c];
-      const auto& b = bd.channels()[c];
-      if (m.name != prefix + b.name || m.kind != b.kind ||
-          m.capacity != b.capacity)
-        mismatch("channel '" + b.name + "' of instance '" +
-                 instance_names_[i] + "'");
-    }
-    for (std::size_t f = 0; f < bd.functions().size(); ++f) {
-      const auto& m = desc_->functions()[i * bd.functions().size() + f];
-      const auto& b = bd.functions()[f];
-      if (m.name != prefix + b.name || m.body.size() != b.body.size())
-        mismatch("function '" + b.name + "' of instance '" +
-                 instance_names_[i] + "'");
-    }
-    for (std::size_t s = 0; s < bd.sources().size(); ++s) {
-      const auto& m = desc_->sources()[i * bd.sources().size() + s];
-      const auto& b = bd.sources()[s];
-      if (m.name != prefix + b.name || m.count != b.count)
-        mismatch("source '" + b.name + "' of instance '" +
-                 instance_names_[i] + "'");
-    }
+}
+
+BatchEquivalentModel::BatchEquivalentModel(model::DescPtr merged,
+                                           std::vector<GroupSpec> groups,
+                                           Options opts)
+    : desc_(std::move(merged)) {
+  if (desc_ == nullptr)
+    throw DescriptionError("BatchEquivalentModel: null description");
+  if (groups.empty())
+    throw DescriptionError("BatchEquivalentModel: no sub-batches");
+
+  groups_.reserve(groups.size());
+  for (GroupSpec& spec : groups) {
+    if (spec.base == nullptr)
+      throw DescriptionError("BatchEquivalentModel: null group base");
+    if (spec.names.empty() || spec.names.size() != spec.spans.size())
+      throw DescriptionError(
+          "BatchEquivalentModel: group needs matching member names/spans");
+    Group g;
+    g.base = std::move(spec.base);
+    g.gflags = std::move(spec.group);
+    if (g.gflags.empty()) g.gflags.assign(g.base->functions().size(), true);
+    g.gflags.resize(g.base->functions().size(), false);
+    g.names = std::move(spec.names);
+    g.spans = std::move(spec.spans);
+    for (std::size_t m = 0; m < g.names.size(); ++m)
+      validate_replication(*desc_, *g.base, g.names[m], g.spans[m]);
+    groups_.push_back(std::move(g));
   }
 
-  if (group_.empty()) group_.assign(bd.functions().size(), true);
-  group_.resize(bd.functions().size(), false);
+  // Members must occupy pairwise-disjoint blocks of the merged tables:
+  // overlapping spans would pass each per-member replication check yet
+  // wire two gated readers / emission processes onto one channel. Checked
+  // on the function table (every instance owns >= 1 function, and the
+  // other tables follow the same composition layout).
+  std::vector<std::pair<std::size_t, std::size_t>> fn_blocks;
+  for (const Group& g : groups_)
+    for (const InstanceSpan& span : g.spans)
+      fn_blocks.emplace_back(span.fn, span.fn + g.base->functions().size());
+  std::sort(fn_blocks.begin(), fn_blocks.end());
+  for (std::size_t i = 1; i < fn_blocks.size(); ++i)
+    if (fn_blocks[i].first < fn_blocks[i - 1].second)
+      throw DescriptionError(
+          "BatchEquivalentModel: sub-batch member spans overlap");
 
-  // Compile the *base* abstraction group once; every instance shares the
-  // resulting program.
-  tdg::DerivedTdg derived = tdg::derive_tdg(bd, group_);
+  // Simulate everything outside the abstracted functions from the merged
+  // description — the identical runtime the merged equivalent model uses,
+  // so kernel behaviour (and every per-instance trace) matches it bit for
+  // bit. Skip flags: every group member's abstracted functions at its
+  // span, plus the isolated remainder's merged-level flags.
+  std::vector<bool> merged_skip(desc_->functions().size(), false);
+  for (const Group& g : groups_)
+    for (const InstanceSpan& span : g.spans)
+      for (std::size_t f = 0; f < g.gflags.size(); ++f)
+        if (g.gflags[f]) merged_skip[span.fn + f] = true;
+  if (!opts.isolated_group.empty()) {
+    if (opts.isolated_group.size() != desc_->functions().size())
+      throw DescriptionError(
+          "BatchEquivalentModel: isolated_group must be merged-sized");
+    for (std::size_t f = 0; f < merged_skip.size(); ++f) {
+      if (!opts.isolated_group[f]) continue;
+      if (merged_skip[f])
+        throw DescriptionError(
+            "BatchEquivalentModel: isolated_group overlaps a sub-batch");
+      merged_skip[f] = true;
+    }
+  }
+  runtime_ =
+      std::make_unique<model::ModelRuntime>(desc_, merged_skip, opts.observe);
+
+  for (std::size_t g = 0; g < groups_.size(); ++g) build_group(g, opts);
+  build_isolated(opts);
+
+  // Iteration fronts drain at timestep boundaries: every instance's feeds
+  // of one simulated instant accumulate before one batched propagation —
+  // one hook flushing every sub-batch engine (the isolated remainder's
+  // inline engine propagates eagerly and needs no flush).
+  runtime_->kernel().set_timestep_hook([this] {
+    bool any = false;
+    for (Group& g : groups_) any = g.engine->flush() || any;
+    return any;
+  });
+
+  for (std::size_t i = 0; i < inputs_.size(); ++i) wire_input(i);
+  for (std::size_t i = 0; i < outputs_.size(); ++i) wire_output(i);
+  for (std::size_t i = 0; i < iso_inputs_.size(); ++i) wire_iso_input(i);
+  for (std::size_t i = 0; i < iso_outputs_.size(); ++i) wire_iso_output(i);
+}
+
+void BatchEquivalentModel::build_group(std::size_t gi, const Options& opts) {
+  Group& grp = groups_[gi];
+  const model::ArchitectureDesc& bd = *grp.base;
+  const std::size_t width = grp.names.size();
+
+  // Compile the group's base abstraction once; every member shares the
+  // resulting program (one tdg::Program per sub-batch).
+  tdg::DerivedTdg derived = tdg::derive_tdg(bd, grp.gflags);
   tdg::Graph g = std::move(derived.graph);
   if (opts.fold) g = tdg::fold_pass_through(g);
   if (opts.pad_nodes > 0) g = tdg::pad_graph(g, opts.pad_nodes);
   g.freeze();
-  graph_ = std::move(g);
-
-  // Simulate everything outside the group from the merged description —
-  // the identical runtime the merged equivalent model uses, so kernel
-  // behaviour (and every per-instance trace) matches it bit for bit.
-  std::vector<bool> merged_skip;
-  merged_skip.reserve(width_ * group_.size());
-  for (std::size_t i = 0; i < width_; ++i)
-    merged_skip.insert(merged_skip.end(), group_.begin(), group_.end());
-  runtime_ =
-      std::make_unique<model::ModelRuntime>(desc_, merged_skip, opts.observe);
+  grp.graph = std::move(g);
 
   tdg::BatchEngine::Options eng_opts;
-  eng_opts.instances.resize(width_);
-  for (std::size_t i = 0; i < width_; ++i) {
+  eng_opts.instances.resize(width);
+  for (std::size_t i = 0; i < width; ++i) {
     tdg::BatchEngine::InstanceSinks& sinks = eng_opts.instances[i];
-    sinks.scope = instance_names_[i] + "/";
+    sinks.scope = grp.names[i] + "/";
     if (opts.observe) {
       sinks.instant_sink = &runtime_->mutable_instants();
       sinks.usage_sink = &runtime_->mutable_usage();
@@ -125,34 +237,36 @@ BatchEquivalentModel::BatchEquivalentModel(model::DescPtr merged,
                                        ? opts.expected_iterations
                                        : bd.max_source_tokens();
   }
-  engine_ = std::make_unique<tdg::BatchEngine>(graph_, std::move(eng_opts));
-
-  // Iteration fronts drain at timestep boundaries: every instance's feeds
-  // of one simulated instant accumulate before one batched propagation.
-  runtime_->kernel().set_timestep_hook([this] { return engine_->flush(); });
+  grp.engine =
+      std::make_unique<tdg::BatchEngine>(grp.graph, std::move(eng_opts));
 
   // Resolve boundary nodes by name once (fold/pad preserve names; the node
-  // ids are shared by every instance) and wire the reception/emission
-  // machinery per instance.
-  auto resolve = [this](const std::string& name) {
+  // ids are shared by every member).
+  auto resolve = [&grp](const std::string& name) {
     if (name.empty()) return tdg::kNoNode;
-    const tdg::NodeId n = graph_.find(name);
+    const tdg::NodeId n = grp.graph.find(name);
     if (n == tdg::kNoNode)
       throw Error("BatchEquivalentModel: boundary node '" + name +
                   "' missing after graph transforms");
     return n;
   };
 
-  const auto n_ch = static_cast<model::ChannelId>(bd.channels().size());
-  inputs_.reserve(width_ * derived.inputs.size());
-  outputs_.reserve(width_ * derived.outputs.size());
-  for (std::size_t i = 0; i < width_; ++i) {
+  grp.in_begin = inputs_.size();
+  grp.n_in = derived.inputs.size();
+  grp.out_begin = outputs_.size();
+  grp.n_out = derived.outputs.size();
+  inputs_.reserve(inputs_.size() + width * derived.inputs.size());
+  outputs_.reserve(outputs_.size() + width * derived.outputs.size());
+  for (std::size_t i = 0; i < width; ++i) {
+    const InstanceSpan& span = grp.spans[i];
     for (const auto& bi : derived.inputs) {
       InputState st;
       st.meta = bi;
+      st.grp = gi;
       st.inst = i;
+      st.src_base = static_cast<model::SourceId>(span.src);
       st.merged_channel =
-          bi.channel + static_cast<model::ChannelId>(i) * n_ch;
+          bi.channel + static_cast<model::ChannelId>(span.ch);
       st.u = resolve(bi.u_node);
       st.x = resolve(bi.x_node);
       st.xw = resolve(bi.xw_node);
@@ -162,9 +276,11 @@ BatchEquivalentModel::BatchEquivalentModel(model::DescPtr merged,
     for (const auto& bo : derived.outputs) {
       OutputState st;
       st.meta = bo;
+      st.grp = gi;
       st.inst = i;
+      st.src_base = static_cast<model::SourceId>(span.src);
       st.merged_channel =
-          bo.channel + static_cast<model::ChannelId>(i) * n_ch;
+          bo.channel + static_cast<model::ChannelId>(span.ch);
       st.offer = resolve(bo.offer_node);
       st.actual = resolve(bo.actual_node);
       st.xr_actual = resolve(bo.xr_actual_node);
@@ -172,25 +288,85 @@ BatchEquivalentModel::BatchEquivalentModel(model::DescPtr merged,
       outputs_.push_back(std::move(st));
     }
   }
+}
 
-  for (std::size_t i = 0; i < inputs_.size(); ++i) wire_input(i);
-  for (std::size_t i = 0; i < outputs_.size(); ++i) wire_output(i);
+void BatchEquivalentModel::build_isolated(const Options& opts) {
+  bool any = false;
+  for (const bool f : opts.isolated_group) any = any || f;
+  if (!any) return;
+
+  // The isolated remainder IS the merged path, scoped to the leftover
+  // instances: one TDG derived from the merged description restricted to
+  // their abstracted functions, evaluated by one inline tdg::Engine. Node
+  // and trace names already carry the instance prefixes (they come from
+  // the merged description), so the engine's sinks bind directly.
+  tdg::DerivedTdg derived = tdg::derive_tdg(*desc_, opts.isolated_group);
+  tdg::Graph g = std::move(derived.graph);
+  if (opts.fold) g = tdg::fold_pass_through(g);
+  // pad_nodes is per instance: the remainder graph spans
+  // isolated_instances of them (the same accounting the fully-isolated
+  // merged path applies N-fold).
+  if (opts.pad_nodes > 0)
+    g = tdg::pad_graph(g, opts.pad_nodes * opts.isolated_instances);
+  g.freeze();
+  iso_graph_ = std::move(g);
+
+  tdg::Engine::Options eng_opts;
+  if (opts.observe) {
+    eng_opts.instant_sink = &runtime_->mutable_instants();
+    eng_opts.usage_sink = &runtime_->mutable_usage();
+    eng_opts.expected_iterations = opts.expected_iterations > 0
+                                       ? opts.expected_iterations
+                                       : desc_->max_source_tokens();
+  }
+  iso_engine_ = std::make_unique<tdg::Engine>(iso_graph_, eng_opts);
+
+  auto resolve = [this](const std::string& name) {
+    if (name.empty()) return tdg::kNoNode;
+    const tdg::NodeId n = iso_graph_.find(name);
+    if (n == tdg::kNoNode)
+      throw Error("BatchEquivalentModel: boundary node '" + name +
+                  "' missing after graph transforms");
+    return n;
+  };
+
+  iso_inputs_.reserve(derived.inputs.size());
+  for (const auto& bi : derived.inputs) {
+    IsoInputState st;
+    st.meta = bi;
+    st.u = resolve(bi.u_node);
+    st.x = resolve(bi.x_node);
+    st.xw = resolve(bi.xw_node);
+    st.xr = resolve(bi.xr_node);
+    iso_inputs_.push_back(std::move(st));
+  }
+  iso_outputs_.reserve(derived.outputs.size());
+  for (const auto& bo : derived.outputs) {
+    IsoOutputState st;
+    st.meta = bo;
+    st.offer = resolve(bo.offer_node);
+    st.actual = resolve(bo.actual_node);
+    st.xr_actual = resolve(bo.xr_actual_node);
+    if (st.actual == st.offer) st.actual = tdg::kNoNode;  // single-node case
+    iso_outputs_.push_back(std::move(st));
+  }
 }
 
 void BatchEquivalentModel::wire_input(std::size_t idx) {
   InputState& st = inputs_[idx];
+  tdg::BatchEngine* engine = groups_[st.grp].engine.get();
   model::ChannelRt* ch = runtime_->channel(st.merged_channel);
   if (ch == nullptr)
     throw Error("BatchEquivalentModel: input channel not constructed");
-  const auto n_src =
-      static_cast<model::SourceId>(base_desc_->sources().size());
 
   if (!st.meta.fifo) {
     // Rendezvous input: gated reader. On each offer, feed u(k) and the
-    // token attributes, then park — the deferred engine computes x_in(k)
-    // at the timestep boundary and the on_known callback completes the
-    // rendezvous there, at the same simulated instant a solo run would.
-    engine_->on_known(st.inst, st.x, [this, idx](std::uint64_t k, TimePoint t) {
+    // token attributes, then answer inline when the completion x_in(k) is
+    // already computable (resolve_now — the inline-resume fast path);
+    // otherwise park, and the deferred engine computes x_in(k) at the
+    // timestep boundary, completing the rendezvous there — at the same
+    // simulated instant a solo run would.
+    engine->on_known(st.inst, st.x, [this, idx](std::uint64_t k, TimePoint t) {
       InputState& s = inputs_[idx];
       if (s.parked && s.parked_k == k) {
         s.parked = false;
@@ -199,20 +375,19 @@ void BatchEquivalentModel::wire_input(std::size_t idx) {
       }
     });
     ch->rendezvous->set_gated_reader(
-        [this, idx, n_src](TimePoint offer,
-                           const Token& tok) -> std::optional<TimePoint> {
+        [this, idx, engine](TimePoint offer,
+                            const Token& tok) -> std::optional<TimePoint> {
           InputState& s = inputs_[idx];
           const std::uint64_t k = s.next_k++;
           // Token sources carry merged ids; the engine speaks base ids.
-          engine_->set_attrs(
-              s.inst, tok.source - static_cast<model::SourceId>(s.inst) * n_src,
-              k, tok.attrs);
-          engine_->set_external(s.inst, s.u, k, offer);
-          // Deferred propagation: x_in(k) is normally computed at the next
-          // timestep boundary, so park. The value can pre-exist only when
-          // a guard disconnected it from u(k) in an earlier front — then
-          // answer synchronously (no on_known will fire again for it).
-          if (auto v = engine_->value(s.inst, s.x, k)) return *v;
+          engine->set_attrs(s.inst, tok.source - s.src_base, k, tok.attrs);
+          engine->set_external(s.inst, s.u, k, offer);
+          // Pre-existing value: a guard disconnected x from u in an
+          // earlier front (no on_known will fire again for it).
+          if (auto v = engine->value(s.inst, s.x, k)) return *v;
+          // Inline fast path: every prerequisite of x_in(k) is known, so
+          // compute it now and answer without a queued resume.
+          if (auto v = engine->resolve_now(s.inst, s.x, k)) return *v;
           s.parked = true;
           s.parked_k = k;
           return std::nullopt;
@@ -222,16 +397,14 @@ void BatchEquivalentModel::wire_input(std::size_t idx) {
     // tokens at the computed read instants.
     st.ready = std::make_unique<sim::Event>(runtime_->kernel(),
                                             "vread:" + std::to_string(idx));
-    engine_->on_known(st.inst, st.xr, [this, idx](std::uint64_t, TimePoint) {
+    engine->on_known(st.inst, st.xr, [this, idx](std::uint64_t, TimePoint) {
       inputs_[idx].ready->notify();
     });
     ch->fifo->on_write_complete(
-        [this, idx, n_src](std::uint64_t k, TimePoint t, const Token& tok) {
+        [this, idx, engine](std::uint64_t k, TimePoint t, const Token& tok) {
           InputState& s = inputs_[idx];
-          engine_->set_attrs(
-              s.inst, tok.source - static_cast<model::SourceId>(s.inst) * n_src,
-              k, tok.attrs);
-          engine_->set_external(s.inst, s.xw, k, t);
+          engine->set_attrs(s.inst, tok.source - s.src_base, k, tok.attrs);
+          engine->set_external(s.inst, s.xw, k, t);
         });
     runtime_->kernel().spawn(
         "vreader:" + desc_->channels()[st.merged_channel].name,
@@ -241,48 +414,50 @@ void BatchEquivalentModel::wire_input(std::size_t idx) {
 
 sim::Process BatchEquivalentModel::virtual_fifo_reader_proc(std::size_t idx) {
   InputState& st = inputs_[idx];
+  tdg::BatchEngine* engine = groups_[st.grp].engine.get();
   model::ChannelRt* ch = runtime_->channel(st.merged_channel);
   for (std::uint64_t k = 0;; ++k) {
     std::optional<TimePoint> t;
-    while (!(t = engine_->value(st.inst, st.xr, k)))
+    while (!(t = engine->value(st.inst, st.xr, k)))
       co_await st.ready->wait();
     co_await runtime_->kernel().delay_until(*t);
     (void)co_await ch->fifo->read();
     st.consumed = k + 1;
-    raise_retain_floor(st.inst);
+    raise_retain_floor(st.grp, st.inst);
   }
 }
 
 void BatchEquivalentModel::wire_output(std::size_t idx) {
   OutputState& st = outputs_[idx];
+  tdg::BatchEngine* engine = groups_[st.grp].engine.get();
   model::ChannelRt* ch = runtime_->channel(st.merged_channel);
   if (ch == nullptr)
     throw Error("BatchEquivalentModel: output channel not constructed");
 
   st.ready = std::make_unique<sim::Event>(runtime_->kernel(),
                                           "emit:" + std::to_string(idx));
-  engine_->on_known(st.inst, st.offer, [this, idx](std::uint64_t, TimePoint) {
+  engine->on_known(st.inst, st.offer, [this, idx](std::uint64_t, TimePoint) {
     outputs_[idx].ready->notify();
   });
 
   if (!st.meta.fifo) {
     if (st.actual != tdg::kNoNode) {
       ch->rendezvous->on_transfer(
-          [this, idx](std::uint64_t k, TimePoint t, const Token&) {
+          [this, idx, engine](std::uint64_t k, TimePoint t, const Token&) {
             OutputState& s = outputs_[idx];
-            engine_->set_external(s.inst, s.actual, k, t);
+            engine->set_external(s.inst, s.actual, k, t);
           });
     }
   } else {
     ch->fifo->on_write_complete(
-        [this, idx](std::uint64_t k, TimePoint t, const Token&) {
+        [this, idx, engine](std::uint64_t k, TimePoint t, const Token&) {
           OutputState& s = outputs_[idx];
-          engine_->set_external(s.inst, s.actual, k, t);
+          engine->set_external(s.inst, s.actual, k, t);
         });
     ch->fifo->on_read_complete(
-        [this, idx](std::uint64_t k, TimePoint t, const Token&) {
+        [this, idx, engine](std::uint64_t k, TimePoint t, const Token&) {
           OutputState& s = outputs_[idx];
-          engine_->set_external(s.inst, s.xr_actual, k, t);
+          engine->set_external(s.inst, s.xr_actual, k, t);
         });
   }
 
@@ -293,20 +468,19 @@ void BatchEquivalentModel::wire_output(std::size_t idx) {
 
 sim::Process BatchEquivalentModel::emission_proc(std::size_t idx) {
   OutputState& st = outputs_[idx];
+  tdg::BatchEngine* engine = groups_[st.grp].engine.get();
   model::ChannelRt* ch = runtime_->channel(st.merged_channel);
-  const auto n_src = static_cast<model::SourceId>(base_desc_->sources().size());
   for (std::uint64_t k = 0;; ++k) {
     std::optional<TimePoint> y;
-    while (!(y = engine_->value(st.inst, st.offer, k)))
+    while (!(y = engine->value(st.inst, st.offer, k)))
       co_await st.ready->wait();
 
     // Build the output token from the stored provenance attributes, under
     // the merged source id (what the merged model's consumers see).
     Token tok;
     tok.k = k;
-    tok.source =
-        st.meta.provenance + static_cast<model::SourceId>(st.inst) * n_src;
-    if (auto attrs = engine_->attrs_of(st.inst, st.meta.provenance, k))
+    tok.source = st.meta.provenance + st.src_base;
+    if (auto attrs = engine->attrs_of(st.inst, st.meta.provenance, k))
       tok.attrs = *attrs;
 
     co_await runtime_->kernel().delay_until(*y);
@@ -316,31 +490,200 @@ sim::Process BatchEquivalentModel::emission_proc(std::size_t idx) {
       co_await ch->fifo->write(tok);
     }
     st.emitted = k + 1;
-    raise_retain_floor(st.inst);
+    raise_retain_floor(st.grp, st.inst);
   }
 }
 
-void BatchEquivalentModel::raise_retain_floor(std::size_t inst) {
-  // Per-instance floor: an instance's frames may be reclaimed once every
-  // one of *its* boundary consumers has moved past them; the shared arena
-  // additionally waits for every other instance (BatchEngine takes the
-  // minimum across lanes). inputs_/outputs_ are instance-major, so one
-  // instance's boundary states are a contiguous span — this runs per
-  // emitted/consumed token and must not scan the whole batch.
-  const std::size_t n_out = outputs_.size() / width_;
-  const std::size_t n_in = inputs_.size() / width_;
+void BatchEquivalentModel::raise_retain_floor(std::size_t grp,
+                                              std::size_t inst) {
+  // Per-member floor: a member's frames may be reclaimed once every one of
+  // *its* boundary consumers has moved past them; the group's shared arena
+  // additionally waits for every other member (BatchEngine takes the
+  // minimum across lanes). A group's boundary states are member-major
+  // contiguous spans — this runs per emitted/consumed token and must not
+  // scan the whole batch.
+  const Group& g = groups_[grp];
   std::uint64_t floor = std::numeric_limits<std::uint64_t>::max();
   bool any = false;
-  for (std::size_t b = inst * n_out; b < (inst + 1) * n_out; ++b) {
+  for (std::size_t b = g.out_begin + inst * g.n_out;
+       b < g.out_begin + (inst + 1) * g.n_out; ++b) {
     floor = std::min(floor, outputs_[b].emitted);
     any = true;
   }
-  for (std::size_t b = inst * n_in; b < (inst + 1) * n_in; ++b) {
+  for (std::size_t b = g.in_begin + inst * g.n_in;
+       b < g.in_begin + (inst + 1) * g.n_in; ++b) {
     if (!inputs_[b].meta.fifo) continue;
     floor = std::min(floor, inputs_[b].consumed);
     any = true;
   }
-  if (any) engine_->set_retain_floor(inst, floor);
+  if (any) g.engine->set_retain_floor(inst, floor);
+}
+
+void BatchEquivalentModel::wire_iso_input(std::size_t idx) {
+  IsoInputState& st = iso_inputs_[idx];
+  model::ChannelRt* ch = runtime_->channel(st.meta.channel);
+  if (ch == nullptr)
+    throw Error("BatchEquivalentModel: isolated input channel not constructed");
+
+  if (!st.meta.fifo) {
+    iso_engine_->on_known(st.x, [this, idx](std::uint64_t k, TimePoint t) {
+      IsoInputState& s = iso_inputs_[idx];
+      if (s.parked && s.parked_k == k) {
+        s.parked = false;
+        model::ChannelRt* c = runtime_->channel(s.meta.channel);
+        c->rendezvous->resolve_gated(t);
+      }
+    });
+    ch->rendezvous->set_gated_reader(
+        [this, idx](TimePoint offer,
+                    const Token& tok) -> std::optional<TimePoint> {
+          IsoInputState& s = iso_inputs_[idx];
+          const std::uint64_t k = s.next_k++;
+          iso_engine_->set_attrs(tok.source, k, tok.attrs);
+          iso_engine_->set_external(s.u, k, offer);
+          if (auto v = iso_engine_->value(s.x, k)) return *v;
+          s.parked = true;
+          s.parked_k = k;
+          return std::nullopt;
+        });
+  } else {
+    st.ready = std::make_unique<sim::Event>(
+        runtime_->kernel(), "iso-vread:" + std::to_string(idx));
+    iso_engine_->on_known(st.xr, [this, idx](std::uint64_t, TimePoint) {
+      iso_inputs_[idx].ready->notify();
+    });
+    ch->fifo->on_write_complete(
+        [this, idx](std::uint64_t k, TimePoint t, const Token& tok) {
+          IsoInputState& s = iso_inputs_[idx];
+          iso_engine_->set_attrs(tok.source, k, tok.attrs);
+          iso_engine_->set_external(s.xw, k, t);
+        });
+    runtime_->kernel().spawn(
+        "vreader:" + desc_->channels()[st.meta.channel].name,
+        [this, idx] { return iso_virtual_fifo_reader_proc(idx); });
+  }
+}
+
+sim::Process BatchEquivalentModel::iso_virtual_fifo_reader_proc(
+    std::size_t idx) {
+  IsoInputState& st = iso_inputs_[idx];
+  model::ChannelRt* ch = runtime_->channel(st.meta.channel);
+  for (std::uint64_t k = 0;; ++k) {
+    std::optional<TimePoint> t;
+    while (!(t = iso_engine_->value(st.xr, k))) co_await st.ready->wait();
+    co_await runtime_->kernel().delay_until(*t);
+    (void)co_await ch->fifo->read();
+    st.consumed = k + 1;
+    raise_iso_retain_floor();
+  }
+}
+
+void BatchEquivalentModel::wire_iso_output(std::size_t idx) {
+  IsoOutputState& st = iso_outputs_[idx];
+  model::ChannelRt* ch = runtime_->channel(st.meta.channel);
+  if (ch == nullptr)
+    throw Error(
+        "BatchEquivalentModel: isolated output channel not constructed");
+
+  st.ready = std::make_unique<sim::Event>(runtime_->kernel(),
+                                          "iso-emit:" + std::to_string(idx));
+  iso_engine_->on_known(st.offer, [this, idx](std::uint64_t, TimePoint) {
+    iso_outputs_[idx].ready->notify();
+  });
+
+  if (!st.meta.fifo) {
+    if (st.actual != tdg::kNoNode) {
+      ch->rendezvous->on_transfer(
+          [this, idx](std::uint64_t k, TimePoint t, const Token&) {
+            iso_engine_->set_external(iso_outputs_[idx].actual, k, t);
+          });
+    }
+  } else {
+    ch->fifo->on_write_complete(
+        [this, idx](std::uint64_t k, TimePoint t, const Token&) {
+          iso_engine_->set_external(iso_outputs_[idx].actual, k, t);
+        });
+    ch->fifo->on_read_complete(
+        [this, idx](std::uint64_t k, TimePoint t, const Token&) {
+          iso_engine_->set_external(iso_outputs_[idx].xr_actual, k, t);
+        });
+  }
+
+  runtime_->kernel().spawn(
+      "emission:" + desc_->channels()[st.meta.channel].name,
+      [this, idx] { return iso_emission_proc(idx); });
+}
+
+sim::Process BatchEquivalentModel::iso_emission_proc(std::size_t idx) {
+  IsoOutputState& st = iso_outputs_[idx];
+  model::ChannelRt* ch = runtime_->channel(st.meta.channel);
+  for (std::uint64_t k = 0;; ++k) {
+    std::optional<TimePoint> y;
+    while (!(y = iso_engine_->value(st.offer, k))) co_await st.ready->wait();
+
+    Token tok;
+    tok.k = k;
+    tok.source = st.meta.provenance;
+    if (auto attrs = iso_engine_->attrs_of(st.meta.provenance, k))
+      tok.attrs = *attrs;
+
+    co_await runtime_->kernel().delay_until(*y);
+    if (!st.meta.fifo) {
+      co_await ch->rendezvous->write(tok);
+    } else {
+      co_await ch->fifo->write(tok);
+    }
+    st.emitted = k + 1;
+    raise_iso_retain_floor();
+  }
+}
+
+void BatchEquivalentModel::raise_iso_retain_floor() {
+  // The remainder engine's frames are shared by all its boundaries (one
+  // merged graph), so the floor is the minimum over every consumer —
+  // exactly core::EquivalentModel::raise_retain_floor.
+  std::uint64_t floor = std::numeric_limits<std::uint64_t>::max();
+  bool any = false;
+  for (const IsoOutputState& st : iso_outputs_) {
+    floor = std::min(floor, st.emitted);
+    any = true;
+  }
+  for (const IsoInputState& st : iso_inputs_) {
+    if (!st.meta.fifo) continue;
+    floor = std::min(floor, st.consumed);
+    any = true;
+  }
+  if (any) iso_engine_->set_retain_floor(floor);
+}
+
+std::uint64_t BatchEquivalentModel::instances_computed() const {
+  std::uint64_t total = 0;
+  for (const Group& g : groups_) total += g.engine->instances_computed();
+  if (iso_engine_ != nullptr) total += iso_engine_->instances_computed();
+  return total;
+}
+
+std::uint64_t BatchEquivalentModel::arc_terms_evaluated() const {
+  std::uint64_t total = 0;
+  for (const Group& g : groups_) total += g.engine->arc_terms_evaluated();
+  if (iso_engine_ != nullptr) total += iso_engine_->arc_terms_evaluated();
+  return total;
+}
+
+BatchEquivalentModel::CompiledShape BatchEquivalentModel::compiled_shape()
+    const {
+  CompiledShape shape;
+  for (const Group& g : groups_) {
+    shape.nodes += g.graph.node_count();
+    shape.paper_nodes += g.graph.paper_node_count();
+    shape.arcs += g.graph.arc_count();
+  }
+  if (iso_engine_ != nullptr) {
+    shape.nodes += iso_graph_.node_count();
+    shape.paper_nodes += iso_graph_.paper_node_count();
+    shape.arcs += iso_graph_.arc_count();
+  }
+  return shape;
 }
 
 model::ModelRuntime::Outcome BatchEquivalentModel::run(

@@ -224,6 +224,126 @@ std::uint64_t ArchitectureDesc::max_source_tokens() const {
   return max;
 }
 
+namespace {
+
+/// FNV-1a accumulation; the structural surface hashes as a flat byte/string
+/// stream so the result is stable across table reorderings of the *code*
+/// (it depends only on the description's declarative content).
+struct StructuralHasher {
+  std::size_t h = 1469598103934665603ull;
+
+  void bytes(const void* p, std::size_t n) {
+    const auto* c = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= c[i];
+      h *= 1099511628211ull;
+    }
+  }
+  void str(const std::string& s) {
+    const std::size_t n = s.size();
+    bytes(&n, sizeof(n));
+    bytes(s.data(), s.size());
+  }
+  template <typename T>
+  void pod(T v) {
+    bytes(&v, sizeof(v));
+  }
+};
+
+}  // namespace
+
+std::size_t structural_hash(const ArchitectureDesc& d) {
+  StructuralHasher hh;
+  hh.pod(d.resources().size());
+  for (const ResourceDesc& r : d.resources()) {
+    hh.str(r.name);
+    hh.pod(r.policy);
+    hh.pod(r.ops_per_second);
+  }
+  hh.pod(d.channels().size());
+  for (const ChannelDesc& c : d.channels()) {
+    hh.str(c.name);
+    hh.pod(c.kind);
+    hh.pod(c.capacity);
+  }
+  hh.pod(d.functions().size());
+  for (const FunctionDesc& f : d.functions()) {
+    hh.str(f.name);
+    hh.pod(f.resource);
+    hh.pod(f.body.size());
+    for (const StatementDesc& s : f.body) {
+      hh.pod(s.kind);
+      hh.pod(s.channel);
+      hh.str(s.label);
+    }
+  }
+  hh.pod(d.sources().size());
+  for (const SourceDesc& s : d.sources()) {
+    hh.str(s.name);
+    hh.pod(s.channel);
+    hh.pod(s.count);
+  }
+  hh.pod(d.sinks().size());
+  for (const SinkDesc& s : d.sinks()) {
+    hh.str(s.name);
+    hh.pod(s.channel);
+    // consume_delay is opaque, but its *presence* is structural: a null
+    // delay means "sink always ready", which changes the derived TDG shape
+    // (no external actual-completion node).
+    hh.pod(static_cast<bool>(s.consume_delay));
+  }
+  return hh.h;
+}
+
+bool structurally_equal(const ArchitectureDesc& a, const ArchitectureDesc& b) {
+  if (a.resources().size() != b.resources().size() ||
+      a.channels().size() != b.channels().size() ||
+      a.functions().size() != b.functions().size() ||
+      a.sources().size() != b.sources().size() ||
+      a.sinks().size() != b.sinks().size())
+    return false;
+  for (std::size_t i = 0; i < a.resources().size(); ++i) {
+    const ResourceDesc& x = a.resources()[i];
+    const ResourceDesc& y = b.resources()[i];
+    if (x.name != y.name || x.policy != y.policy ||
+        x.ops_per_second != y.ops_per_second)
+      return false;
+  }
+  for (std::size_t i = 0; i < a.channels().size(); ++i) {
+    const ChannelDesc& x = a.channels()[i];
+    const ChannelDesc& y = b.channels()[i];
+    if (x.name != y.name || x.kind != y.kind || x.capacity != y.capacity)
+      return false;
+  }
+  for (std::size_t i = 0; i < a.functions().size(); ++i) {
+    const FunctionDesc& x = a.functions()[i];
+    const FunctionDesc& y = b.functions()[i];
+    if (x.name != y.name || x.resource != y.resource ||
+        x.body.size() != y.body.size())
+      return false;
+    for (std::size_t j = 0; j < x.body.size(); ++j) {
+      const StatementDesc& s = x.body[j];
+      const StatementDesc& t = y.body[j];
+      if (s.kind != t.kind || s.channel != t.channel || s.label != t.label)
+        return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.sources().size(); ++i) {
+    const SourceDesc& x = a.sources()[i];
+    const SourceDesc& y = b.sources()[i];
+    if (x.name != y.name || x.channel != y.channel || x.count != y.count)
+      return false;
+  }
+  for (std::size_t i = 0; i < a.sinks().size(); ++i) {
+    const SinkDesc& x = a.sinks()[i];
+    const SinkDesc& y = b.sinks()[i];
+    if (x.name != y.name || x.channel != y.channel ||
+        static_cast<bool>(x.consume_delay) != static_cast<bool>(y.consume_delay))
+      return false;
+  }
+  return true;
+}
+
 DescPtr share(ArchitectureDesc desc) {
   desc.validate();
   return std::make_shared<const ArchitectureDesc>(std::move(desc));

@@ -181,6 +181,36 @@ class ArchitectureDesc {
   bool validated_ = false;
 };
 
+/// \name Structural equality contract
+/// The *structural surface* of a description is everything declarative and
+/// comparable: table sizes and order, entity names, resource policies and
+/// rates, channel kinds and capacities, statement kinds / channel targets /
+/// execute labels, and source token counts. The opaque behavioural members
+/// — execute loads, source earliest/gap/attrs, sink consume delays, all
+/// `std::function`s — are NOT part of it (they cannot be compared).
+///
+/// Consequence for batching (docs/DESIGN.md §10): structural equality is a
+/// *necessary* condition for two instances to share one compiled
+/// tdg::Program, never a sufficient one. The study layer supplies the
+/// missing behavioural guarantee by shared ownership — instances holding
+/// the same model::DescPtr provably evaluate the same workload functions —
+/// so study::compose() groups instances by (DescPtr identity, abstraction
+/// group), with structural_hash() as the bucketing key and
+/// structurally_equal() as the validator's deep cross-check. Two
+/// equal-but-distinct descriptions stay in different sub-batches.
+/// @{
+
+/// Order-independent-free hash of the structural surface (two structurally
+/// equal descriptions hash equal; collisions possible, resolve with
+/// structurally_equal()).
+[[nodiscard]] std::size_t structural_hash(const ArchitectureDesc& d);
+
+/// Deep comparison of the structural surface. Ignores the opaque
+/// behavioural std::function members (see the contract above).
+[[nodiscard]] bool structurally_equal(const ArchitectureDesc& a,
+                                      const ArchitectureDesc& b);
+/// @}
+
 /// Shared-ownership handle to a validated architecture description. Model
 /// runtimes hold one of these for their whole lifetime, so one description
 /// can be shared between models (and between the instances of a

@@ -88,13 +88,23 @@ class Rendezvous {
   void set_gated_reader(Gate gate) { gate_ = std::move(gate); }
 
   /// Complete a parked gated offer at instant \p t (>= the offer instant).
+  /// When \p t is the *current* instant the writer is resumed through
+  /// Kernel::resume_now — no queue round-trip — which is how the batched
+  /// equivalent model answers same-instant gated inputs resolved at a
+  /// timestep boundary without paying one queued event per token
+  /// (docs/DESIGN.md §10). The writer is un-parked before it resumes, so it
+  /// may immediately offer its next token on this channel.
   void resolve_gated(TimePoint t) {
     if (!gate_ || !pending_writer_)
       throw SimulationError("resolve_gated without parked offer on '" +
                             name_ + "'");
     complete(t, pending_writer_->value);
-    kernel_->schedule_resume(pending_writer_->writer, t);
+    const Process::Handle writer = pending_writer_->writer;
     pending_writer_.reset();
+    if (t == kernel_->now())
+      kernel_->resume_now(writer);
+    else
+      kernel_->schedule_resume(writer, t);
   }
 
   /// Observation hooks, each called once per completed transfer (appended;

@@ -58,6 +58,26 @@ void Kernel::schedule_call(TimePoint t, std::function<void()> fn) {
   stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
 }
 
+void Kernel::resume_now(Process::Handle h) {
+  const std::uint32_t id = h.promise().id;
+  if (procs_[id].queued)
+    throw SimulationError("Kernel::resume_now: process '" + procs_[id].name +
+                          "' already has a queued resume — running it inline "
+                          "would resume it twice");
+  if (dispatch_depth_ > 0) {
+    // Nested in another process's resume: executing here would stack one
+    // coroutine inside another. Fall back to a same-instant queue event.
+    schedule_resume(h, now_);
+    return;
+  }
+  ++stats_.resumes;
+  ++stats_.inline_resumes;
+  ++dispatch_depth_;
+  h.resume();
+  --dispatch_depth_;
+  if (h.promise().done) reap(id);
+}
+
 void Kernel::reap(std::uint32_t id) {
   ProcInfo& info = procs_[id];
   if (!info.handle) return;
@@ -115,7 +135,9 @@ Kernel::RunResult Kernel::run_loop(std::optional<TimePoint> until) {
       const std::uint32_t id = h.promise().id;
       procs_[id].queued = false;
       ++stats_.resumes;
+      ++dispatch_depth_;
       h.resume();
+      --dispatch_depth_;
       if (h.promise().done) reap(id);
     } else {
       ++stats_.callbacks;

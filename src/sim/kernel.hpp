@@ -30,6 +30,7 @@ namespace maxev::sim {
 struct KernelStats {
   std::uint64_t events_scheduled = 0;  ///< queue insertions (timed wakeups, notifies, calls)
   std::uint64_t resumes = 0;           ///< coroutine context switches
+  std::uint64_t inline_resumes = 0;    ///< resume_now() resumes that skipped the queue
   std::uint64_t callbacks = 0;         ///< scheduled plain-function events
   std::uint64_t processes_spawned = 0;
   std::uint64_t processes_finished = 0;
@@ -63,6 +64,21 @@ class Kernel {
 
   /// Schedule a plain callback at absolute time \p t. \pre t >= now()
   void schedule_call(TimePoint t, std::function<void()> fn);
+
+  /// Resume a suspended process at the *current* instant without a queue
+  /// round-trip — the inline-resume fast path (docs/DESIGN.md §10). Safe
+  /// only outside coroutine dispatch: when another process is mid-resume
+  /// (e.g. a channel hook running inside the writer's own suspension), the
+  /// call degrades to schedule_resume(h, now()), preserving today's
+  /// ordering. From hook/callback context (timestep hooks, scheduled
+  /// calls, the idle loop) the resume executes immediately; the simulated
+  /// instant is unchanged either way, so traces are value-identical — only
+  /// the queued-event count drops.
+  /// \pre the target is suspended on a synchronization with NO queued
+  ///      resume event (a blocked writer/reader, not a timed wait) —
+  ///      resuming a queued process inline would run it twice when its
+  ///      queue entry pops. Throws maxev::SimulationError otherwise.
+  void resume_now(Process::Handle h);
 
   /// Outcome of run().
   enum class RunResult {
@@ -137,6 +153,8 @@ class Kernel {
   std::vector<std::int32_t> free_call_slots_;
   TimePoint now_ = TimePoint::origin();
   std::uint64_t seq_ = 0;
+  /// > 0 while a coroutine resume is on the stack; gates resume_now().
+  std::uint32_t dispatch_depth_ = 0;
   std::chrono::nanoseconds event_overhead_{0};
   std::function<bool()> timestep_hook_;
   KernelStats stats_;

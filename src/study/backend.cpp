@@ -94,13 +94,14 @@ class EquivalentBackendModel final : public Model {
   core::EquivalentModel eq_;
 };
 
-/// The batched path for batch-eligible composed scenarios: one compiled
-/// program + shared frame arena for every instance (docs/DESIGN.md §9).
+/// The batched path for composed scenarios with equal-structure
+/// sub-batches: one compiled program + shared frame arena per sub-batch,
+/// the isolated remainder on the merged inline engine, all in one kernel
+/// (docs/DESIGN.md §9–§10).
 class BatchEquivalentBackendModel final : public Model {
  public:
   BatchEquivalentBackendModel(const Scenario& s, const RunConfig& rc)
-      : eq_(s.desc_ptr(), s.batch_base(), names_of(s), base_group_of(s),
-            options_of(s, rc)) {
+      : eq_(s.desc_ptr(), specs_of(s), options_of(s, rc)) {
     apply_overhead(eq_.runtime().kernel(), rc.event_overhead_ns);
   }
 
@@ -118,43 +119,80 @@ class BatchEquivalentBackendModel final : public Model {
   TimePoint end_time() const override { return eq_.end_time(); }
   sim::Kernel& kernel() override { return eq_.runtime().kernel(); }
   std::uint64_t instances_computed() const override {
-    return eq_.engine().instances_computed();
+    return eq_.instances_computed();
   }
   std::uint64_t arc_terms_evaluated() const override {
-    return eq_.engine().arc_terms_evaluated();
+    return eq_.arc_terms_evaluated();
   }
-  /// The *compiled program's* shape — the base graph evaluated for every
-  /// instance, not the N-fold merged graph the isolated path would build.
+  /// The *compiled programs'* shape — each sub-batch's base graph plus the
+  /// remainder graph, not the N-fold merged graph the isolated path would
+  /// build.
   GraphShape graph_shape() const override {
-    return {eq_.graph().node_count(), eq_.graph().paper_node_count(),
-            eq_.graph().arc_count()};
+    const core::BatchEquivalentModel::CompiledShape shape =
+        eq_.compiled_shape();
+    return {shape.nodes, shape.paper_nodes, shape.arcs};
   }
 
  private:
-  static std::vector<std::string> names_of(const Scenario& s) {
-    std::vector<std::string> names;
-    names.reserve(s.instances().size());
-    for (const Instance& inst : s.instances()) names.push_back(inst.name);
-    return names;
-  }
-
-  /// All instances of a batchable scenario carry the same group; the
-  /// composed group is its N-fold concatenation (or empty = abstract all).
-  static std::vector<bool> base_group_of(const Scenario& s) {
-    const std::vector<bool>& composed = s.options().group;
-    if (composed.empty()) return {};
-    const std::size_t n = composed.size() / s.instances().size();
-    return {composed.begin(),
-            composed.begin() + static_cast<std::ptrdiff_t>(n)};
+  /// Equal-structure sub-batches, translated from the scenario's grouping
+  /// (Scenario::batch_groups()) into merged-table spans.
+  static std::vector<core::BatchEquivalentModel::GroupSpec> specs_of(
+      const Scenario& s) {
+    std::vector<core::BatchEquivalentModel::GroupSpec> specs;
+    specs.reserve(s.batch_groups().size());
+    for (const BatchGroup& bg : s.batch_groups()) {
+      core::BatchEquivalentModel::GroupSpec spec;
+      spec.base = bg.base;
+      spec.group = bg.group;
+      for (const std::size_t m : bg.members) {
+        const Instance& inst = s.instances()[m];
+        spec.names.push_back(inst.name);
+        spec.spans.push_back({inst.fn_begin, inst.ch_begin, inst.res_begin,
+                              inst.src_begin, inst.sink_begin});
+      }
+      specs.push_back(std::move(spec));
+    }
+    return specs;
   }
 
   static core::BatchEquivalentModel::Options options_of(const Scenario& s,
                                                         const RunConfig& rc) {
     core::BatchEquivalentModel::Options opts;
     opts.fold = s.options().fold;
+    // pad_nodes stays per instance across every leg (ScenarioOptions): each
+    // sub-batch pads its base graph once (evaluated per member) and the
+    // remainder graph is padded per remainder instance below, so a mixed
+    // composition runs the same padded work batched or fully isolated.
     opts.pad_nodes = s.options().pad_nodes;
     opts.observe = rc.observe;
     opts.expected_iterations = s.options().expected_iterations;
+
+    // The isolated remainder: instances in no sub-batch keep their
+    // abstracted functions on the merged inline engine. Merged-level
+    // flags: the composed group restricted to those instances (empty
+    // composed group = abstract everything).
+    std::vector<bool> grouped(s.instances().size(), false);
+    for (const BatchGroup& bg : s.batch_groups())
+      for (const std::size_t m : bg.members) grouped[m] = true;
+    const std::vector<bool>& composed_group = s.options().group;
+    std::vector<bool> isolated;
+    std::size_t isolated_count = 0;
+    for (std::size_t i = 0; i < s.instances().size(); ++i) {
+      if (grouped[i]) continue;
+      const Instance& inst = s.instances()[i];
+      if (isolated.empty()) isolated.assign(s.desc().functions().size(), false);
+      for (std::size_t f = inst.fn_begin; f < inst.fn_end; ++f)
+        isolated[f] = composed_group.empty() ? true : composed_group[f];
+      ++isolated_count;
+    }
+    // All-false flags mean "no remainder at all" to the model; drop them
+    // when the leftover instances abstract nothing (fully simulated).
+    bool any = false;
+    for (const bool f : isolated) any = any || f;
+    if (any) {
+      opts.isolated_group = std::move(isolated);
+      opts.isolated_instances = isolated_count;
+    }
     return opts;
   }
 
@@ -217,7 +255,12 @@ std::unique_ptr<Model> Backend::instantiate(const Scenario& scenario,
     case Kind::kBaseline:
       return std::make_unique<BaselineModel>(scenario, config);
     case Kind::kEquivalent:
-      if (config.batch_composed && scenario.batchable())
+      // Any equal-structure sub-batch (>= 2 instances sharing one
+      // description + group) routes through the batched model; the fully
+      // homogeneous case is the one-group special case. Compositions with
+      // no sub-batch at all — and plain scenarios — take the merged
+      // inline engine.
+      if (config.batch_composed && scenario.partially_batchable())
         return std::make_unique<BatchEquivalentBackendModel>(scenario, config);
       return std::make_unique<EquivalentBackendModel>(scenario, config);
     case Kind::kLooselyTimed:

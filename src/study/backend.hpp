@@ -77,12 +77,15 @@ struct RunConfig {
   /// Synthetic wall-clock cost per kernel event (emulates heavier
   /// commercial kernels; applied identically to every backend).
   double event_overhead_ns = 0.0;
-  /// Run batch-eligible composed scenarios (Scenario::batchable(): every
-  /// instance shares one description and group) through the batched
-  /// equivalent model — one compiled program + shared frame arena for all
-  /// instances — instead of the N-times-larger merged graph. On by
-  /// default; per-instance traces are bit-identical either way
-  /// (docs/DESIGN.md §9). Only the equivalent backend consults this.
+  /// Run composed scenarios with equal-structure sub-batches
+  /// (Scenario::partially_batchable(): >= 2 instances sharing one
+  /// description + abstraction group, possibly several such groups)
+  /// through the batched equivalent model — one compiled program + shared
+  /// frame arena per sub-batch, the isolated remainder on the merged
+  /// inline engine, all in one kernel — instead of the N-times-larger
+  /// merged graph. On by default; per-instance traces are bit-identical
+  /// either way (docs/DESIGN.md §9–§10). Only the equivalent backend
+  /// consults this.
   bool batch_composed = true;
 };
 

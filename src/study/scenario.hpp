@@ -44,6 +44,24 @@ struct ScenarioOptions {
   std::size_t expected_iterations = 0;
 };
 
+/// One equal-structure sub-batch of a composed scenario: the description
+/// every member shares, the (base-level) abstraction group they agree on,
+/// and the member instance indices in composition order. Grouping rules
+/// (docs/DESIGN.md §10): members must hold the SAME model::DescPtr and the
+/// same group vector — model::structural_hash buckets the candidates and
+/// pointer identity supplies the behavioural guarantee that
+/// model::structurally_equal cannot (the opaque workload std::functions).
+/// Only groups of >= 2 members are recorded; everything else is the
+/// isolated remainder the equivalent backend runs through the merged path.
+struct BatchGroup {
+  model::DescPtr base;
+  /// Base-level abstraction group, normalized to explicit per-function
+  /// flags (an instance's empty "abstract everything" group and its
+  /// explicit all-true form land in the same sub-batch).
+  std::vector<bool> group;
+  std::vector<std::size_t> members;  ///< indices into Scenario::instances()
+};
+
 /// One instance inside a composed scenario: its name and the half-open id
 /// ranges it occupies in the merged description.
 struct Instance {
@@ -91,8 +109,22 @@ class Scenario {
   /// tdg::BatchEngine — one compiled program evaluated for every instance
   /// — instead of the N-times-larger merged graph (docs/DESIGN.md §9).
   [[nodiscard]] const model::DescPtr& batch_base() const { return batch_base_; }
-  /// True when this composed scenario is eligible for batched execution.
+  /// True when the whole composed scenario is one equal-structure batch.
   [[nodiscard]] bool batchable() const { return batch_base_ != nullptr; }
+
+  /// The equal-structure sub-batches of a composed scenario (>= 2 members
+  /// each; possibly several — the heterogeneous carrier-aggregation case,
+  /// docs/DESIGN.md §10). Instances in no group form the isolated
+  /// remainder. Empty for plain scenarios and for compositions with no
+  /// two instances sharing a description+group.
+  [[nodiscard]] const std::vector<BatchGroup>& batch_groups() const {
+    return batch_groups_;
+  }
+  /// True when at least one sub-batch exists — the equivalent backend can
+  /// then route this scenario through per-group batched execution.
+  [[nodiscard]] bool partially_batchable() const {
+    return !batch_groups_.empty();
+  }
 
  private:
   friend Scenario compose(std::string, const std::vector<Scenario>&);
@@ -102,6 +134,7 @@ class Scenario {
   ScenarioOptions options_;
   std::vector<Instance> instances_;
   model::DescPtr batch_base_;
+  std::vector<BatchGroup> batch_groups_;
 };
 
 /// Merge N scenario instances into one scenario running in one kernel.

@@ -37,11 +37,14 @@ struct StudyOptions {
   /// instants/usage), so downstream analyses need not re-simulate. Only
   /// meaningful with observe; costs one trace copy per cell.
   bool keep_traces = false;
-  /// Run batch-eligible composed scenarios (every instance sharing one
-  /// description + group) through the batched equivalent model instead of
-  /// the merged graph (RunConfig::batch_composed). On by default;
+  /// Run composed scenarios with equal-structure sub-batches (>= 2
+  /// instances sharing one description + group — eligibility is decided
+  /// PER GROUP, so mixed compositions batch what they can and the
+  /// remainder runs on the merged inline engine) through the batched
+  /// equivalent model (RunConfig::batch_composed). On by default;
   /// per-instance traces are identical either way — turn off to measure
-  /// the isolated path (the bench_ablation batched-vs-isolated ablation).
+  /// the fully-isolated path (the bench_ablation batched-vs-isolated
+  /// ablations 5 and 6).
   bool batch_composed = true;
 };
 

@@ -356,10 +356,16 @@ mp::Scalar BatchEngine::compute_one(Frame& f, NodeId n, std::uint64_t k,
 void BatchEngine::compute_front(NodeId n, std::uint64_t k) {
   Frame& f = *frame_at(k);
   std::uint64_t* block = &f.ready[static_cast<std::size_t>(n) * words_];
+  bool empty = true;
   for (std::size_t w = 0; w < words_; ++w) {
     mask_scratch_[w] = block[w];
     block[w] = 0;
+    empty = empty && mask_scratch_[w] == 0;
   }
+  // A stale worklist entry: every ready lane of this front was already
+  // answered out of band by resolve_now(). Nothing to do (and nothing to
+  // count — the front never formed).
+  if (empty) return;
   ++fronts_;
 
   const std::size_t nn = static_cast<std::size_t>(n);
@@ -479,6 +485,30 @@ void BatchEngine::prune() {
     frame_ptrs_.erase(frame_ptrs_.begin());  // window-sized vector, cheap
     ++base_k_;
   }
+}
+
+std::optional<TimePoint> BatchEngine::resolve_now(std::size_t inst, NodeId n,
+                                                  std::uint64_t k) {
+  Frame* f = frame_at(k);
+  if (f == nullptr) return std::nullopt;
+  const std::size_t l = lane(static_cast<std::size_t>(n), inst);
+  if (f->known[l])
+    return f->value[l].is_finite() ? std::optional(f->value[l].to_time())
+                                   : std::nullopt;
+  if (f->pending[l] != 0) return std::nullopt;  // still blocked
+  // pending hit zero, so mark_ready() has set this lane's front bit; take
+  // the lane out of the front (its node may stay on the worklist — an
+  // emptied front is skipped by compute_front) and compute it here, out of
+  // band. The value equals what the deferred drain would produce: a ready
+  // lane's prerequisites are all known, so drain order cannot change it.
+  f->ready[static_cast<std::size_t>(n) * words_ + inst / 64] &=
+      ~(std::uint64_t{1} << (inst % 64));
+  const mp::Scalar v = compute_one(*f, n, k, inst);
+  ++computed_;
+  mark_known(*f, n, k, inst, v);
+  resolve_dependents(*f, n, k, inst);
+  if (!v.is_finite()) return std::nullopt;
+  return v.to_time();
 }
 
 std::optional<TimePoint> BatchEngine::value(std::size_t inst, NodeId n,

@@ -77,7 +77,8 @@ class BatchEngine {
     std::size_t expected_iterations = 0;
   };
 
-  /// Compile \p g once and prepare the shared arena for the batch.
+  /// Compile \p g once and prepare the shared arena for the batch — the
+  /// resulting program is the one copy every instance lane evaluates.
   /// \pre g.frozen(); opts.instances is non-empty
   BatchEngine(const Graph& g, Options opts);
 
@@ -107,6 +108,21 @@ class BatchEngine {
   /// timestep hook uses this to know whether new events may have been
   /// scheduled.
   bool flush();
+
+  /// The inline-resume fast path (docs/DESIGN.md §10): if (inst, n, k) is
+  /// not yet known but every prerequisite is (its pending count reached
+  /// zero — the lane sits in a ready front awaiting the next flush()),
+  /// compute it NOW, out of band, and return the finite value. Dependents
+  /// are unlocked as usual (they join the deferred fronts); the computed
+  /// value is identical to what the next flush() would have produced —
+  /// front values are drain-order independent — so only the *latency* of
+  /// the answer changes. Returns the value when (inst, n, k) is already
+  /// known, std::nullopt when it is still blocked on an unknown input or
+  /// the value is ε. Used by the gated-input reception path to answer a
+  /// rendezvous offer synchronously instead of parking it until the
+  /// timestep boundary.
+  [[nodiscard]] std::optional<TimePoint> resolve_now(std::size_t inst,
+                                                     NodeId n, std::uint64_t k);
 
   /// Value of (inst, n, k) if already computed/fed *and finite*. Instances
   /// suppressed by guards (ε) report std::nullopt as well. Feeds since the

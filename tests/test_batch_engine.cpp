@@ -295,6 +295,337 @@ TEST(BatchEngineTest, LockSteppedClonesFormWideFronts) {
   EXPECT_EQ(m.engine().width(), 8u);
 }
 
+// ------------------------------------------- Heterogeneous sub-batches
+
+/// Per-instance traces of a mixed composition must match each instance's
+/// solo run of ITS OWN description bit for bit (docs/DESIGN.md §10).
+void expect_instances_match_their_solos(
+    const Scenario& composed,
+    const std::vector<model::DescPtr>& descs_by_instance,
+    const char* context = "") {
+  RunConfig rc;  // batch_composed defaults to true
+  auto whole = Backend::equivalent().instantiate(composed, rc);
+  ASSERT_TRUE(whole->run().completed) << context;
+
+  for (std::size_t i = 0; i < composed.instances().size(); ++i) {
+    const Instance& inst = composed.instances()[i];
+    auto solo =
+        Backend::equivalent().instantiate(Scenario("solo", descs_by_instance[i]));
+    ASSERT_TRUE(solo->run().completed) << context << " " << inst.name;
+
+    const trace::InstantTraceSet extracted =
+        instance_instants(whole->instants(), inst.name);
+    EXPECT_EQ(trace::compare_instants(solo->instants(), extracted),
+              std::nullopt)
+        << context << " " << inst.name;
+    EXPECT_EQ(trace::compare_instants(extracted, solo->instants()),
+              std::nullopt)
+        << context << " " << inst.name;
+
+    trace::UsageTraceSet solo_usage = solo->usage();
+    solo_usage.sort_all();
+    trace::UsageTraceSet extracted_usage =
+        instance_usage(whole->usage(), inst.name);
+    extracted_usage.sort_all();
+    EXPECT_EQ(trace::compare_usage(solo_usage, extracted_usage), std::nullopt)
+        << context << " " << inst.name;
+  }
+}
+
+TEST(HeterogeneousBatchTest, MixedCompositionFormsSubBatches) {
+  gen::DidacticConfig ca;
+  ca.tokens = 30;
+  gen::DidacticConfig cb;
+  cb.tokens = 45;
+  const auto a = model::share(gen::make_didactic(ca));
+  const auto b = model::share(gen::make_didactic(cb));
+  const auto c = model::share(gen::make_didactic({}));
+
+  // Interleaved on purpose: sub-batch members must not need contiguous
+  // merged-table blocks (per-instance spans, not N-fold strides).
+  std::vector<Scenario> parts;
+  parts.emplace_back("a0", a);
+  parts.emplace_back("b0", b);
+  parts.emplace_back("a1", a);
+  parts.emplace_back("b1", b);
+  parts.emplace_back("c0", c);  // singleton: isolated remainder
+  parts.emplace_back("a2", a);
+  const Scenario mixed = compose("mixed", parts);
+
+  EXPECT_FALSE(mixed.batchable());  // not ONE equal-structure batch
+  EXPECT_TRUE(mixed.partially_batchable());
+  ASSERT_EQ(mixed.batch_groups().size(), 2u);
+  EXPECT_EQ(mixed.batch_groups()[0].base, a);
+  EXPECT_EQ(mixed.batch_groups()[0].members,
+            (std::vector<std::size_t>{0, 2, 5}));
+  EXPECT_EQ(mixed.batch_groups()[1].base, b);
+  EXPECT_EQ(mixed.batch_groups()[1].members, (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(HeterogeneousBatchTest, EmptyAndExplicitAllTrueGroupsShareASubBatch) {
+  // "Abstract everything" can be spelled as an empty group or as explicit
+  // all-true flags; the sub-batch key normalizes, so both spellings of the
+  // same request batch together.
+  const auto desc = model::share(gen::make_didactic({}));
+  std::vector<Scenario> parts;
+  parts.emplace_back("a", desc);  // empty group
+  Scenario b("b", desc);
+  b.with_group(std::vector<bool>(desc->functions().size(), true));
+  parts.push_back(std::move(b));
+  const Scenario c = compose("norm", parts);
+  ASSERT_EQ(c.batch_groups().size(), 1u);
+  EXPECT_EQ(c.batch_groups()[0].members.size(), 2u);
+  EXPECT_TRUE(c.batchable());
+}
+
+TEST(HeterogeneousBatchTest, EqualButDistinctDescriptionsStaySeparate) {
+  // Structurally equal, but distinct objects: the opaque workloads cannot
+  // be proven identical, so no sub-batch forms (docs/DESIGN.md §10).
+  const auto a = model::share(gen::make_didactic({}));
+  const auto b = model::share(gen::make_didactic({}));
+  ASSERT_TRUE(model::structurally_equal(*a, *b));
+  ASSERT_EQ(model::structural_hash(*a), model::structural_hash(*b));
+  std::vector<Scenario> parts;
+  parts.emplace_back("a0", a);
+  parts.emplace_back("b0", b);
+  const Scenario pair = compose("pair", parts);
+  EXPECT_FALSE(pair.partially_batchable());
+}
+
+TEST(HeterogeneousBatchTest, MixedDidacticMatchesSolosAndIsolated) {
+  gen::DidacticConfig ca;
+  ca.tokens = 40;
+  gen::DidacticConfig cb;
+  cb.tokens = 25;
+  const auto a = model::share(gen::make_didactic(ca));
+  const auto b = model::share(gen::make_didactic(cb));
+
+  std::vector<Scenario> parts;
+  std::vector<model::DescPtr> descs;
+  for (const char* n : {"a0", "a1", "a2"}) {
+    parts.emplace_back(n, a);
+    descs.push_back(a);
+  }
+  for (const char* n : {"b0", "b1"}) {
+    parts.emplace_back(n, b);
+    descs.push_back(b);
+  }
+  const Scenario mixed = compose("mixed32", parts);
+  ASSERT_EQ(mixed.batch_groups().size(), 2u);
+
+  expect_instances_match_their_solos(mixed, descs, "mixed didactic 3+2");
+  expect_batched_matches_isolated(mixed, "mixed didactic 3+2");
+}
+
+TEST(HeterogeneousBatchTest, SubBatchesPlusRemainderMatchIsolated) {
+  // Two sub-batches AND a genuine remainder (a singleton, which runs on
+  // the merged inline engine) in one kernel.
+  gen::DidacticConfig ca;
+  ca.tokens = 35;
+  gen::DidacticConfig cb;
+  cb.tokens = 20;
+  gen::DidacticConfig cc;
+  cc.tokens = 15;
+  const auto a = model::share(gen::make_didactic(ca));
+  const auto b = model::share(gen::make_didactic(cb));
+  const auto c = model::share(gen::make_didactic(cc));
+
+  std::vector<Scenario> parts;
+  std::vector<model::DescPtr> descs;
+  parts.emplace_back("a0", a);
+  descs.push_back(a);
+  parts.emplace_back("c0", c);
+  descs.push_back(c);
+  parts.emplace_back("b0", b);
+  descs.push_back(b);
+  parts.emplace_back("a1", a);
+  descs.push_back(a);
+  parts.emplace_back("b1", b);
+  descs.push_back(b);
+  const Scenario mixed = compose("mixed221", parts);
+  ASSERT_EQ(mixed.batch_groups().size(), 2u);
+
+  expect_instances_match_their_solos(mixed, descs, "2+2+1 remainder");
+  expect_batched_matches_isolated(mixed, "2+2+1 remainder");
+}
+
+TEST(HeterogeneousBatchTest, RandomArchPairsMatchSolos) {
+  gen::RandomArchConfig cfg;
+  cfg.tokens = 25;
+  cfg.multi_rate_producer_probability = 0.4;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto a =
+        model::share(gen::make_random_architecture(seed, cfg));
+    const auto b =
+        model::share(gen::make_random_architecture(seed + 100, cfg));
+    std::vector<Scenario> parts;
+    std::vector<model::DescPtr> descs;
+    parts.emplace_back("a0", a);
+    descs.push_back(a);
+    parts.emplace_back("b0", b);
+    descs.push_back(b);
+    parts.emplace_back("a1", a);
+    descs.push_back(a);
+    parts.emplace_back("b1", b);
+    descs.push_back(b);
+    const Scenario mixed = compose("rmix", parts);
+    const std::string ctx = "random pair seed " + std::to_string(seed);
+    expect_instances_match_their_solos(mixed, descs, ctx.c_str());
+    expect_batched_matches_isolated(mixed, ctx.c_str());
+  }
+}
+
+// The acceptance workload: 4+4 LTE receivers of two carrier variants
+// (different parameters, hence different workloads) in one kernel, every
+// equal-structure quad on its own shared program.
+TEST(HeterogeneousBatchTest, FourPlusFourLteVariantsMatchSolos) {
+  lte::ReceiverConfig c1;
+  c1.symbols = 2 * lte::kSymbolsPerSubframe;
+  c1.seed = 7;
+  lte::ReceiverConfig c2;
+  c2.symbols = 3 * lte::kSymbolsPerSubframe;
+  c2.seed = 8;
+  c2.dsp_ops_per_second = 9e9;  // a differently-sized platform
+  const auto rx1 = model::share(lte::make_receiver(c1));
+  const auto rx2 = model::share(lte::make_receiver(c2));
+
+  std::vector<Scenario> parts;
+  std::vector<model::DescPtr> descs;
+  for (int i = 0; i < 4; ++i) {
+    parts.emplace_back("cc0rx" + std::to_string(i), rx1);
+    descs.push_back(rx1);
+    parts.emplace_back("cc1rx" + std::to_string(i), rx2);
+    descs.push_back(rx2);
+  }
+  const Scenario mixed = compose("ca44", parts);
+  ASSERT_FALSE(mixed.batchable());
+  ASSERT_EQ(mixed.batch_groups().size(), 2u);
+  ASSERT_EQ(mixed.batch_groups()[0].members.size(), 4u);
+  ASSERT_EQ(mixed.batch_groups()[1].members.size(), 4u);
+
+  expect_instances_match_their_solos(mixed, descs, "lte 4+4");
+  expect_batched_matches_isolated(mixed, "lte 4+4");
+}
+
+TEST(HeterogeneousBatchTest, MixedDeterministicAcrossRuns) {
+  gen::DidacticConfig ca;
+  ca.tokens = 40;
+  gen::DidacticConfig cb;
+  cb.tokens = 30;
+  const auto a = model::share(gen::make_didactic(ca));
+  const auto b = model::share(gen::make_didactic(cb));
+  std::vector<Scenario> parts;
+  parts.emplace_back("a0", a);
+  parts.emplace_back("a1", a);
+  parts.emplace_back("b0", b);
+  parts.emplace_back("b1", b);
+  const Scenario mixed = compose("dmix", parts);
+
+  auto r1 = Backend::equivalent().instantiate(mixed);
+  auto r2 = Backend::equivalent().instantiate(mixed);
+  ASSERT_TRUE(r1->run().completed);
+  ASSERT_TRUE(r2->run().completed);
+  EXPECT_EQ(trace::compare_instants(r1->instants(), r2->instants()),
+            std::nullopt);
+  EXPECT_EQ(r1->kernel_stats().events_scheduled,
+            r2->kernel_stats().events_scheduled);
+  EXPECT_EQ(r1->kernel_stats().inline_resumes,
+            r2->kernel_stats().inline_resumes);
+  EXPECT_EQ(r1->end_time(), r2->end_time());
+}
+
+TEST(HeterogeneousBatchTest, MixedHorizonCutAndResume) {
+  gen::DidacticConfig ca;
+  ca.tokens = 150;
+  gen::DidacticConfig cb;
+  cb.tokens = 200;
+  const auto a = model::share(gen::make_didactic(ca));
+  const auto b = model::share(gen::make_didactic(cb));
+  std::vector<Scenario> parts;
+  parts.emplace_back("a0", a);
+  parts.emplace_back("a1", a);
+  parts.emplace_back("b0", b);
+  parts.emplace_back("b1", b);
+  const Scenario mixed = compose("hmix", parts);
+  auto m = Backend::equivalent().instantiate(mixed);
+  const Outcome cut = m->run(TimePoint::origin() + 50_us);
+  EXPECT_FALSE(cut.completed);
+  EXPECT_TRUE(m->run().completed);  // same resume contract as every backend
+
+  // The resumed run's traces still match a one-shot run of the same
+  // scenario (the cut is invisible in the observables).
+  auto whole = Backend::equivalent().instantiate(mixed);
+  ASSERT_TRUE(whole->run().completed);
+  EXPECT_EQ(trace::compare_instants(whole->instants(), m->instants()),
+            std::nullopt);
+}
+
+TEST(HeterogeneousBatchTest, PerGroupPadRunsEqualWorkAcrossLegs) {
+  // pad_nodes is per instance on every leg: the grouped path pads each
+  // sub-batch base (evaluated per member) and the remainder per leftover
+  // instance, the isolated path pads the merged graph N-fold. Padding is
+  // semantically inert, so traces agree; this pins the accounting wiring.
+  gen::DidacticConfig ca;
+  ca.tokens = 25;
+  gen::DidacticConfig cb;
+  cb.tokens = 15;
+  gen::DidacticConfig cc;
+  cc.tokens = 10;
+  const auto a = model::share(gen::make_didactic(ca));
+  const auto b = model::share(gen::make_didactic(cb));
+  const auto c = model::share(gen::make_didactic(cc));
+  constexpr std::size_t kPad = 24;
+  std::vector<Scenario> parts;
+  for (const char* n : {"a0", "a1"})
+    parts.push_back(Scenario(n, a).with_pad_nodes(kPad));
+  for (const char* n : {"b0", "b1"})
+    parts.push_back(Scenario(n, b).with_pad_nodes(kPad));
+  parts.push_back(Scenario("c0", c).with_pad_nodes(kPad));  // remainder
+  const Scenario mixed = compose("pmix", parts);
+  ASSERT_EQ(mixed.batch_groups().size(), 2u);
+
+  RunConfig batched_rc;
+  RunConfig isolated_rc;
+  isolated_rc.batch_composed = false;
+  auto batched = Backend::equivalent().instantiate(mixed, batched_rc);
+  auto isolated = Backend::equivalent().instantiate(mixed, isolated_rc);
+  ASSERT_TRUE(batched->run().completed);
+  ASSERT_TRUE(isolated->run().completed);
+  EXPECT_EQ(trace::compare_instants(isolated->instants(), batched->instants()),
+            std::nullopt);
+  EXPECT_EQ(batched->end_time(), isolated->end_time());
+
+  // Node accounting: the didactic graph has one per-instance shape S
+  // whatever the token count, so the grouped legs compile
+  // (S + pad) + (S + pad) + (S + pad)   [two group bases + the remainder]
+  // while the isolated leg compiles 5 instances and pads 5-fold.
+  auto solo = Backend::equivalent().instantiate(Scenario("solo", a));
+  const std::size_t s_nodes = solo->graph_shape().nodes;
+  EXPECT_EQ(batched->graph_shape().nodes, 3 * (s_nodes + kPad));
+  EXPECT_EQ(isolated->graph_shape().nodes, 5 * s_nodes + 5 * kPad);
+}
+
+// The inline-resume fast path: gated inputs whose completion is already
+// computable are answered synchronously at the offer (BatchEngine::
+// resolve_now), so the batched run schedules no more kernel events than
+// the merged path, which always answers inline — the per-token queued-
+// resume gap of the deferred engine is closed.
+TEST(HeterogeneousBatchTest, InlineResumeClosesTheKernelEventGap) {
+  gen::DidacticConfig cfg;
+  cfg.tokens = 60;
+  const auto desc = model::share(gen::make_didactic(cfg));
+  const Scenario composed = compose_clones(desc, 4);
+  RunConfig batched_rc;
+  RunConfig isolated_rc;
+  isolated_rc.batch_composed = false;
+  auto batched = Backend::equivalent().instantiate(composed, batched_rc);
+  auto isolated = Backend::equivalent().instantiate(composed, isolated_rc);
+  ASSERT_TRUE(batched->run().completed);
+  ASSERT_TRUE(isolated->run().completed);
+  EXPECT_LE(batched->kernel_stats().events_scheduled,
+            isolated->kernel_stats().events_scheduled);
+}
+
 TEST(BatchEngineTest, MergedDescriptionMismatchRejected) {
   const auto base = model::share(gen::make_didactic({}));
   gen::DidacticConfig other_cfg;

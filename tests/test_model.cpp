@@ -326,6 +326,60 @@ TEST(BaselineTest, UnvalidatedDescRejected) {
   EXPECT_THROW(ModelRuntime rt(d), DescriptionError);
 }
 
+// ----------------------------------------- Structural equality contract
+
+TEST(StructuralEqualityTest, EqualDescriptionsHashAndCompareEqual) {
+  const ArchitectureDesc a = gen::make_didactic({});
+  const ArchitectureDesc b = gen::make_didactic({});
+  EXPECT_TRUE(structurally_equal(a, b));
+  EXPECT_TRUE(structurally_equal(a, a));
+  EXPECT_EQ(structural_hash(a), structural_hash(b));
+}
+
+TEST(StructuralEqualityTest, StructuralDifferencesAreDetected) {
+  const ArchitectureDesc base = gen::make_didactic({});
+
+  gen::DidacticConfig tokens_cfg;
+  tokens_cfg.tokens = 7;  // source token counts ARE structural
+  const ArchitectureDesc tokens = gen::make_didactic(tokens_cfg);
+  EXPECT_FALSE(structurally_equal(base, tokens));
+  EXPECT_NE(structural_hash(base), structural_hash(tokens));
+
+  gen::DidacticConfig sched_cfg;
+  sched_cfg.p2_limited_concurrency = true;  // a resource policy change
+  const ArchitectureDesc sched = gen::make_didactic(sched_cfg);
+  EXPECT_FALSE(structurally_equal(base, sched));
+  EXPECT_NE(structural_hash(base), structural_hash(sched));
+}
+
+TEST(StructuralEqualityTest, OpaqueWorkloadsAreOutsideTheSurface) {
+  // Two descriptions that differ ONLY in their execute-load expressions
+  // are structurally equal: the std::function members are not comparable,
+  // which is exactly why batching additionally requires shared ownership
+  // (docs/DESIGN.md §10).
+  const auto build = [](std::int64_t ops) {
+    ArchitectureDesc d;
+    const ResourceId r =
+        d.add_resource("P", ResourcePolicy::kSequentialCyclic, 1e9);
+    const ChannelId in = d.add_rendezvous("in");
+    const ChannelId out = d.add_rendezvous("out");
+    const FunctionId f = d.add_function("F", r);
+    d.fn_read(f, in);
+    d.fn_execute(f, constant_ops(ops));
+    d.fn_write(f, out);
+    d.add_source("src", in, 5, [](std::uint64_t k) {
+      return TimePoint::origin() + Duration::us(static_cast<std::int64_t>(k));
+    }, [](std::uint64_t) { return TokenAttrs{}; });
+    d.add_sink("snk", out);
+    d.validate();
+    return d;
+  };
+  const ArchitectureDesc light = build(100);
+  const ArchitectureDesc heavy = build(100000);
+  EXPECT_TRUE(structurally_equal(light, heavy));
+  EXPECT_EQ(structural_hash(light), structural_hash(heavy));
+}
+
 TEST(BaselineTest, P2LimitedConcurrencyVariantRuns) {
   gen::DidacticConfig cfg;
   cfg.tokens = 100;

@@ -426,6 +426,50 @@ TEST(RendezvousTest, GatedReaderDeferredResolution) {
   EXPECT_EQ(write_done, (8_us).count());
 }
 
+// resolve_gated at the *current* instant skips the queue: the writer is
+// resumed through Kernel::resume_now (the inline-resume fast path), which
+// the stats report. Resolution from hook/callback context is the batched
+// equivalent model's timestep-boundary case.
+TEST(RendezvousTest, SameInstantResolutionResumesInline) {
+  Kernel k;
+  Rendezvous<Tok> ch(k, "c");
+  ch.set_gated_reader(
+      [](TimePoint, const Tok&) { return std::optional<TimePoint>{}; });
+  std::int64_t write_done = -1;
+  k.spawn("w", [&]() -> Process {
+    co_await ch.write(Tok{1});
+    write_done = k.now().count();
+  });
+  k.schedule_call(TimePoint::origin() + 8_us, [&] {
+    ch.resolve_gated(k.now());  // same instant: no queue round-trip
+  });
+  k.run();
+  EXPECT_EQ(write_done, (8_us).count());
+  EXPECT_EQ(k.stats().inline_resumes, 1u);
+}
+
+// From inside another process's resume (dispatch depth > 0) the inline
+// path would nest coroutine stacks, so resume_now degrades to a queued
+// same-instant event — ordering-preserving, never inline.
+TEST(RendezvousTest, ResolutionInsideDispatchFallsBackToQueue) {
+  Kernel k;
+  Rendezvous<Tok> ch(k, "c");
+  ch.set_gated_reader(
+      [](TimePoint, const Tok&) { return std::optional<TimePoint>{}; });
+  std::int64_t write_done = -1;
+  k.spawn("w", [&]() -> Process {
+    co_await ch.write(Tok{1});
+    write_done = k.now().count();
+  });
+  k.spawn("resolver", [&]() -> Process {
+    co_await k.delay(8_us);
+    ch.resolve_gated(k.now());  // we are mid-resume: must not nest
+  });
+  k.run();
+  EXPECT_EQ(write_done, (8_us).count());
+  EXPECT_EQ(k.stats().inline_resumes, 0u);
+}
+
 TEST(RendezvousTest, ResolveWithoutParkedOfferThrows) {
   Kernel k;
   Rendezvous<Tok> ch(k, "c");
