@@ -27,6 +27,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/equivalent_model.hpp"
@@ -320,6 +321,56 @@ int main(int argc, char** argv) {
               with_commas(static_cast<std::int64_t>(kMixedSymbols)).c_str(),
               t6.render().c_str());
 
+  // --- 7. study-matrix thread sweep ----------------------------------------
+  // The matrix-level parallelism lever (StudyOptions::threads,
+  // docs/DESIGN.md §11): an 8-cell study — 8 platform candidates on the
+  // equivalent backend, the design_space example's shape — measured at 1,
+  // 2, 4 and 8 worker threads. The report is bit-identical at every
+  // setting; only the wall clock moves, and only as far as the machine has
+  // cores.
+  constexpr std::uint64_t kSweepSymbols = 2000;
+  struct ThreadRow {
+    int threads;
+    double wall_s;
+    double speedup;
+  };
+  std::vector<ThreadRow> thread_rows;
+  {
+    study::Study sweep;
+    for (const double gops : {4.0, 5.0, 6.0, 7.0, 8.0, 10.0, 12.0, 14.0}) {
+      lte::ReceiverConfig rc;
+      rc.symbols = kSweepSymbols;
+      rc.seed = 7;
+      rc.dsp_ops_per_second = gops * 1e9;
+      sweep.add(study::Scenario(format("dsp%.0f", gops),
+                                lte::make_receiver(rc)));
+    }
+    sweep.add(study::Backend::equivalent());
+    ConsoleTable t7({"threads", "matrix wall (s)", "speed-up vs 1"});
+    for (const int threads : {1, 2, 4, 8}) {
+      study::StudyOptions so;
+      so.threads = threads;
+      double best = 1e100;
+      for (int rep = 0; rep < 3; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        (void)sweep.run(so);
+        best = std::min(best,
+                        std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
+      }
+      const double speedup =
+          thread_rows.empty() ? 1.0 : thread_rows.front().wall_s / best;
+      thread_rows.push_back({threads, best, speedup});
+      t7.add_row({format("%d", threads), format("%.3f", best),
+                  format("%.2fx", speedup)});
+    }
+    std::printf("Ablation 7: study-matrix thread sweep (8 cells, %s symbols "
+                "each, %u hardware threads)\n%s\n",
+                with_commas(static_cast<std::int64_t>(kSweepSymbols)).c_str(),
+                std::thread::hardware_concurrency(), t7.render().c_str());
+  }
+
   if (!json_path.empty()) {
     JsonWriter w;
     w.begin_object();
@@ -380,6 +431,19 @@ int main(int argc, char** argv) {
       w.field("isolated_run_s", r.isolated_s);
       w.field("batched_run_s", r.batched_s);
       w.field("batched_speedup", r.speedup);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("study_thread_sweep").begin_array();
+    for (const ThreadRow& r : thread_rows) {
+      w.begin_object();
+      w.field("cells", static_cast<std::uint64_t>(8));
+      w.field("symbols", kSweepSymbols);
+      w.field("hardware_threads",
+              static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+      w.field("threads", static_cast<std::uint64_t>(r.threads));
+      w.field("matrix_wall_s", r.wall_s);
+      w.field("speedup_vs_serial", r.speedup);
       w.end_object();
     }
     w.end_array();

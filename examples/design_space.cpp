@@ -44,20 +44,19 @@ study::Scenario make_scenario(const Candidate& c, std::uint64_t symbols) {
                          lte::make_receiver(cfg));
 }
 
-Result evaluate(const study::Scenario& scenario) {
-  auto model = study::Backend::equivalent().instantiate(scenario);
-  const auto outcome = model->run();
+/// Read one candidate's verdict off its retained study traces (keep_traces).
+Result evaluate(const study::Cell& cell) {
   Result r;
-  if (!outcome.completed) return r;
+  if (!cell.metrics.completed || !cell.instants || !cell.usage) return r;
 
   // Worst-case input-to-output latency over all symbols.
-  r.worst_latency_us = lte::worst_symbol_latency_us(model->instants());
+  r.worst_latency_us = lte::worst_symbol_latency_us(*cell.instants);
   // Feasible when the receiver keeps up: latency bounded by ~2 symbol
   // periods and the DSP fits the period.
-  const lte::Feasibility f = lte::dsp_feasibility(model->usage());
+  const lte::Feasibility f = lte::dsp_feasibility(*cell.usage);
   r.feasible = f.feasible && r.worst_latency_us < 2.0 * f.symbol_period_us;
-  if (const trace::UsageTrace* dsp = model->usage().find("dsp"))
-    r.dsp_util = dsp->utilization(model->end_time());
+  if (const trace::UsageTrace* dsp = cell.usage->find("dsp"))
+    r.dsp_util = dsp->utilization(cell.metrics.sim_end);
   return r;
 }
 
@@ -65,13 +64,22 @@ Result evaluate(const study::Scenario& scenario) {
 
 int main(int argc, char** argv) {
   std::uint64_t symbols = 20 * lte::kSymbolsPerSubframe;
-  if (argc > 1) {
-    const auto n = parse_count(argv[1]);
-    if (!n) {
-      std::fprintf(stderr, "usage: %s [symbol-count]\n", argv[0]);
-      return 2;
+  int threads = 1;
+  const auto usage = [&] {
+    std::fprintf(stderr, "usage: %s [symbol-count] [--threads N]\n", argv[0]);
+    return 2;
+  };
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--threads") {
+      const auto n = ++a < argc ? maxev::parse_count(argv[a]) : std::nullopt;
+      if (!n) return usage();
+      threads = static_cast<int>(*n);
+    } else {
+      const auto n = maxev::parse_count(arg.c_str());
+      if (!n) return usage();
+      symbols = *n;
     }
-    symbols = *n;
   }
   const Candidate candidates[] = {
       {4, 75},  {6, 75},  {8, 75},  {10, 75},
@@ -80,17 +88,36 @@ int main(int argc, char** argv) {
 
   std::printf("Design-space exploration: LTE receiver platform sizing\n");
   std::printf("(each candidate scenario evaluated on the equivalent backend, "
-              "%s symbols)\n\n",
-              with_commas(static_cast<std::int64_t>(symbols)).c_str());
+              "%s symbols, %d thread%s)\n\n",
+              with_commas(static_cast<std::int64_t>(symbols)).c_str(), threads,
+              threads == 1 ? "" : "s");
 
+  // The whole sweep as ONE study matrix (candidates × equivalent backend):
+  // --threads measures the cells concurrently, and keep_traces retains
+  // each candidate's observation traces so the feasibility analysis below
+  // needs no second simulation.
   const auto t0 = std::chrono::steady_clock::now();
+  study::Study sweep;
+  for (const Candidate& c : candidates) sweep.add(make_scenario(c, symbols));
+  sweep.add(study::Backend::equivalent());
+  study::StudyOptions sweep_opts;
+  sweep_opts.keep_traces = true;
+  sweep_opts.require_completion = false;  // infeasible candidates may stall
+  sweep_opts.threads = threads;
+  const study::Report sweep_report = sweep.run(sweep_opts);
+  const double sweep_secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
   ConsoleTable table({"DSP (GOPS)", "decoder (GOPS)", "worst latency (us)",
                       "DSP util", "verdict"});
   const Candidate* best = nullptr;
   double best_cost = 1e300;
   Result best_result;
   for (const Candidate& c : candidates) {
-    const Result r = evaluate(make_scenario(c, symbols));
+    const study::Cell& cell = sweep_report.at(
+        format("dsp%.0f/dec%.0f", c.dsp_gops, c.decoder_gops), "equivalent");
+    const Result r = evaluate(cell);
     // A crude platform cost: area ~ rate.
     const double cost = c.dsp_gops + 0.2 * c.decoder_gops;
     table.add_row({format("%.0f", c.dsp_gops), format("%.0f", c.decoder_gops),
@@ -103,9 +130,6 @@ int main(int argc, char** argv) {
       best_result = r;
     }
   }
-  const double sweep_secs =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
 
   std::printf("%s\n", table.render().c_str());
   if (best != nullptr) {
@@ -123,7 +147,9 @@ int main(int argc, char** argv) {
     st.add(std::move(winner));
     st.add(study::Backend::baseline());
     st.add(study::Backend::equivalent());
-    const study::Report report = st.run();
+    study::StudyOptions check_opts;
+    check_opts.threads = threads;
+    const study::Report report = st.run(check_opts);
     const study::Cell& eq = report.at(winner_name, "equivalent");
     std::printf("winner cross-check: equivalent backend %.1fx faster than "
                 "the baseline, instants %s.\n",

@@ -21,13 +21,22 @@ int main(int argc, char** argv) {
   using namespace maxev;
 
   std::uint64_t symbols = 10 * lte::kSymbolsPerSubframe;
-  if (argc > 1) {
-    const auto n = parse_count(argv[1]);
-    if (!n) {
-      std::fprintf(stderr, "usage: %s [symbol-count]\n", argv[0]);
-      return 2;
+  int threads = 1;
+  const auto usage = [&] {
+    std::fprintf(stderr, "usage: %s [symbol-count] [--threads N]\n", argv[0]);
+    return 2;
+  };
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--threads") {
+      const auto n = ++a < argc ? parse_count(argv[a]) : std::nullopt;
+      if (!n) return usage();
+      threads = static_cast<int>(*n);
+    } else {
+      const auto n = parse_count(arg.c_str());
+      if (!n) return usage();
+      symbols = *n;
     }
-    symbols = *n;
   }
 
   // Four component carriers: bandwidth (fixed PRB allocation) and platform
@@ -58,6 +67,11 @@ int main(int argc, char** argv) {
   st.add(study::Backend::equivalent());
   study::StudyOptions opts;
   opts.keep_traces = true;
+  // Both parallelism levers (docs/DESIGN.md §11): measure the two backend
+  // cells concurrently AND drain any equal-structure sub-batches of the
+  // composed run on workers. Traces/report are identical at any setting.
+  opts.threads = threads;
+  opts.group_threads = threads;
   const study::Report report = st.run(opts);
   std::printf("%s\n", report.to_string().c_str());
 

@@ -6,6 +6,7 @@
 
 #include "tdg/simplify.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace maxev::core {
 
@@ -69,6 +70,8 @@ void validate_replication(const model::ArchitectureDesc& merged,
 }
 
 }  // namespace
+
+BatchEquivalentModel::~BatchEquivalentModel() = default;
 
 BatchEquivalentModel::BatchEquivalentModel(model::DescPtr merged,
                                            model::DescPtr base,
@@ -196,11 +199,41 @@ BatchEquivalentModel::BatchEquivalentModel(model::DescPtr merged,
   // of one simulated instant accumulate before one batched propagation —
   // one hook flushing every sub-batch engine (the isolated remainder's
   // inline engine propagates eagerly and needs no flush).
-  runtime_->kernel().set_timestep_hook([this] {
-    bool any = false;
-    for (Group& g : groups_) any = g.engine->flush() || any;
-    return any;
-  });
+  //
+  // With >= 2 groups and Options::threads > 1 the drain splits into a
+  // parallel compute phase (each engine flushes on its own worker with
+  // callbacks deferred — groups share no frames, and every observer an
+  // engine touches during flush is engine-private) and a serial publish
+  // phase firing the deferred callbacks in group order. Callbacks may
+  // resume writer coroutines that feed an engine again; those feeds land
+  // on its worklist and the hook's `true` return re-invokes it at the
+  // same instant — the per-engine callback sequence, and with it every
+  // per-instance trace, matches the serial drain exactly (docs/DESIGN.md
+  // §11).
+  const std::size_t drain_threads =
+      opts.threads == 1 ? 1 : util::ThreadPool::resolve(opts.threads);
+  if (drain_threads > 1 && groups_.size() > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(
+        std::min(drain_threads, groups_.size()) - 1);  // caller participates
+    drained_.assign(groups_.size(), 0);
+    runtime_->kernel().set_timestep_hook([this] {
+      pool_->parallel_for(groups_.size(), [this](std::size_t g) {
+        drained_[g] = groups_[g].engine->flush_deferred() ? 1 : 0;
+      });
+      bool any = false;
+      for (std::size_t g = 0; g < groups_.size(); ++g) {
+        groups_[g].engine->fire_deferred();
+        any = any || drained_[g] != 0;
+      }
+      return any;
+    });
+  } else {
+    runtime_->kernel().set_timestep_hook([this] {
+      bool any = false;
+      for (Group& g : groups_) any = g.engine->flush() || any;
+      return any;
+    });
+  }
 
   for (std::size_t i = 0; i < inputs_.size(); ++i) wire_input(i);
   for (std::size_t i = 0; i < outputs_.size(); ++i) wire_output(i);

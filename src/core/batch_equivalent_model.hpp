@@ -57,6 +57,10 @@
 /// (study::Instance), so groups of unequal size can interleave with the
 /// remainder in any composition order.
 
+namespace maxev::util {
+class ThreadPool;
+}  // namespace maxev::util
+
 namespace maxev::core {
 
 class BatchEquivalentModel {
@@ -104,6 +108,13 @@ class BatchEquivalentModel {
     std::vector<bool> isolated_group;
     /// Number of remainder instances (pad_nodes accounting only).
     std::size_t isolated_instances = 0;
+    /// Worker threads draining the per-group engines between timestep
+    /// barriers (docs/DESIGN.md §11): the compute phase runs each group's
+    /// flush on its own worker with callbacks deferred, then a serial
+    /// publish phase fires them in group order — bit-identical to the
+    /// serial drain. 1 = serial (also used when there are < 2 groups);
+    /// 0 = one per hardware thread.
+    int threads = 1;
   };
 
   /// Grouped construction: \p groups equal-structure sub-batches (each
@@ -126,6 +137,8 @@ class BatchEquivalentModel {
 
   BatchEquivalentModel(const BatchEquivalentModel&) = delete;
   BatchEquivalentModel& operator=(const BatchEquivalentModel&) = delete;
+  /// Out of line: pool_ holds a forward-declared util::ThreadPool.
+  ~BatchEquivalentModel();
 
   /// Run to completion (or horizon). Same outcome semantics as the merged
   /// equivalent model.
@@ -274,6 +287,11 @@ class BatchEquivalentModel {
   std::vector<IsoInputState> iso_inputs_;
   std::vector<IsoOutputState> iso_outputs_;
   std::unique_ptr<model::ModelRuntime> runtime_;
+  /// Present only when Options::threads enables the parallel drain.
+  std::unique_ptr<util::ThreadPool> pool_;
+  /// Per-group "flush did work" flags of one hook invocation (char, not
+  /// bool: vector<bool> packs bits and adjacent writes would race).
+  std::vector<char> drained_;
 };
 
 }  // namespace maxev::core

@@ -27,6 +27,12 @@
 namespace maxev::sim {
 
 /// Counters exposed for the paper's metrics (event ratio, context switches).
+///
+/// Ownership contract: stats live inside their Kernel and a Kernel is only
+/// ever driven by one thread at a time. The thread-parallel layers
+/// (DESIGN.md §11) parallelize *across* kernels — one per study cell — or
+/// suspend the kernel at a timestep barrier before fanning out, so these
+/// counters are plain integers, never shared mutable state.
 struct KernelStats {
   std::uint64_t events_scheduled = 0;  ///< queue insertions (timed wakeups, notifies, calls)
   std::uint64_t resumes = 0;           ///< coroutine context switches

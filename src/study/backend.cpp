@@ -193,6 +193,7 @@ class BatchEquivalentBackendModel final : public Model {
       opts.isolated_group = std::move(isolated);
       opts.isolated_instances = isolated_count;
     }
+    opts.threads = rc.threads;
     return opts;
   }
 

@@ -87,6 +87,12 @@ struct RunConfig {
   /// either way (docs/DESIGN.md §9–§10). Only the equivalent backend
   /// consults this.
   bool batch_composed = true;
+  /// Worker threads draining a batched composition's per-group engines
+  /// between timestep barriers (core::BatchEquivalentModel::Options::
+  /// threads; docs/DESIGN.md §11). 1 = serial drain (the default; also
+  /// used when a model has < 2 sub-batches), 0 = one per hardware thread.
+  /// Traces and reports are bit-identical at any setting.
+  int threads = 1;
 };
 
 /// Value-semantic backend selector (a closed sum over the three execution

@@ -7,6 +7,7 @@
 
 #include "util/error.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace maxev::study {
 
@@ -41,6 +42,7 @@ MeasuredCell measure(const Scenario& scenario, const Backend& backend,
   rc.observe = opts.observe;
   rc.event_overhead_ns = opts.event_overhead_ns;
   rc.batch_composed = opts.batch_composed;
+  rc.threads = opts.group_threads;
 
   std::vector<double> walls;
   walls.reserve(static_cast<std::size_t>(opts.repetitions));
@@ -123,9 +125,45 @@ Report Study::run(const StudyOptions& opts) const {
 
   const bool compare = opts.observe && opts.compare_traces;
 
-  for (const Scenario& scenario : scenarios_) {
-    // Reference backend first: its rep-0 traces anchor the comparisons.
-    MeasuredCell ref = measure(scenario, backends_[reference_], opts);
+  // Measurement order = the serial pass's execution order: per scenario
+  // the reference backend first, then the others by insertion. Cells are
+  // keyed by their slot in this list, so the measure phase may run them in
+  // any order (or concurrently) without perturbing the report; when
+  // several cells fail, parallel_for rethrows the lowest slot's exception
+  // — exactly the error the serial pass would have surfaced first.
+  struct Slot {
+    std::size_t scenario = 0;
+    std::size_t backend = 0;
+  };
+  std::vector<Slot> slots;
+  slots.reserve(scenarios_.size() * backends_.size());
+  for (std::size_t s = 0; s < scenarios_.size(); ++s) {
+    slots.push_back({s, reference_});
+    for (std::size_t b = 0; b < backends_.size(); ++b)
+      if (b != reference_) slots.push_back({s, b});
+  }
+
+  std::vector<MeasuredCell> measured(slots.size());
+  const auto measure_slot = [&](std::size_t i) {
+    measured[i] =
+        measure(scenarios_[slots[i].scenario], backends_[slots[i].backend],
+                opts);
+  };
+  const std::size_t threads =
+      opts.threads == 1 ? 1 : util::ThreadPool::resolve(opts.threads);
+  if (threads > 1 && slots.size() > 1) {
+    util::ThreadPool pool(std::min(threads, slots.size()) - 1);
+    pool.parallel_for(slots.size(), measure_slot);
+  } else {
+    for (std::size_t i = 0; i < slots.size(); ++i) measure_slot(i);
+  }
+
+  // Serial assembly in insertion order: comparisons and emission read the
+  // measured models single-threadedly, so the report is byte-identical to
+  // the serial pass.
+  for (std::size_t s = 0; s < scenarios_.size(); ++s) {
+    MeasuredCell* const base = &measured[s * backends_.size()];
+    MeasuredCell& ref = base[0];
     ref.cell.is_reference = true;
     ref.cell.speedup_vs_reference = 1.0;
     ref.cell.event_ratio_vs_reference = 1.0;
@@ -139,9 +177,8 @@ Report Study::run(const StudyOptions& opts) const {
     }
 
     std::vector<Cell> row;
-    for (std::size_t b = 0; b < backends_.size(); ++b) {
-      if (b == reference_) continue;
-      MeasuredCell mc = measure(scenario, backends_[b], opts);
+    for (std::size_t r = 1; r < backends_.size(); ++r) {
+      MeasuredCell& mc = base[r];
       Cell& cell = mc.cell;
       cell.speedup_vs_reference =
           cell.metrics.wall_seconds > 0.0

@@ -46,6 +46,22 @@ struct StudyOptions {
   /// the fully-isolated path (the bench_ablation batched-vs-isolated
   /// ablations 5 and 6).
   bool batch_composed = true;
+  /// Worker threads for the matrix itself: cells (scenario × backend ×
+  /// repetitions) measure concurrently, then the report is assembled
+  /// serially in insertion order — cell order, comparisons and any thrown
+  /// error are identical at every setting (docs/DESIGN.md §11). Each cell
+  /// still runs its own single kernel; workload closures shared between
+  /// scenarios must be re-entrant when > 1. 1 = serial (default), 0 = one
+  /// per hardware thread. Wall-clock numbers (and hence speedups) remain
+  /// honest per cell but contend for cores; for timing-grade numbers keep
+  /// 1.
+  int threads = 1;
+  /// Worker threads *inside* each batched composed cell, draining its
+  /// per-group engines between timestep barriers (RunConfig::threads /
+  /// core::BatchEquivalentModel::Options::threads). Independent of
+  /// `threads`; both levers may be combined. 1 = serial drain (default),
+  /// 0 = one per hardware thread.
+  int group_threads = 1;
 };
 
 class Study {

@@ -229,7 +229,15 @@ void BatchEngine::mark_known(Frame& f, NodeId n, std::uint64_t k,
   const std::uint8_t flags = node_flags_[l];
   if (flags == 0) return;  // common case: no observer on this lane
   if (flags & kRecords) flush_instants(n, inst);
-  if ((flags & kHasCallback) && v.is_finite()) callbacks_[l](k, v.to_time());
+  if (flags & kHasCallback) emit_callback(l, k, v);
+}
+
+void BatchEngine::emit_callback(std::size_t l, std::uint64_t k, mp::Scalar v) {
+  if (!v.is_finite()) return;
+  if (defer_callbacks_)
+    deferred_.push_back({l, k, v.to_time()});
+  else
+    callbacks_[l](k, v.to_time());
 }
 
 void BatchEngine::flush_instants(NodeId n, std::size_t inst) {
@@ -272,6 +280,27 @@ bool BatchEngine::flush() {
   }
   drain();
   prune();
+  return true;
+}
+
+bool BatchEngine::flush_deferred() {
+  // Restore inline firing even if a guard/load closure throws mid-drain.
+  struct Scope {
+    bool& flag;
+    ~Scope() { flag = false; }
+  } scope{defer_callbacks_};
+  defer_callbacks_ = true;
+  return flush();
+}
+
+bool BatchEngine::fire_deferred() {
+  if (deferred_.empty()) return false;
+  // Swap out first: a callback may resume a writer inline whose channel
+  // hooks feed this engine again (resolve_now fires further callbacks
+  // inline — defer mode is off here, matching the serial path).
+  std::vector<PendingCallback> pending;
+  pending.swap(deferred_);
+  for (const PendingCallback& cb : pending) callbacks_[cb.lane](cb.k, cb.t);
   return true;
 }
 
@@ -415,8 +444,7 @@ void BatchEngine::compute_front(NodeId n, std::uint64_t k) {
         const std::uint8_t flags = node_flags_[l];
         if (flags == 0) continue;
         if (flags & kRecords) flush_instants(n, i);
-        if ((flags & kHasCallback) && f.value[l].is_finite())
-          callbacks_[l](k, f.value[l].to_time());
+        if (flags & kHasCallback) emit_callback(l, k, f.value[l]);
       }
     }
     // Batched dependent resolution: stream each out-arc slot once; one

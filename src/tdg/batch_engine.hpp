@@ -109,6 +109,28 @@ class BatchEngine {
   /// scheduled.
   bool flush();
 
+  /// flush() with on_known callbacks *captured* instead of fired: computed
+  /// values, instant series and usage traces are written as usual (all of
+  /// them private to this engine's instances), but the callbacks — which
+  /// reach into the simulation kernel (event notifies, gated-rendezvous
+  /// resolution) — are recorded in drain order for a later fire_deferred().
+  /// This is the compute phase of the parallel per-group drain
+  /// (docs/DESIGN.md §11): several engines may flush_deferred()
+  /// concurrently because nothing they touch is shared; the kernel-facing
+  /// side effects are then replayed serially. Values are identical to
+  /// flush() — fronts are drain-order independent — and per-engine
+  /// callback order is identical too, since the single-threaded drain
+  /// inside the engine is unchanged.
+  bool flush_deferred();
+
+  /// Fire the callbacks captured by flush_deferred(), in capture (drain)
+  /// order, on the calling thread. Callbacks may feed this or any other
+  /// engine (set_external via channel hooks) and resume simulation
+  /// processes inline; such feeds enqueue new fronts for the next flush,
+  /// exactly as they would mid-drain on the serial path. Returns true when
+  /// at least one callback fired.
+  bool fire_deferred();
+
   /// The inline-resume fast path (docs/DESIGN.md §10): if (inst, n, k) is
   /// not yet known but every prerequisite is (its pending count reached
   /// zero — the lane sits in a ready front awaiting the next flush()),
@@ -195,6 +217,8 @@ class BatchEngine {
                                        std::size_t inst);
   void mark_known(Frame& f, NodeId n, std::uint64_t k, std::size_t inst,
                   mp::Scalar v);
+  /// Fire or (in deferred mode) capture the lane's on_known callback.
+  void emit_callback(std::size_t l, std::uint64_t k, mp::Scalar v);
   void resolve_dependents(Frame& f, NodeId n, std::uint64_t k,
                           std::size_t inst);
   void flush_instants(NodeId n, std::size_t inst);
@@ -222,6 +246,15 @@ class BatchEngine {
 
   std::vector<std::pair<NodeId, std::uint64_t>> worklist_;
   bool draining_ = false;
+
+  /// Deferred-callback state (flush_deferred / fire_deferred).
+  struct PendingCallback {
+    std::size_t lane = 0;
+    std::uint64_t k = 0;
+    TimePoint t;
+  };
+  bool defer_callbacks_ = false;
+  std::vector<PendingCallback> deferred_;
 
   // Per-(node, instance) observation/callback state, lane-indexed like the
   // frame columns.

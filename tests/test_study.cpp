@@ -10,6 +10,7 @@
 #include "core/experiment.hpp"
 #include "core/lt_runner.hpp"
 #include "gen/didactic.hpp"
+#include "gen/random_arch.hpp"
 #include "lte/receiver.hpp"
 #include "model/baseline.hpp"
 #include "study/study.hpp"
@@ -591,6 +592,85 @@ TEST(DelegationTest, RunComparisonMatchesHandBuiltStudy) {
   EXPECT_DOUBLE_EQ(cmp.event_ratio, eq->event_ratio_vs_reference);
   EXPECT_TRUE(cmp.accurate());
   EXPECT_TRUE(eq->errors->exact());
+}
+
+// ------------------------------------- thread-count equivalence sweep
+
+// The determinism contract of StudyOptions::threads / group_threads
+// (docs/DESIGN.md §11): for random-architecture matrices, every thread
+// count produces the identical Report — CSV bytes, JSON bytes, and the
+// per-instance traces retained by keep_traces — as the serial run.
+TEST(ThreadSweepTest, RandomArchMatricesIdenticalAcrossThreadCounts) {
+  gen::RandomArchConfig cfg;
+  cfg.tokens = 20;
+  cfg.multi_rate_producer_probability = 0.4;
+
+  for (const std::uint64_t seed : {3ull, 11ull}) {
+    const auto a = model::share(gen::make_random_architecture(seed, cfg));
+    const auto b =
+        model::share(gen::make_random_architecture(seed + 100, cfg));
+    Study st;
+    st.add(Scenario("solo", a));
+    std::vector<Scenario> parts;
+    parts.emplace_back("a0", a);
+    parts.emplace_back("b0", b);
+    parts.emplace_back("a1", a);
+    parts.emplace_back("b1", b);
+    st.add(compose("mix22", parts));
+    st.add(Backend::baseline());
+    st.add(Backend::equivalent());
+
+    StudyOptions opts;
+    opts.keep_traces = true;
+
+    // Serial reference: blank the wall-clock-dependent fields, serialize.
+    const auto blank = [](Report rep) {
+      for (Cell& c : rep.cells) {
+        c.metrics.wall_seconds = 0.0;
+        c.speedup_vs_reference = c.is_reference ? 1.0 : 0.0;
+      }
+      return rep;
+    };
+    const Report ref = blank(st.run(opts));
+    const std::string csv_path = ::testing::TempDir() + "maxev_sweep.csv";
+    ref.write_csv(csv_path);
+    const std::string ref_csv = slurp(csv_path);
+    const std::string ref_json = ref.to_json();
+
+    for (const int threads : {2, 8}) {
+      opts.threads = threads;
+      opts.group_threads = threads;
+      const Report rep = blank(st.run(opts));
+      rep.write_csv(csv_path);
+      EXPECT_EQ(slurp(csv_path), ref_csv)
+          << "seed=" << seed << " threads=" << threads;
+      EXPECT_EQ(rep.to_json(), ref_json)
+          << "seed=" << seed << " threads=" << threads;
+
+      // Per-instance traces of the composed equivalent cell, not just the
+      // serialized summary.
+      const Cell& rc = ref.at("mix22", "equivalent");
+      const Cell& pc = rep.at("mix22", "equivalent");
+      ASSERT_NE(rc.instants, nullptr);
+      ASSERT_NE(pc.instants, nullptr);
+      for (const Scenario& part : parts) {
+        EXPECT_EQ(trace::compare_instants(
+                      instance_instants(*rc.instants, part.name()),
+                      instance_instants(*pc.instants, part.name())),
+                  std::nullopt)
+            << "seed=" << seed << " threads=" << threads << " instance="
+            << part.name();
+        trace::UsageTraceSet ru = instance_usage(*rc.usage, part.name());
+        trace::UsageTraceSet pu = instance_usage(*pc.usage, part.name());
+        ru.sort_all();
+        pu.sort_all();
+        EXPECT_EQ(trace::compare_usage(ru, pu), std::nullopt)
+            << "seed=" << seed << " threads=" << threads << " instance="
+            << part.name();
+      }
+    }
+    std::remove(csv_path.c_str());
+  }
 }
 
 }  // namespace
