@@ -45,7 +45,7 @@ int main() {
         Duration::ms(100)}) {
     core::LooselyTimedModel lt(desc, quantum);
     t0 = Clock::now();
-    const bool ok = lt.run();
+    const bool ok = lt.run().completed;
     const double secs =
         std::chrono::duration<double>(Clock::now() - t0).count();
     const auto err = lt.error_against(baseline.instants());

@@ -13,6 +13,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "lte/receiver.hpp"
 #include "lte/scenario.hpp"
@@ -65,8 +67,13 @@ Result evaluate(const study::Cell& cell) {
 int main(int argc, char** argv) {
   std::uint64_t symbols = 20 * lte::kSymbolsPerSubframe;
   int threads = 1;
+  std::uint64_t max_events = 0;
+  double deadline_ms = 0.0;
   const auto usage = [&] {
-    std::fprintf(stderr, "usage: %s [symbol-count] [--threads N]\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s [symbol-count] [--threads N] [--max-events N] "
+                 "[--deadline-ms X]\n",
+                 argv[0]);
     return 2;
   };
   for (int a = 1; a < argc; ++a) {
@@ -75,6 +82,15 @@ int main(int argc, char** argv) {
       const auto n = ++a < argc ? maxev::parse_count(argv[a]) : std::nullopt;
       if (!n) return usage();
       threads = static_cast<int>(*n);
+    } else if (arg == "--max-events") {
+      const auto n = ++a < argc ? maxev::parse_count(argv[a]) : std::nullopt;
+      if (!n) return usage();
+      max_events = *n;
+    } else if (arg == "--deadline-ms") {
+      if (++a >= argc) return usage();
+      char* end = nullptr;
+      deadline_ms = std::strtod(argv[a], &end);
+      if (end == argv[a] || *end != '\0' || deadline_ms < 0) return usage();
     } else {
       const auto n = maxev::parse_count(arg.c_str());
       if (!n) return usage();
@@ -104,6 +120,12 @@ int main(int argc, char** argv) {
   sweep_opts.keep_traces = true;
   sweep_opts.require_completion = false;  // infeasible candidates may stall
   sweep_opts.threads = threads;
+  // Run guards (--max-events / --deadline-ms): bound every candidate's
+  // run, and isolate a tripped guard into a failed cell instead of
+  // aborting the sweep.
+  sweep_opts.max_events = max_events;
+  sweep_opts.deadline_ms = deadline_ms;
+  if (max_events != 0 || deadline_ms > 0) sweep_opts.isolate_failures = true;
   const study::Report sweep_report = sweep.run(sweep_opts);
   const double sweep_secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

@@ -7,6 +7,8 @@
 /// model several times faster.
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "gen/didactic.hpp"
 #include "study/study.hpp"
@@ -24,13 +26,30 @@ int main(int argc, char** argv) {
   //    bounds the workload (CI smoke runs use a small count).
   gen::DidacticConfig cfg;
   cfg.tokens = 5000;
-  if (argc > 1) {
-    const auto n = parse_count(argv[1]);
-    if (!n) {
-      std::fprintf(stderr, "usage: %s [token-count]\n", argv[0]);
-      return 2;
+  std::uint64_t max_events = 0;
+  double deadline_ms = 0.0;
+  const auto usage = [&] {
+    std::fprintf(stderr,
+                 "usage: %s [token-count] [--max-events N] [--deadline-ms X]\n",
+                 argv[0]);
+    return 2;
+  };
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--max-events") {
+      const auto n = ++a < argc ? parse_count(argv[a]) : std::nullopt;
+      if (!n) return usage();
+      max_events = *n;
+    } else if (arg == "--deadline-ms") {
+      if (++a >= argc) return usage();
+      char* end = nullptr;
+      deadline_ms = std::strtod(argv[a], &end);
+      if (end == argv[a] || *end != '\0' || deadline_ms < 0) return usage();
+    } else {
+      const auto n = parse_count(arg.c_str());
+      if (!n) return usage();
+      cfg.tokens = *n;
     }
-    cfg.tokens = *n;
   }
   const model::ArchitectureDesc desc = gen::make_didactic(cfg);
   std::printf("architecture: %zu functions, %zu relations, %zu resources\n",
@@ -56,6 +75,11 @@ int main(int argc, char** argv) {
 
   study::StudyOptions opts;
   opts.repetitions = 3;
+  // Optional run guards (--max-events / --deadline-ms): bound each cell's
+  // run and report a tripped guard as a failed cell instead of aborting.
+  opts.max_events = max_events;
+  opts.deadline_ms = deadline_ms;
+  if (max_events != 0 || deadline_ms > 0) opts.isolate_failures = true;
   const study::Report report = st.run(opts);
   std::printf("%s\n", report.to_string().c_str());
 

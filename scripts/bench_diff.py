@@ -12,7 +12,9 @@ not single-digit percentages.
 Exit code: 0 when no metric regressed by more than REGRESSION_THRESHOLD
 (20%), 1 when at least one did (regressed rows carry a ⚠ marker). The
 bench job itself stays advisory — it turns a non-zero exit into a warning
-annotation instead of failing the build.
+annotation instead of failing the build. 2 = usage error, 3 = a BENCH
+file is missing/unreadable, 4 = a BENCH file is not valid JSON — distinct
+codes so CI annotations can tell a broken artifact from a perf regression.
 """
 
 import json
@@ -20,10 +22,33 @@ import sys
 
 REGRESSION_THRESHOLD = 0.20
 
+EXIT_USAGE = 2
+EXIT_MISSING = 3
+EXIT_MALFORMED = 4
+
+
+class BenchFileError(Exception):
+    """A BENCH json could not be read or parsed; .exit_code says which."""
+
+    def __init__(self, message, exit_code):
+        super().__init__(message)
+        self.exit_code = exit_code
+
 
 def load(path):
-    with open(path, "r", encoding="utf-8") as f:
-        return json.load(f)
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except OSError as e:
+        raise BenchFileError(
+            f"bench_diff: cannot read '{path}': {e.strerror or e}",
+            EXIT_MISSING) from e
+    except json.JSONDecodeError as e:
+        raise BenchFileError(
+            f"bench_diff: '{path}' is not valid JSON "
+            f"(line {e.lineno}, column {e.colno}: {e.msg}); "
+            f"re-record it with scripts/bench_report.sh",
+            EXIT_MALFORMED) from e
 
 
 def fmt(value):
@@ -93,10 +118,21 @@ def regressed(old, new, direction):
 def main():
     if len(sys.argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     old_path, new_path = sys.argv[1], sys.argv[2]
-    old = rows(load(old_path))
-    new = rows(load(new_path))
+    try:
+        old_doc, new_doc = load(old_path), load(new_path)
+    except BenchFileError as e:
+        print(e, file=sys.stderr)
+        return e.exit_code
+    for path, doc in ((old_path, old_doc), (new_path, new_doc)):
+        if not isinstance(doc, dict):
+            print(f"bench_diff: '{path}' is valid JSON but not a bench "
+                  f"document (expected an object, got "
+                  f"{type(doc).__name__})", file=sys.stderr)
+            return EXIT_MALFORMED
+    old = rows(old_doc)
+    new = rows(new_doc)
 
     any_regression = False
     print(f"### Bench trajectory: `{old_path}` → `{new_path}`\n")
@@ -121,4 +157,9 @@ def main():
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe: not an
+        # error worth a traceback. Exit like the tables were printed.
+        sys.exit(0)

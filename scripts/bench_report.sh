@@ -30,9 +30,21 @@ cmake --build "$BUILD_DIR" -j --target bench_micro >/dev/null 2>&1 || true
 n=0
 while [ -e "$OUT_DIR/BENCH_$n.json" ]; do n=$((n + 1)); done
 
-"$BUILD_DIR/bench_ablation" --json "$OUT_DIR/BENCH_$n.json"
+out="$OUT_DIR/BENCH_$n.json"
+if ! "$BUILD_DIR/bench_ablation" --json "$out"; then
+  echo "bench_report: bench_ablation failed; removing partial '$out'" >&2
+  rm -f "$out"
+  exit 1
+fi
+# Never leave a malformed trajectory entry behind: bench_diff.py and the
+# CI summary both parse it. Exit 4 mirrors bench_diff's malformed code.
+if ! python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$out"; then
+  echo "bench_report: '$out' is not valid JSON; removing it" >&2
+  rm -f "$out"
+  exit 4
+fi
 if [ -x "$BUILD_DIR/bench_micro" ]; then
   "$BUILD_DIR/bench_micro" --json "$OUT_DIR/BENCH_$n.micro.json"
 fi
 
-echo "bench trajectory entry: $OUT_DIR/BENCH_$n.json"
+echo "bench trajectory entry: $out"

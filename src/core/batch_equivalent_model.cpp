@@ -721,7 +721,37 @@ BatchEquivalentModel::CompiledShape BatchEquivalentModel::compiled_shape()
 
 model::ModelRuntime::Outcome BatchEquivalentModel::run(
     std::optional<TimePoint> until) {
-  return runtime_->run(until);
+  model::ModelRuntime::Outcome out = runtime_->run(until);
+  if (!out.completed && (out.idle || sim::is_guard_stop(out.stop))) {
+    // Batched-only knowledge: parked gated offers (named per member) and
+    // each member instance's token progress through the merged runtime's
+    // sinks — diagnostics the merged stall report cannot attribute.
+    for (const InputState& st : inputs_) {
+      if (!st.parked) continue;
+      out.diagnostics.unresolved_gates.push_back(
+          groups_[st.grp].names[st.inst] + "/" + st.meta.u_node + "@k=" +
+          std::to_string(st.parked_k));
+    }
+    for (const Group& g : groups_) {
+      std::uint64_t expected = 0;
+      if (!g.base->sources().empty()) {
+        expected = g.base->sources()[0].count;
+        for (const auto& src : g.base->sources())
+          expected = std::min(expected, src.count);
+      }
+      const std::size_t n_sinks = g.base->sinks().size();
+      for (std::size_t m = 0; m < g.names.size(); ++m) {
+        std::uint64_t done = expected;
+        for (std::size_t s = 0; s < n_sinks; ++s)
+          done = std::min(done,
+                          runtime_->sink_received(static_cast<model::SinkId>(
+                              g.spans[m].sink + s)));
+        out.diagnostics.instances.push_back({g.names[m], done, expected});
+      }
+    }
+    if (sim::is_guard_stop(out.stop)) out.stall_report = out.diagnostics.summary();
+  }
+  return out;
 }
 
 }  // namespace maxev::core

@@ -232,7 +232,20 @@ void EquivalentModel::raise_retain_floor() {
 
 model::ModelRuntime::Outcome EquivalentModel::run(
     std::optional<TimePoint> until) {
-  return runtime_->run(until);
+  model::ModelRuntime::Outcome out = runtime_->run(until);
+  if (!out.completed && (out.idle || sim::is_guard_stop(out.stop))) {
+    // Only this layer knows which gated receptions parked an offer whose
+    // computed completion never became known.
+    for (const InputState& st : inputs_) {
+      if (!st.parked) continue;
+      out.diagnostics.unresolved_gates.push_back(
+          st.meta.u_node + "@k=" + std::to_string(st.parked_k));
+    }
+    // Guard-stop messages are new in this PR, so they may render the
+    // enriched summary; idle-stall wording stays the runtime's (pinned).
+    if (sim::is_guard_stop(out.stop)) out.stall_report = out.diagnostics.summary();
+  }
+  return out;
 }
 
 }  // namespace maxev::core

@@ -135,18 +135,45 @@ sim::Process LooselyTimedModel::sink_proc(SinkId s) {
   }
 }
 
-bool LooselyTimedModel::run(std::optional<TimePoint> until) {
-  last_run_idle_ = kernel_.run(until) == sim::Kernel::RunResult::kIdle;
-  if (sources_finished_ != desc_->sources().size()) return false;
+model::ModelRuntime::Outcome LooselyTimedModel::run(
+    std::optional<TimePoint> until) {
+  const sim::StopReason stop = kernel_.run(until);
+  last_run_idle_ = stop == sim::StopReason::kIdle;
+
+  model::ModelRuntime::Outcome out;
+  out.stop = stop;
+  out.idle = last_run_idle_;
+
   std::uint64_t expected = 0;
   if (!desc_->sources().empty()) {
     expected = desc_->sources()[0].count;
     for (const auto& s : desc_->sources())
       expected = std::min(expected, s.count);
   }
-  for (auto r : sink_received_)
-    if (r < expected) return false;
-  return true;
+  bool sinks_ok = true;
+  for (auto r : sink_received_) sinks_ok = sinks_ok && r >= expected;
+  out.completed = out.idle &&
+                  sources_finished_ == desc_->sources().size() && sinks_ok;
+
+  if (!out.completed && (out.idle || sim::is_guard_stop(stop))) {
+    sim::RunDiagnostics& d = out.diagnostics;
+    d.stop = stop;
+    d.events_processed = kernel_.events_dispatched();
+    d.parked_processes = kernel_.blocked_process_names();
+    std::string detail =
+        "loosely-timed: sources finished " + std::to_string(sources_finished_) +
+        "/" + std::to_string(desc_->sources().size());
+    for (std::size_t s = 0; s < sink_received_.size(); ++s) {
+      if (sink_received_[s] < expected) {
+        detail += "; sink '" + desc_->sinks()[s].name + "' received " +
+                  std::to_string(sink_received_[s]) + " of " +
+                  std::to_string(expected);
+      }
+    }
+    d.detail = std::move(detail);
+    out.stall_report = d.summary();
+  }
+  return out;
 }
 
 LooselyTimedModel::ErrorStats LooselyTimedModel::error_against(

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "model/baseline.hpp"
 #include "model/desc.hpp"
 #include "model/token.hpp"
 #include "sim/event.hpp"
@@ -60,8 +61,12 @@ class LooselyTimedModel {
 
   /// Run to completion (or to the horizon; note that temporal decoupling
   /// is quantum-grained, so processes may have run locally up to a quantum
-  /// past the horizon). Returns false if the run stalled or was cut short.
-  bool run(std::optional<TimePoint> until = std::nullopt);
+  /// past the horizon). The historical bool return conflated "stalled"
+  /// with "cut short at the horizon" — Outcome::stop now tells them (and
+  /// the guard stops, sim::RunGuards) apart, and Outcome::diagnostics
+  /// says what was left hanging.
+  model::ModelRuntime::Outcome run(
+      std::optional<TimePoint> until = std::nullopt);
 
   /// True when the last run() drained the event queue (rather than
   /// stopping at the horizon).

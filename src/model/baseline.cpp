@@ -226,9 +226,10 @@ sim::Process ModelRuntime::sink_proc(SinkId s) {
 }
 
 ModelRuntime::Outcome ModelRuntime::run(std::optional<TimePoint> until) {
-  const auto result = kernel_.run(until);
+  const sim::StopReason result = kernel_.run(until);
   Outcome out;
-  out.idle = result == sim::Kernel::RunResult::kIdle;
+  out.stop = result;
+  out.idle = result == sim::StopReason::kIdle;
 
   // Expected number of tokens at each sink: in the aligned feed-forward
   // architectures this library models, every channel carries one token per
@@ -262,27 +263,56 @@ ModelRuntime::Outcome ModelRuntime::run(std::optional<TimePoint> until) {
                   sources_finished_ == desc_->sources().size() &&
                   !writer_blocked && sinks_ok;
 
-  if (out.idle && !out.completed) {
-    std::string report = "simulation stalled:";
-    report += format(" sources finished %llu/%zu;",
-                     static_cast<unsigned long long>(sources_finished_),
-                     desc_->sources().size());
+  if (!out.completed && (out.idle || sim::is_guard_stop(result))) {
+    // Structured picture first: what stopped us, who is parked, how far
+    // the tokens got. The model layers above (equivalent/batched) append
+    // what only they can see (unresolved gates, per-instance progress).
+    sim::RunDiagnostics& d = out.diagnostics;
+    d.stop = result;
+    d.events_processed = kernel_.events_dispatched();
+    d.parked_processes = kernel_.blocked_process_names();
+    std::string detail =
+        format("sources finished %llu/%zu",
+               static_cast<unsigned long long>(sources_finished_),
+               desc_->sources().size());
     if (writer_blocked)
-      report += " writers blocked on channels: " + blocked_channels + ";";
+      detail += "; writers blocked on channels: " + blocked_channels;
     for (std::size_t s = 0; s < sink_received_.size(); ++s) {
       if (sink_received_[s] < expected) {
-        report += format(" sink '%s' received %llu of %llu;",
+        detail += format("; sink '%s' received %llu of %llu",
                          desc_->sinks()[s].name.c_str(),
                          static_cast<unsigned long long>(sink_received_[s]),
                          static_cast<unsigned long long>(expected));
       }
     }
-    auto blocked = kernel_.blocked_process_names();
-    if (!blocked.empty()) {
-      report += " blocked processes:";
-      for (const auto& b : blocked) report += " " + b;
+    d.detail = std::move(detail);
+
+    if (out.idle) {
+      // The historical stall wording, byte-for-byte (pinned by the PR 3
+      // comparison wrappers); guard stops are new and render the summary.
+      std::string report = "simulation stalled:";
+      report += format(" sources finished %llu/%zu;",
+                       static_cast<unsigned long long>(sources_finished_),
+                       desc_->sources().size());
+      if (writer_blocked)
+        report += " writers blocked on channels: " + blocked_channels + ";";
+      for (std::size_t s = 0; s < sink_received_.size(); ++s) {
+        if (sink_received_[s] < expected) {
+          report += format(" sink '%s' received %llu of %llu;",
+                           desc_->sinks()[s].name.c_str(),
+                           static_cast<unsigned long long>(sink_received_[s]),
+                           static_cast<unsigned long long>(expected));
+        }
+      }
+      const auto& blocked = d.parked_processes;
+      if (!blocked.empty()) {
+        report += " blocked processes:";
+        for (const auto& b : blocked) report += " " + b;
+      }
+      out.stall_report = report;
+    } else {
+      out.stall_report = d.summary();
     }
-    out.stall_report = report;
   }
   return out;
 }

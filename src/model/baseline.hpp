@@ -57,11 +57,18 @@ class ModelRuntime {
   ModelRuntime(const ModelRuntime&) = delete;
   ModelRuntime& operator=(const ModelRuntime&) = delete;
 
-  /// Outcome of a run.
+  /// Outcome of a run. `stop` distinguishes what the historical bool pair
+  /// conflated: a drained queue (kIdle), a horizon cut (kTimeLimit), and
+  /// the guard stops (budget/deadline/cancellation, sim::RunGuards). On
+  /// any incomplete idle or guard-stopped run, `diagnostics` carries the
+  /// structured picture (docs/DESIGN.md §12) and `stall_report` its
+  /// human rendering.
   struct Outcome {
     bool idle = false;       ///< event queue drained
     bool completed = false;  ///< all tokens flowed through to the sinks
-    std::string stall_report;  ///< non-empty when idle but not completed
+    std::string stall_report;  ///< non-empty when stalled or guard-stopped
+    sim::StopReason stop = sim::StopReason::kIdle;  ///< why run() returned
+    sim::RunDiagnostics diagnostics;  ///< filled when !completed (not horizon)
   };
 
   /// Execute until the event queue drains (or the horizon passes).

@@ -1,0 +1,42 @@
+#include "sim/diagnostics.hpp"
+
+namespace maxev::sim {
+
+const char* to_string(StopReason reason) {
+  switch (reason) {
+    case StopReason::kIdle:
+      return "idle";
+    case StopReason::kTimeLimit:
+      return "horizon";
+    case StopReason::kBudget:
+      return "event budget exhausted";
+    case StopReason::kDeadline:
+      return "wall-clock deadline passed";
+    case StopReason::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+std::string RunDiagnostics::summary() const {
+  std::string s = "run stopped (";
+  s += to_string(stop);
+  s += ") after " + std::to_string(events_processed) + " events";
+  if (!detail.empty()) s += "; " + detail;
+  if (!parked_processes.empty()) {
+    s += "; parked processes:";
+    for (const std::string& p : parked_processes) s += " " + p;
+  }
+  if (!unresolved_gates.empty()) {
+    s += "; unresolved gated rendezvous:";
+    for (const std::string& g : unresolved_gates) s += " " + g;
+  }
+  for (const InstanceProgress& ip : instances) {
+    if (ip.tokens_done >= ip.tokens_expected) continue;  // done: not news
+    s += "; instance '" + ip.instance + "' " + std::to_string(ip.tokens_done) +
+         "/" + std::to_string(ip.tokens_expected) + " tokens";
+  }
+  return s;
+}
+
+}  // namespace maxev::sim

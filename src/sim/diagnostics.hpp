@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file diagnostics.hpp
+/// Structured run outcomes: why a run stopped, and — when it stopped with
+/// unfinished work — what exactly was left hanging. Every execution layer
+/// fills the part it can see: the Kernel reports the stop reason and parked
+/// processes, the equivalent models add unresolved gated rendezvous, the
+/// batched model adds per-instance token progress. The study layer attaches
+/// the result to maxev::SimulationError and the Report writers render it,
+/// so a failed cell explains itself instead of dying with a bare string
+/// (docs/DESIGN.md §12).
+
+namespace maxev::sim {
+
+/// Why Kernel::run() returned.
+enum class StopReason : std::uint8_t {
+  kIdle,       ///< event queue drained
+  kTimeLimit,  ///< next event lies beyond the given horizon
+  kBudget,     ///< RunGuards::max_events dispatched events reached
+  kDeadline,   ///< RunGuards::deadline wall-clock time elapsed
+  kCancelled,  ///< RunGuards::cancel token observed set
+};
+
+[[nodiscard]] const char* to_string(StopReason reason);
+
+/// True for the guard-tripped reasons (budget, deadline, cancellation) —
+/// the run was interrupted with live work still queued, as opposed to
+/// draining (kIdle) or reaching an explicit horizon (kTimeLimit).
+[[nodiscard]] constexpr bool is_guard_stop(StopReason reason) {
+  return reason == StopReason::kBudget || reason == StopReason::kDeadline ||
+         reason == StopReason::kCancelled;
+}
+
+/// What a stopped-but-incomplete run left behind. Assembled by the model
+/// layers on any run that did not complete (stall or guard stop); all
+/// fields are deterministic for deterministic workloads except the timing
+/// of kDeadline/kCancelled stops themselves.
+struct RunDiagnostics {
+  StopReason stop = StopReason::kIdle;
+  /// Dispatched events (coroutine resumes + callbacks) over the kernel's
+  /// lifetime — the quantity RunGuards::max_events budgets.
+  std::uint64_t events_processed = 0;
+  /// Processes neither finished nor queued for resume: blocked on a
+  /// synchronization that never arrived.
+  std::vector<std::string> parked_processes;
+  /// Gated rendezvous receptions whose computed completion instant never
+  /// became known, as "<offer-node>@k=<iteration>" (equivalent models).
+  std::vector<std::string> unresolved_gates;
+
+  /// Token progress of one composed instance (batched runs).
+  struct InstanceProgress {
+    std::string instance;
+    std::uint64_t tokens_done = 0;
+    std::uint64_t tokens_expected = 0;
+  };
+  std::vector<InstanceProgress> instances;
+
+  /// Model-specific free text (source/sink progress, blocked channels).
+  std::string detail;
+
+  /// One-line human rendering of everything above — the stall_report /
+  /// SimulationError message body.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace maxev::sim

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace maxev::sim {
 
@@ -86,26 +87,58 @@ void Kernel::reap(std::uint32_t id) {
   info.handle = {};
   ++stats_.processes_finished;
   if (error) {
+    const std::string context =
+        "process '" + info.name + "' terminated with exception";
     try {
       std::rethrow_exception(error);
+    } catch (const Error&) {
+      // Keep the concrete maxev type (an OverflowError stays catchable as
+      // one) while naming the process that died.
+      rethrow_with_context(context);
     } catch (const std::exception& e) {
-      throw SimulationError("process '" + info.name +
-                            "' terminated with exception: " + e.what());
+      throw SimulationError(context + ": " + e.what());
     }
   }
 }
 
 Kernel::RunResult Kernel::run(std::optional<TimePoint> until) {
-  // The hook test is hoisted out of the event loop (a template parameter)
-  // so the common hook-less path pays nothing per event. Consequence: a
-  // hook must be installed before run() — installing one mid-run takes
-  // effect at the next run() call.
-  return timestep_hook_ ? run_loop<true>(until) : run_loop<false>(until);
+  // The hook and guard tests are hoisted out of the event loop (template
+  // parameters) so the common hook-less unguarded path pays nothing per
+  // event. Consequence: hooks and guards must be installed before run() —
+  // changing either mid-run takes effect at the next run() call.
+  StopReason r;
+  if (guards_.any())
+    r = timestep_hook_ ? run_loop<true, true>(until)
+                       : run_loop<false, true>(until);
+  else
+    r = timestep_hook_ ? run_loop<true, false>(until)
+                       : run_loop<false, false>(until);
+  last_stop_ = r;
+  return r;
 }
 
-template <bool WithHook>
-Kernel::RunResult Kernel::run_loop(std::optional<TimePoint> until) {
+template <bool WithHook, bool WithGuards>
+StopReason Kernel::run_loop(std::optional<TimePoint> until) {
+  std::uint64_t guard_steps = 0;
+  if constexpr (WithGuards) {
+    if (guards_.deadline.count() > 0 && !deadline_at_)
+      deadline_at_ = std::chrono::steady_clock::now() + guards_.deadline;
+  }
   for (;;) {
+    if constexpr (WithGuards) {
+      // Checked between dispatches only: a guard never interrupts a
+      // coroutine mid-resume, and — because timestep hooks re-enter the
+      // loop between drain rounds — every batched-drain barrier passes
+      // through here too. The wall clock is sampled every 64 steps; the
+      // budget and the cancel token (one relaxed load) every step.
+      if (guards_.max_events != 0 && events_dispatched() >= guards_.max_events)
+        return StopReason::kBudget;
+      if (guards_.cancel != nullptr && guards_.cancel->cancelled())
+        return StopReason::kCancelled;
+      if (deadline_at_ && (guard_steps++ & 63u) == 0 &&
+          std::chrono::steady_clock::now() >= *deadline_at_)
+        return StopReason::kDeadline;
+    }
     if (queue_.empty()) {
       // Timestep boundary: give deferred computation (batched iteration
       // fronts) a chance to schedule follow-up events before going idle.
@@ -123,6 +156,7 @@ Kernel::RunResult Kernel::run_loop(std::optional<TimePoint> until) {
     }
     const auto [h, call_idx] = queue_.pop().payload;
     now_ = t;
+    MAXEV_FAULT_POINT("kernel.dispatch");
 
     if (event_overhead_.count() > 0) {
       const auto spin_until =

@@ -8,8 +8,10 @@
 #include <string>
 #include <vector>
 
+#include "sim/diagnostics.hpp"
 #include "sim/ladder_queue.hpp"
 #include "sim/process.hpp"
+#include "util/cancel.hpp"
 #include "util/time.hpp"
 
 /// \file kernel.hpp
@@ -25,6 +27,31 @@
 /// reference simulator has to be as fast as the substrate allows.
 
 namespace maxev::sim {
+
+/// Optional limits on one kernel's execution, set via
+/// Kernel::set_run_guards(). All default-off; run() samples them once per
+/// call and dispatches a guard-free event loop when none is set, so the
+/// hot path pays nothing (the same template split as the timestep hook).
+/// A guard-tripped run leaves the queue and all coroutines intact: raise
+/// the budget (or clear the cancellation) and call run() again to resume.
+struct RunGuards {
+  /// Stop with StopReason::kBudget once this many events (resumes +
+  /// callbacks) have been dispatched over the kernel's lifetime, counted
+  /// cumulatively across run() calls. 0 = unlimited. Event-granular, so it
+  /// also bounds same-instant spins a horizon cannot cut.
+  std::uint64_t max_events = 0;
+  /// Stop with StopReason::kDeadline this much wall-clock time after the
+  /// first guarded run() begins (checked every 64 events). 0 = none.
+  std::chrono::nanoseconds deadline{0};
+  /// Stop with StopReason::kCancelled when this token reports
+  /// cancellation; checked before every dispatch, so also at every
+  /// timestep-hook barrier. Not owned; may be shared across kernels.
+  const util::CancelToken* cancel = nullptr;
+
+  [[nodiscard]] bool any() const {
+    return max_events != 0 || deadline.count() > 0 || cancel != nullptr;
+  }
+};
 
 /// Counters exposed for the paper's metrics (event ratio, context switches).
 ///
@@ -86,16 +113,31 @@ class Kernel {
   ///      queue entry pops. Throws maxev::SimulationError otherwise.
   void resume_now(Process::Handle h);
 
-  /// Outcome of run().
-  enum class RunResult {
-    kIdle,       ///< event queue drained
-    kTimeLimit,  ///< next event lies beyond the given horizon
-  };
+  /// Outcome of run() — the shared sim::StopReason enum; the historical
+  /// nested name (and its kIdle/kTimeLimit enumerators) stay valid.
+  using RunResult = StopReason;
 
-  /// Execute events until the queue drains or the horizon passes.
-  /// Process exceptions propagate to the caller wrapped with the process
-  /// name (fail fast, keep diagnostics).
+  /// Execute events until the queue drains, the horizon passes, or a run
+  /// guard trips (budget/deadline/cancellation — see RunGuards). Process
+  /// exceptions propagate to the caller wrapped with the process name
+  /// (fail fast, keep diagnostics).
   RunResult run(std::optional<TimePoint> until = std::nullopt);
+
+  /// Install execution limits for subsequent run() calls. Like the
+  /// timestep hook, guards are sampled once per run(): the guard-free
+  /// event loop is a separate template instantiation, so unset guards
+  /// cost nothing per event. Pass {} to clear.
+  void set_run_guards(RunGuards guards) { guards_ = guards; }
+  [[nodiscard]] const RunGuards& run_guards() const { return guards_; }
+
+  /// Why the most recent run() returned (kIdle before any run).
+  [[nodiscard]] StopReason last_stop() const { return last_stop_; }
+
+  /// Events dispatched (resumes + callbacks) over this kernel's lifetime —
+  /// the quantity RunGuards::max_events budgets.
+  [[nodiscard]] std::uint64_t events_dispatched() const {
+    return stats_.resumes + stats_.callbacks - stats_.inline_resumes;
+  }
 
   /// Register a hook fired at every timestep boundary: when the queue has
   /// no event left at the current simulation time — before time advances,
@@ -149,8 +191,8 @@ class Kernel {
   };
 
   void reap(std::uint32_t id);
-  template <bool WithHook>
-  RunResult run_loop(std::optional<TimePoint> until);
+  template <bool WithHook, bool WithGuards>
+  StopReason run_loop(std::optional<TimePoint> until);
 
   LadderQueue<QueueItem> queue_;
   std::vector<ProcInfo> procs_;
@@ -164,6 +206,11 @@ class Kernel {
   std::chrono::nanoseconds event_overhead_{0};
   std::function<bool()> timestep_hook_;
   KernelStats stats_;
+  RunGuards guards_;
+  /// Absolute deadline, fixed when the first guarded run() begins (so a
+  /// horizon-resumed run keeps the original budget of wall time).
+  std::optional<std::chrono::steady_clock::time_point> deadline_at_;
+  StopReason last_stop_ = StopReason::kIdle;
 };
 
 namespace detail {

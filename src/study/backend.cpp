@@ -19,11 +19,23 @@ void apply_overhead(sim::Kernel& kernel, double ns) {
   }
 }
 
+void apply_guards(sim::Kernel& kernel, const RunConfig& rc) {
+  sim::RunGuards guards;
+  guards.max_events = rc.max_events;
+  if (rc.deadline_ms > 0.0) {
+    guards.deadline = std::chrono::nanoseconds(
+        static_cast<std::int64_t>(rc.deadline_ms * 1e6));
+  }
+  guards.cancel = rc.cancel;
+  if (guards.any()) kernel.set_run_guards(guards);
+}
+
 class BaselineModel final : public Model {
  public:
   BaselineModel(const Scenario& s, const RunConfig& rc)
       : rt_(s.desc_ptr(), {}, rc.observe) {
     apply_overhead(rt_.kernel(), rc.event_overhead_ns);
+    apply_guards(rt_.kernel(), rc);
   }
 
   Outcome run(std::optional<TimePoint> until) override { return rt_.run(until); }
@@ -49,6 +61,7 @@ class EquivalentBackendModel final : public Model {
   EquivalentBackendModel(const Scenario& s, const RunConfig& rc)
       : eq_(s.desc_ptr(), s.options().group, options_of(s, rc)) {
     apply_overhead(eq_.runtime().kernel(), rc.event_overhead_ns);
+    apply_guards(eq_.runtime().kernel(), rc);
   }
 
   Outcome run(std::optional<TimePoint> until) override { return eq_.run(until); }
@@ -103,6 +116,7 @@ class BatchEquivalentBackendModel final : public Model {
   BatchEquivalentBackendModel(const Scenario& s, const RunConfig& rc)
       : eq_(s.desc_ptr(), specs_of(s), options_of(s, rc)) {
     apply_overhead(eq_.runtime().kernel(), rc.event_overhead_ns);
+    apply_guards(eq_.runtime().kernel(), rc);
   }
 
   Outcome run(std::optional<TimePoint> until) override { return eq_.run(until); }
@@ -206,16 +220,10 @@ class LooselyTimedBackendModel final : public Model {
                            Duration quantum)
       : lt_(s.desc_ptr(), quantum, rc.observe) {
     apply_overhead(lt_.kernel(), rc.event_overhead_ns);
+    apply_guards(lt_.kernel(), rc);
   }
 
-  Outcome run(std::optional<TimePoint> until) override {
-    Outcome out;
-    out.completed = lt_.run(until);
-    out.idle = lt_.last_run_idle();
-    if (!out.completed && out.idle)
-      out.stall_report = "loosely-timed run stalled";
-    return out;
-  }
+  Outcome run(std::optional<TimePoint> until) override { return lt_.run(until); }
   const trace::InstantTraceSet& instants() const override {
     return lt_.instants();
   }

@@ -10,6 +10,7 @@
 #include "study/scenario.hpp"
 #include "trace/instants.hpp"
 #include "trace/usage.hpp"
+#include "util/cancel.hpp"
 #include "util/time.hpp"
 
 /// \file backend.hpp
@@ -93,6 +94,19 @@ struct RunConfig {
   /// used when a model has < 2 sub-batches), 0 = one per hardware thread.
   /// Traces and reports are bit-identical at any setting.
   int threads = 1;
+  /// Run guards (sim::RunGuards), applied to every instantiated model's
+  /// kernel. 0 / nullptr = unguarded (the guard branch of the kernel loop
+  /// is not even compiled in for that run).
+  ///
+  /// Stop the run after this many dispatched events (cumulative across
+  /// run() calls on one model, so a resumed run keeps its budget).
+  std::uint64_t max_events = 0;
+  /// Stop the run this many milliseconds of wall clock after the first
+  /// guarded run() call (fractional values allowed).
+  double deadline_ms = 0.0;
+  /// Cooperative cancellation: polled once per dispatched event (and hence
+  /// at every batch-drain barrier). Not owned; must outlive the models.
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// Value-semantic backend selector (a closed sum over the three execution

@@ -27,7 +27,9 @@ std::string Report::to_string() const {
                       "Event ratio", "Accuracy"});
   for (const Cell& c : cells) {
     std::string accuracy = "-";
-    if (c.errors.has_value()) {
+    if (c.failed) {
+      accuracy = "FAILED";
+    } else if (c.errors.has_value()) {
       if (c.errors->exact()) {
         accuracy = "exact";
       } else if (c.errors->instant_mismatch.has_value() &&
@@ -72,7 +74,8 @@ const std::vector<std::string>& csv_header() {
       "graph_paper_nodes", "graph_arcs",
       "speedup_vs_ref", "event_ratio_vs_ref",
       "kernel_event_ratio_vs_ref", "exact",
-      "max_abs_error_s", "mean_abs_error_s"};
+      "max_abs_error_s", "mean_abs_error_s",
+      "status",          "error"};
   return kHeader;
 }
 
@@ -98,7 +101,9 @@ std::vector<std::string> csv_row(const Cell& c) {
           c.errors.has_value() ? (exact ? "1" : "0") : "",
           c.errors.has_value() ? format("%.9g", c.errors->max_abs_seconds) : "",
           c.errors.has_value() ? format("%.9g", c.errors->mean_abs_seconds)
-                               : ""};
+                               : "",
+          c.failed ? "failed" : "ok",
+          c.error};
 }
 
 }  // namespace
@@ -152,6 +157,39 @@ JsonWriter build_json(const Report& r) {
       w.field("mean_abs_seconds", c.errors->mean_abs_seconds);
       w.field("instants_compared", c.errors->instants_compared);
       w.end_object();
+    }
+    w.field("status", c.failed ? "failed" : "ok");
+    if (c.failed) {
+      w.field("error", c.error);
+      if (c.diagnostics != nullptr) {
+        const sim::RunDiagnostics& d = *c.diagnostics;
+        w.key("diagnostics").begin_object();
+        w.field("stop", sim::to_string(d.stop));
+        w.field("events_processed", d.events_processed);
+        if (!d.parked_processes.empty()) {
+          w.key("parked_processes").begin_array();
+          for (const auto& p : d.parked_processes) w.value(p);
+          w.end_array();
+        }
+        if (!d.unresolved_gates.empty()) {
+          w.key("unresolved_gates").begin_array();
+          for (const auto& g : d.unresolved_gates) w.value(g);
+          w.end_array();
+        }
+        if (!d.instances.empty()) {
+          w.key("instances").begin_array();
+          for (const auto& ip : d.instances) {
+            w.begin_object();
+            w.field("instance", ip.instance);
+            w.field("tokens_done", ip.tokens_done);
+            w.field("tokens_expected", ip.tokens_expected);
+            w.end_object();
+          }
+          w.end_array();
+        }
+        if (!d.detail.empty()) w.field("detail", d.detail);
+        w.end_object();
+      }
     }
     w.end_object();
   }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/metrics.hpp"
+#include "sim/diagnostics.hpp"
 #include "trace/instants.hpp"
 #include "trace/usage.hpp"
 
@@ -71,6 +72,15 @@ struct Cell {
   /// by the CSV/JSON writers.
   std::shared_ptr<const trace::InstantTraceSet> instants;
   std::shared_ptr<const trace::UsageTraceSet> usage;
+
+  /// This cell's measurement threw and the study isolated the failure
+  /// (StudyOptions::isolate_failures): metrics/errors above are the
+  /// defaults, `error` carries the exception message (naming the cell),
+  /// and `diagnostics` — when the failure was a SimulationError that
+  /// carried them — says what the run was doing when it stopped.
+  bool failed = false;
+  std::string error;
+  std::shared_ptr<const sim::RunDiagnostics> diagnostics;
 };
 
 /// The full matrix, scenario-major in insertion order.

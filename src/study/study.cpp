@@ -43,39 +43,71 @@ MeasuredCell measure(const Scenario& scenario, const Backend& backend,
   rc.event_overhead_ns = opts.event_overhead_ns;
   rc.batch_composed = opts.batch_composed;
   rc.threads = opts.group_threads;
+  rc.max_events = opts.max_events;
+  rc.deadline_ms = opts.deadline_ms;
+  rc.cancel = opts.cancel;
 
   std::vector<double> walls;
   walls.reserve(static_cast<std::size_t>(opts.repetitions));
   for (int rep = 0; rep < opts.repetitions; ++rep) {
-    std::unique_ptr<Model> model = backend.instantiate(scenario, rc);
-    const auto t0 = Clock::now();
-    const Outcome outcome = model->run();
-    walls.push_back(seconds_since(t0));
-    if (rep == 0) {
-      core::RunMetrics& m = out.cell.metrics;
-      m.kernel_events = model->kernel_stats().events_scheduled;
-      m.resumes = model->kernel_stats().resumes;
-      m.relation_events = model->relation_events();
-      m.instances_computed = model->instances_computed();
-      m.arc_terms = model->arc_terms_evaluated();
-      m.sim_end = model->end_time();
-      m.completed = outcome.completed;
-      const Model::GraphShape shape = model->graph_shape();
-      out.cell.graph_nodes = shape.nodes;
-      out.cell.graph_paper_nodes = shape.paper_nodes;
-      out.cell.graph_arcs = shape.arcs;
-      if (opts.require_completion && !outcome.completed)
-        throw SimulationError(backend.name() + ": " + outcome.stall_report);
-      if (opts.keep_traces && opts.observe) {
-        out.cell.instants = std::make_shared<const trace::InstantTraceSet>(
-            model->instants());
-        out.cell.usage =
-            std::make_shared<const trace::UsageTraceSet>(model->usage());
+    try {
+      std::unique_ptr<Model> model = backend.instantiate(scenario, rc);
+      const auto t0 = Clock::now();
+      const Outcome outcome = model->run();
+      walls.push_back(seconds_since(t0));
+      if (rep == 0) {
+        core::RunMetrics& m = out.cell.metrics;
+        m.kernel_events = model->kernel_stats().events_scheduled;
+        m.resumes = model->kernel_stats().resumes;
+        m.relation_events = model->relation_events();
+        m.instances_computed = model->instances_computed();
+        m.arc_terms = model->arc_terms_evaluated();
+        m.sim_end = model->end_time();
+        m.completed = outcome.completed;
+        const Model::GraphShape shape = model->graph_shape();
+        out.cell.graph_nodes = shape.nodes;
+        out.cell.graph_paper_nodes = shape.paper_nodes;
+        out.cell.graph_arcs = shape.arcs;
+        if (opts.require_completion && !outcome.completed) {
+          throw SimulationError(
+              backend.name() + ": " + outcome.stall_report,
+              std::make_shared<const sim::RunDiagnostics>(
+                  outcome.diagnostics));
+        }
+        if (opts.keep_traces && opts.observe) {
+          out.cell.instants = std::make_shared<const trace::InstantTraceSet>(
+              model->instants());
+          out.cell.usage =
+              std::make_shared<const trace::UsageTraceSet>(model->usage());
+        }
+        out.model = std::move(model);
       }
-      out.model = std::move(model);
+    } catch (...) {
+      // Name the cell on the way out (satellite: failures identify their
+      // scenario/backend/repetition); concrete maxev error types and any
+      // attached diagnostics survive the re-throw.
+      rethrow_with_context("cell (scenario '" + scenario.name() +
+                           "', backend '" + backend.name() + "', rep " +
+                           std::to_string(rep) + ")");
     }
   }
   out.cell.metrics.wall_seconds = median_of(std::move(walls));
+  return out;
+}
+
+/// The isolate_failures representation of a cell whose measurement threw:
+/// default metrics, the exception's message and (when carried) diagnostics.
+MeasuredCell failed_cell(const Scenario& scenario, const Backend& backend,
+                         std::string error,
+                         std::shared_ptr<const sim::RunDiagnostics> diag) {
+  MeasuredCell out;
+  out.cell.scenario = scenario.name();
+  out.cell.backend = backend.name();
+  out.cell.approximate_backend =
+      backend.kind() == Backend::Kind::kLooselyTimed;
+  out.cell.failed = true;
+  out.cell.error = std::move(error);
+  out.cell.diagnostics = std::move(diag);
   return out;
 }
 
@@ -145,9 +177,23 @@ Report Study::run(const StudyOptions& opts) const {
 
   std::vector<MeasuredCell> measured(slots.size());
   const auto measure_slot = [&](std::size_t i) {
-    measured[i] =
-        measure(scenarios_[slots[i].scenario], backends_[slots[i].backend],
-                opts);
+    const Scenario& scenario = scenarios_[slots[i].scenario];
+    const Backend& backend = backends_[slots[i].backend];
+    if (!opts.isolate_failures) {
+      measured[i] = measure(scenario, backend, opts);
+      return;
+    }
+    // Per-cell failure isolation: the cell's exception becomes a failed
+    // cell and the rest of the matrix keeps measuring. Since nothing
+    // escapes a slot, the slot-keyed layout (and hence the report) stays
+    // byte-identical at every thread count.
+    try {
+      measured[i] = measure(scenario, backend, opts);
+    } catch (const SimulationError& e) {
+      measured[i] = failed_cell(scenario, backend, e.what(), e.diagnostics());
+    } catch (const std::exception& e) {
+      measured[i] = failed_cell(scenario, backend, e.what(), nullptr);
+    }
   };
   const std::size_t threads =
       opts.threads == 1 ? 1 : util::ThreadPool::resolve(opts.threads);
@@ -164,14 +210,20 @@ Report Study::run(const StudyOptions& opts) const {
   for (std::size_t s = 0; s < scenarios_.size(); ++s) {
     MeasuredCell* const base = &measured[s * backends_.size()];
     MeasuredCell& ref = base[0];
+    // A failed reference cell has no traces or wall time to compare
+    // against: the scenario's other cells keep their own metrics but the
+    // ratios, speed-ups and accuracy stay at their unknown defaults.
+    const bool ref_ok = !ref.cell.failed && ref.model != nullptr;
     ref.cell.is_reference = true;
-    ref.cell.speedup_vs_reference = 1.0;
-    ref.cell.event_ratio_vs_reference = 1.0;
-    ref.cell.kernel_event_ratio_vs_reference = 1.0;
+    if (ref_ok) {
+      ref.cell.speedup_vs_reference = 1.0;
+      ref.cell.event_ratio_vs_reference = 1.0;
+      ref.cell.kernel_event_ratio_vs_reference = 1.0;
+    }
 
     // One sorted copy of the reference usage serves every comparison.
     trace::UsageTraceSet ref_usage_sorted;
-    if (compare && backends_.size() > 1) {
+    if (compare && ref_ok && backends_.size() > 1) {
       ref_usage_sorted = ref.model->usage();
       ref_usage_sorted.sort_all();
     }
@@ -180,15 +232,18 @@ Report Study::run(const StudyOptions& opts) const {
     for (std::size_t r = 1; r < backends_.size(); ++r) {
       MeasuredCell& mc = base[r];
       Cell& cell = mc.cell;
-      cell.speedup_vs_reference =
-          cell.metrics.wall_seconds > 0.0
-              ? ref.cell.metrics.wall_seconds / cell.metrics.wall_seconds
-              : 0.0;
-      cell.event_ratio_vs_reference = ratio(ref.cell.metrics.relation_events,
-                                            cell.metrics.relation_events);
-      cell.kernel_event_ratio_vs_reference = ratio(
-          ref.cell.metrics.kernel_events, cell.metrics.kernel_events);
-      if (compare) {
+      const bool cell_ok = !cell.failed && mc.model != nullptr;
+      if (ref_ok && cell_ok) {
+        cell.speedup_vs_reference =
+            cell.metrics.wall_seconds > 0.0
+                ? ref.cell.metrics.wall_seconds / cell.metrics.wall_seconds
+                : 0.0;
+        cell.event_ratio_vs_reference = ratio(ref.cell.metrics.relation_events,
+                                              cell.metrics.relation_events);
+        cell.kernel_event_ratio_vs_reference = ratio(
+            ref.cell.metrics.kernel_events, cell.metrics.kernel_events);
+      }
+      if (compare && ref_ok && cell_ok) {
         ErrorStats errors;
         errors.instant_mismatch = trace::compare_instants(
             ref.model->instants(), mc.model->instants());

@@ -62,6 +62,24 @@ struct StudyOptions {
   /// `threads`; both levers may be combined. 1 = serial drain (default),
   /// 0 = one per hardware thread.
   int group_threads = 1;
+  /// Run guards, applied to every cell's kernel (RunConfig / sim::
+  /// RunGuards): stop a run after this many dispatched events (0 = no
+  /// budget). A tripped guard makes the run incomplete; with
+  /// require_completion that is a SimulationError carrying RunDiagnostics,
+  /// and with isolate_failures a failed cell.
+  std::uint64_t max_events = 0;
+  /// Wall-clock deadline per cell run, in milliseconds (0 = none).
+  double deadline_ms = 0.0;
+  /// Cooperative cancellation, polled by every cell's kernel per event —
+  /// one token cancels the whole matrix. Not owned; must outlive run().
+  const util::CancelToken* cancel = nullptr;
+  /// Catch each cell's failure (stall, tripped guard, thrown workload)
+  /// into the report as a failed cell — status/error columns, console
+  /// "FAILED" — and keep measuring the rest of the matrix instead of
+  /// throwing. A failed reference cell disables that scenario's
+  /// comparisons and speed-ups (they stay at their unknown defaults).
+  /// Off by default: the historical throw-on-first-failure behavior.
+  bool isolate_failures = false;
 };
 
 class Study {

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace maxev::tdg {
 
@@ -241,6 +242,7 @@ void BatchEngine::emit_callback(std::size_t l, std::uint64_t k, mp::Scalar v) {
 }
 
 void BatchEngine::flush_instants(NodeId n, std::size_t inst) {
+  MAXEV_FAULT_POINT("engine.flush");
   const std::size_t l = lane(static_cast<std::size_t>(n), inst);
   trace::InstantSeries& series = *record_series_[l];
   while (true) {

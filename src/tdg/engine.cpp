@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace maxev::tdg {
 
@@ -181,6 +182,7 @@ void Engine::mark_known(Frame& f, NodeId n, std::uint64_t k, mp::Scalar v) {
 }
 
 void Engine::flush_instants(NodeId n) {
+  MAXEV_FAULT_POINT("engine.flush");
   trace::InstantSeries& series = *record_series_[static_cast<std::size_t>(n)];
   while (true) {
     const Frame* f = frame_at(next_flush_[static_cast<std::size_t>(n)]);

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/strings.hpp"
 
 namespace maxev::trace {
@@ -24,6 +25,7 @@ const std::string& UsageTrace::label(std::int32_t id) const {
 
 void UsageTrace::push(TimePoint start, TimePoint end, std::int64_t ops,
                       std::int32_t label_id) {
+  MAXEV_FAULT_POINT("trace.append");
   if (end < start)
     throw Error("UsageTrace '" + resource_ + "': interval ends before start");
   starts_.push_back(start);

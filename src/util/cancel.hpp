@@ -1,0 +1,46 @@
+#pragma once
+
+#include <atomic>
+
+/// \file cancel.hpp
+/// Cooperative cancellation for long-running simulations.
+///
+/// A CancelToken is a one-bit mailbox: any thread may request cancellation,
+/// and the simulation kernel polls it between event dispatches
+/// (sim::RunGuards::cancel) — a run stops with StopReason::kCancelled at
+/// the next timestep boundary, never mid-coroutine. The token is not owned
+/// by the kernel; the caller keeps it alive for the duration of the run and
+/// may share one token across every cell of a study matrix
+/// (study::StudyOptions::cancel) to abort the whole matrix at once.
+
+namespace maxev::util {
+
+/// Thread-safe cooperative cancellation flag. Relaxed atomics suffice: the
+/// flag carries no payload and observing it "late" by a few events is within
+/// the contract (cancellation is a bound on wasted work, not a fence).
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Request cancellation; every kernel polling this token stops at its
+  /// next check. Idempotent; callable from any thread.
+  void request_cancel() noexcept {
+    cancelled_.store(true, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Re-arm the token for another run. Only call between runs — resetting
+  /// while a kernel is polling turns a requested cancellation into a race.
+  void reset() noexcept { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace maxev::util

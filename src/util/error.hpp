@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <stdexcept>
 #include <string>
 
@@ -12,6 +13,10 @@
 /// are rejected here at construction time, not discovered as wrong instants.
 
 namespace maxev {
+
+namespace sim {
+struct RunDiagnostics;  // sim/diagnostics.hpp; carried opaquely below
+}
 
 /// Root of the maxev exception hierarchy.
 class Error : public std::runtime_error {
@@ -33,10 +38,51 @@ class OverflowError : public Error {
 };
 
 /// The simulation ended in an inconsistent state (stalled processes with
-/// pending work), typically from an infeasible static schedule.
+/// pending work) or was stopped by a run guard before finishing. Optionally
+/// carries the structured sim::RunDiagnostics of the failed run so report
+/// writers can render more than the message string.
 class SimulationError : public Error {
  public:
   using Error::Error;
+  SimulationError(const std::string& what,
+                  std::shared_ptr<const sim::RunDiagnostics> diagnostics)
+      : Error(what), diagnostics_(std::move(diagnostics)) {}
+
+  /// Structured detail of the failed run; null when the throw site had
+  /// none (construction-time failures, process exceptions).
+  [[nodiscard]] const std::shared_ptr<const sim::RunDiagnostics>& diagnostics()
+      const noexcept {
+    return diagnostics_;
+  }
+
+ private:
+  std::shared_ptr<const sim::RunDiagnostics> diagnostics_;
 };
+
+/// Rethrow the in-flight exception with "<context>: " prefixed to its
+/// message, preserving the concrete maxev type (and a SimulationError's
+/// diagnostics payload). Unknown std::exception subtypes collapse to
+/// maxev::Error; non-std exceptions pass through untouched. Call only from
+/// a catch block:
+///
+///     try { run_cell(); }
+///     catch (...) { rethrow_with_context("cell (didactic, baseline)"); }
+[[noreturn]] inline void rethrow_with_context(const std::string& context) {
+  try {
+    throw;
+  } catch (const SimulationError& e) {
+    throw SimulationError(context + ": " + e.what(), e.diagnostics());
+  } catch (const OverflowError& e) {
+    throw OverflowError(context + ": " + e.what());
+  } catch (const DescriptionError& e) {
+    throw DescriptionError(context + ": " + e.what());
+  } catch (const Error& e) {
+    throw Error(context + ": " + e.what());
+  } catch (const std::exception& e) {
+    throw Error(context + ": " + e.what());
+  } catch (...) {
+    throw;  // no message to prefix; keep the original object
+  }
+}
 
 }  // namespace maxev

@@ -1,0 +1,113 @@
+#include "util/fault.hpp"
+
+#if defined(MAXEV_FAULTS)
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <new>
+
+namespace maxev::util {
+
+namespace {
+
+struct PointState {
+  std::uint64_t hits = 0;
+  bool armed = false;
+  std::uint64_t fire_at = 0;  ///< absolute hit count that triggers
+  FaultInjector::Kind kind = FaultInjector::Kind::kError;
+};
+
+// Function-local statics: fault points may fire during static init/teardown
+// of test fixtures; construct-on-first-use avoids ordering hazards.
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::string, PointState>& registry() {
+  static std::map<std::string, PointState> r;
+  return r;
+}
+
+std::atomic<int>& armed_count() {
+  static std::atomic<int> n{0};
+  return n;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool FaultInjector::active() noexcept {
+  return armed_count().load(std::memory_order_relaxed) > 0;
+}
+
+void FaultInjector::arm(const std::string& point, std::uint64_t nth,
+                        Kind kind) {
+  if (nth == 0) throw Error("FaultInjector::arm: nth must be >= 1");
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  PointState& st = registry()[point];
+  if (!st.armed) armed_count().fetch_add(1, std::memory_order_relaxed);
+  st.armed = true;
+  st.fire_at = st.hits + nth;
+  st.kind = kind;
+}
+
+void FaultInjector::arm_seeded(const std::string& point, std::uint64_t seed,
+                               std::uint64_t window, Kind kind) {
+  if (window == 0) throw Error("FaultInjector::arm_seeded: empty window");
+  arm(point, 1 + splitmix64(seed) % window, kind);
+}
+
+void FaultInjector::disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  auto it = registry().find(point);
+  if (it == registry().end() || !it->second.armed) return;
+  it->second.armed = false;
+  armed_count().fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::reset() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  for (auto& [name, st] : registry())
+    if (st.armed) armed_count().fetch_sub(1, std::memory_order_relaxed);
+  registry().clear();
+}
+
+std::uint64_t FaultInjector::hits(const std::string& point) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  auto it = registry().find(point);
+  return it == registry().end() ? 0 : it->second.hits;
+}
+
+void FaultInjector::on_hit(const char* point) {
+  Kind kind = Kind::kError;
+  std::uint64_t hit = 0;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    PointState& st = registry()[point];
+    ++st.hits;
+    hit = st.hits;
+    if (st.armed && st.hits >= st.fire_at) {
+      st.armed = false;  // one-shot
+      armed_count().fetch_sub(1, std::memory_order_relaxed);
+      fire = true;
+      kind = st.kind;
+    }
+  }
+  if (!fire) return;
+  if (kind == Kind::kBadAlloc) throw std::bad_alloc();
+  throw FaultInjectedError(std::string("injected fault at '") + point +
+                           "' (hit " + std::to_string(hit) + ")");
+}
+
+}  // namespace maxev::util
+
+#endif  // MAXEV_FAULTS

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace maxev::util {
 
@@ -73,6 +74,7 @@ void ThreadPool::worker_loop() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
+  MAXEV_FAULT_POINT("pool.submit");
   auto packaged =
       std::make_shared<std::packaged_task<void()>>(std::move(task));
   std::future<void> fut = packaged->get_future();
@@ -88,6 +90,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
+  MAXEV_FAULT_POINT("pool.parallel_for");
   if (n == 0) return;
   if (n == 1 || workers_.empty()) {
     // Degenerate barrier: run inline (exceptions propagate directly).

@@ -22,7 +22,7 @@ TEST(LtRunnerTest, RunsToCompletion) {
   cfg.tokens = 200;
   const auto d = gen::make_didactic(cfg);
   LooselyTimedModel lt(d, 10_us);
-  EXPECT_TRUE(lt.run());
+  EXPECT_TRUE(lt.run().completed);
   EXPECT_GT(lt.end_time().count(), 0);
 }
 
@@ -36,11 +36,11 @@ TEST(LtRunnerTest, ErrorShrinksWithSmallerQuantum) {
   ASSERT_TRUE(baseline.run().completed);
 
   LooselyTimedModel fine(d, Duration::ns(100));
-  ASSERT_TRUE(fine.run());
+  ASSERT_TRUE(fine.run().completed);
   const auto fine_err = fine.error_against(baseline.instants());
 
   LooselyTimedModel coarse(d, Duration::ms(10));
-  ASSERT_TRUE(coarse.run());
+  ASSERT_TRUE(coarse.run().completed);
   const auto coarse_err = coarse.error_against(baseline.instants());
 
   EXPECT_LE(fine_err.mean_abs_seconds, coarse_err.mean_abs_seconds);
@@ -52,9 +52,9 @@ TEST(LtRunnerTest, FewerEventsWithLargerQuantum) {
   cfg.tokens = 400;
   const auto d = gen::make_didactic(cfg);
   LooselyTimedModel fine(d, Duration::ns(100));
-  ASSERT_TRUE(fine.run());
+  ASSERT_TRUE(fine.run().completed);
   LooselyTimedModel coarse(d, Duration::ms(100));
-  ASSERT_TRUE(coarse.run());
+  ASSERT_TRUE(coarse.run().completed);
   EXPECT_LT(coarse.kernel_stats().events_scheduled,
             fine.kernel_stats().events_scheduled);
 }
@@ -68,7 +68,7 @@ TEST(LtRunnerTest, LtIsNotExact) {
   model::ModelRuntime baseline(d);
   ASSERT_TRUE(baseline.run().completed);
   LooselyTimedModel coarse(d, Duration::ms(100));
-  ASSERT_TRUE(coarse.run());
+  ASSERT_TRUE(coarse.run().completed);
   const auto err = coarse.error_against(baseline.instants());
   EXPECT_GT(err.instants, 0u);
   // Self-timed didactic pipelines contend on P1; unsimulated rendezvous

@@ -130,7 +130,7 @@ TEST(BackendTest, LooselyTimedMatchesDirectRunner) {
   ASSERT_TRUE(m->run().completed);
 
   core::LooselyTimedModel direct(desc, 10_us);
-  ASSERT_TRUE(direct.run());
+  ASSERT_TRUE(direct.run().completed);
 
   EXPECT_EQ(trace::compare_instants(direct.instants(), m->instants()),
             std::nullopt);
@@ -512,10 +512,10 @@ TEST(ReportTest, CsvGolden) {
       "resumes,relation_events,instances_computed,arc_terms,sim_end_ps,"
       "graph_nodes,graph_paper_nodes,graph_arcs,speedup_vs_ref,"
       "event_ratio_vs_ref,kernel_event_ratio_vs_ref,exact,max_abs_error_s,"
-      "mean_abs_error_s\n"
-      "didactic,baseline,1,1,0,76,76,30,0,0,61316000,0,0,0,1,1,1,,,\n"
+      "mean_abs_error_s,status,error\n"
+      "didactic,baseline,1,1,0,76,76,30,0,0,61316000,0,0,0,1,1,1,,,,ok,\n"
       "didactic,equivalent,0,1,0,23,23,10,30,50,61316000,7,10,10,0,3,"
-      "3.30434783,1,0,0\n";
+      "3.30434783,1,0,0,ok,\n";
   EXPECT_EQ(slurp(path), expected);
   std::remove(path.c_str());
 }
@@ -529,7 +529,7 @@ TEST(ReportTest, JsonGolden) {
       R"("relation_events":30,"instances_computed":0,"arc_terms":0,)"
       R"("sim_end_ps":61316000,"graph_nodes":0,"graph_paper_nodes":0,)"
       R"("graph_arcs":0,"speedup_vs_ref":1,"event_ratio_vs_ref":1,)"
-      R"("kernel_event_ratio_vs_ref":1},{"scenario":"didactic",)"
+      R"("kernel_event_ratio_vs_ref":1,"status":"ok"},{"scenario":"didactic",)"
       R"("backend":"equivalent","reference":false,"completed":true,)"
       R"("wall_seconds":0,"kernel_events":23,"resumes":23,)"
       R"("relation_events":10,"instances_computed":30,"arc_terms":50,)"
@@ -537,7 +537,7 @@ TEST(ReportTest, JsonGolden) {
       R"("graph_arcs":10,"speedup_vs_ref":0,"event_ratio_vs_ref":3,)"
       R"("kernel_event_ratio_vs_ref":3.3043478260869565,)"
       R"("errors":{"exact":true,"max_abs_seconds":0,"mean_abs_seconds":0,)"
-      R"("instants_compared":30}}]})";
+      R"("instants_compared":30},"status":"ok"}]})";
   EXPECT_EQ(tiny_report().to_json(), expected);
 
   const std::string path = ::testing::TempDir() + "maxev_report_golden.json";
