@@ -16,7 +16,12 @@
 ///  6. heterogeneous sub-batch grouping (docs/DESIGN.md §10): a mixed
 ///     4+4 composition of two carrier-aggregation receiver variants, each
 ///     equal-structure quad on its own shared program, vs the
-///     fully-isolated merged graph.
+///     fully-isolated merged graph;
+///  8. the serve subsystem (docs/DESIGN.md §13): program-cache cold vs
+///     warm cell setup and study-matrix wall clock (byte-identical
+///     reports), and the incremental-feed overhead of a streaming
+///     serve::Session vs the same scenario run one-shot (bit-identical
+///     traces).
 ///
 /// With `--json <path>` (or `--json=<path>`) the key metrics are also
 /// written as a JSON document — the repo's bench trajectory
@@ -34,8 +39,12 @@
 #include "core/experiment.hpp"
 #include "gen/didactic.hpp"
 #include "lte/receiver.hpp"
+#include "serve/program_cache.hpp"
+#include "serve/session.hpp"
+#include "serve/wire.hpp"
 #include "sim/kernel.hpp"
 #include "study/study.hpp"
+#include "trace/instants.hpp"
 #include "tdg/derive.hpp"
 #include "tdg/export.hpp"
 #include "tdg/simplify.hpp"
@@ -371,6 +380,170 @@ int main(int argc, char** argv) {
                 std::thread::hardware_concurrency(), t7.render().c_str());
   }
 
+  // --- 8. serve: program cache + streaming sessions ------------------------
+  // (a) Cell setup cost, cold vs warm: the same heavily-padded didactic
+  // abstraction instantiated repeatedly, each construction running the full
+  // derive → fold → pad → compile chain (cold) vs hitting one shared
+  // serve::ProgramCache (warm). (b) The same lever at the study level: a
+  // matrix of cells sharing one description, StudyOptions::program_cache
+  // off vs on — the reports must be byte-identical apart from the cache
+  // columns. (c) Streaming overhead: a serve::Session fed incrementally
+  // vs the identical scenario one-shot; traces are bit-identical, the
+  // ratio is the price of the watermark-bounded resumes.
+  constexpr std::size_t kCachePad = 4000;
+  constexpr int kCacheInstantiations = 8;
+  double cache_cold_s = 0.0, cache_warm_s = 0.0;
+  double study_cold_s = 0.0, study_warm_s = 0.0;
+  bool report_byte_identical = false;
+  {
+    gen::DidacticConfig ccfg;
+    ccfg.tokens = 4;  // timing setup, not simulation
+    const model::DescPtr cdesc = model::share(gen::make_didactic(ccfg));
+    core::EquivalentModel::Options copts;
+    copts.pad_nodes = kCachePad;
+    std::size_t sink = 0;  // defeat over-eager optimization
+    auto time_instantiations = [&](core::CompiledProvider* provider) {
+      copts.compiled = provider;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < kCacheInstantiations; ++i) {
+        core::EquivalentModel m(cdesc, {}, copts);
+        sink += m.graph().node_count();
+      }
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+                 .count() /
+             kCacheInstantiations;
+    };
+    cache_cold_s = time_instantiations(nullptr);
+    serve::ProgramCache cache;
+    (void)cache.get(core::CompiledKey::make(cdesc, {}, true, kCachePad));
+    cache_warm_s = time_instantiations(&cache);
+    if (sink == 0) std::fprintf(stderr, "unexpected: empty graphs built\n");
+
+    // Study matrix sharing one description across cells.
+    gen::DidacticConfig mcfg;
+    mcfg.tokens = 200;
+    const model::DescPtr mdesc = model::share(gen::make_didactic(mcfg));
+    study::Study matrix;
+    for (int i = 0; i < 6; ++i) {
+      study::Scenario s("cell" + std::to_string(i), mdesc);
+      s.with_pad_nodes(kCachePad);
+      matrix.add(std::move(s));
+    }
+    matrix.add(study::Backend::equivalent());
+    std::string reports[2];
+    for (const bool cached : {false, true}) {
+      study::StudyOptions so;
+      so.program_cache = cached;
+      double best = 1e100;
+      study::Report rep;
+      for (int rep_i = 0; rep_i < 3; ++rep_i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        rep = matrix.run(so);
+        best = std::min(best,
+                        std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
+      }
+      (cached ? study_warm_s : study_cold_s) = best;
+      // Blank the wall-clock fields and the cache columns: everything
+      // that remains must be byte-identical between the two modes.
+      for (study::Cell& c : rep.cells) {
+        c.metrics.wall_seconds = 0.0;
+        c.speedup_vs_reference = c.is_reference ? 1.0 : 0.0;
+        c.cache_hits = -1;
+        c.cache_misses = -1;
+      }
+      reports[cached ? 1 : 0] = rep.to_json();
+    }
+    report_byte_identical = reports[0] == reports[1];
+
+    ConsoleTable t8a({"path", "cold", "warm", "speed-up"});
+    t8a.add_row({"cell setup (s)", format("%.3f", cache_cold_s),
+                 format("%.3f", cache_warm_s),
+                 format("%.2fx", cache_cold_s / cache_warm_s)});
+    t8a.add_row({"6-cell matrix (s)", format("%.3f", study_cold_s),
+                 format("%.3f", study_warm_s),
+                 format("%.2fx", study_cold_s / study_warm_s)});
+    std::printf("Ablation 8a: program cache, pad %zu (reports byte-identical:"
+                " %s)\n%s\n",
+                kCachePad, report_byte_identical ? "yes" : "NO",
+                t8a.render().c_str());
+  }
+
+  constexpr std::uint64_t kServeTokens = 4000;
+  constexpr std::size_t kServeRounds = 8;
+  double serve_one_shot_s = 0.0, serve_incremental_s = 0.0;
+  bool serve_bit_identical = false;
+  {
+    gen::DidacticConfig scfg8;
+    scfg8.tokens = kServeTokens;
+    scfg8.source_period = Duration::us(10);  // a stream must have spacing
+    const model::ArchitectureDesc sdesc8 = gen::make_didactic(scfg8);
+
+    core::EquivalentModel one_shot(sdesc8, {});
+    {
+      const auto t0 = std::chrono::steady_clock::now();
+      (void)one_shot.run();
+      serve_one_shot_s = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+    }
+
+    // Stream-ify the scenario: the source becomes `{"type":"stream"}` and
+    // its tokens are fed in kServeRounds batches.
+    const JsonValue doc = json_parse(serve::desc_to_json(sdesc8));
+    auto root = doc.members();
+    auto d8 = root.at("desc").members();
+    std::vector<JsonValue> sources8;
+    for (const JsonValue& src : d8.at("sources").items()) {
+      auto s = src.members();
+      s["earliest"] =
+          JsonValue::object({{"type", JsonValue::string("stream")}});
+      s.erase("attrs");
+      s.erase("gap");
+      sources8.push_back(JsonValue::object(std::move(s)));
+    }
+    d8["sources"] = JsonValue::array(std::move(sources8));
+    root["desc"] = JsonValue::object(std::move(d8));
+
+    const model::SourceDesc& src = sdesc8.sources().front();
+    std::vector<serve::Session::FedToken> tokens(src.count);
+    for (std::uint64_t k = 0; k < src.count; ++k)
+      tokens[k] = {src.earliest(k).count(),
+                   src.attrs ? src.attrs(k) : model::TokenAttrs{}};
+
+    serve::Session session(json_dump(JsonValue::object(std::move(root))));
+    {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::size_t r = 0; r < kServeRounds; ++r) {
+        const std::size_t lo = tokens.size() * r / kServeRounds;
+        const std::size_t hi = tokens.size() * (r + 1) / kServeRounds;
+        session.feed(0, {tokens.begin() + static_cast<std::ptrdiff_t>(lo),
+                         tokens.begin() + static_cast<std::ptrdiff_t>(hi)});
+        (void)session.poll();
+      }
+      (void)session.poll();  // fully fed: runs to completion
+      serve_incremental_s = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+    }
+    serve_bit_identical =
+        !trace::compare_instants(one_shot.instants(),
+                                 session.model().instants())
+             .has_value();
+
+    ConsoleTable t8b({"path", "run (s)", "overhead"});
+    t8b.add_row({"one-shot", format("%.3f", serve_one_shot_s), "1.00x"});
+    t8b.add_row({format("streamed (%zu rounds)", kServeRounds),
+                 format("%.3f", serve_incremental_s),
+                 format("%.2fx", serve_incremental_s / serve_one_shot_s)});
+    std::printf("Ablation 8b: serve session streaming overhead (%s tokens, "
+                "bit-identical: %s)\n%s\n",
+                with_commas(static_cast<std::int64_t>(kServeTokens)).c_str(),
+                serve_bit_identical ? "yes" : "NO", t8b.render().c_str());
+  }
+
   if (!json_path.empty()) {
     JsonWriter w;
     w.begin_object();
@@ -447,6 +620,26 @@ int main(int argc, char** argv) {
       w.end_object();
     }
     w.end_array();
+    w.key("program_cache").begin_object();
+    w.field("pad_nodes", static_cast<std::uint64_t>(kCachePad));
+    w.field("instantiations", static_cast<std::uint64_t>(kCacheInstantiations));
+    w.field("cold_setup_s", cache_cold_s);
+    w.field("warm_setup_s", cache_warm_s);
+    w.field("warm_setup_speedup", cache_cold_s / cache_warm_s);
+    w.field("study_cells", static_cast<std::uint64_t>(6));
+    w.field("study_cold_wall_s", study_cold_s);
+    w.field("study_warm_wall_s", study_warm_s);
+    w.field("study_warm_speedup", study_cold_s / study_warm_s);
+    w.field("report_byte_identical", report_byte_identical);
+    w.end_object();
+    w.key("serve_session").begin_object();
+    w.field("tokens", kServeTokens);
+    w.field("rounds", static_cast<std::uint64_t>(kServeRounds));
+    w.field("one_shot_s", serve_one_shot_s);
+    w.field("incremental_s", serve_incremental_s);
+    w.field("incremental_overhead", serve_incremental_s / serve_one_shot_s);
+    w.field("bit_identical", serve_bit_identical);
+    w.end_object();
     w.end_object();
     w.write_file(json_path);
     std::printf("JSON metrics written to %s\n", json_path.c_str());

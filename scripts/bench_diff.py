@@ -102,6 +102,14 @@ def rows(doc):
                f"({entry.get('groups')} groups) pad "
                f"{entry.get('pad_nodes_per_instance')}: speed-up")
         out[key] = (entry.get("batched_speedup"), "higher")
+    pc = doc.get("program_cache", {})
+    out["program cache: warm setup speed-up"] = (
+        pc.get("warm_setup_speedup"), "higher")
+    out["program cache: study matrix speed-up"] = (
+        pc.get("study_warm_speedup"), None)
+    ss = doc.get("serve_session", {})
+    out["serve session: incremental overhead"] = (
+        ss.get("incremental_overhead"), None)
     return out
 
 

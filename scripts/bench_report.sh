@@ -43,6 +43,36 @@ if ! python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$out"; then
   rm -f "$out"
   exit 4
 fi
+# Stamp provenance into the entry: which commit and machine produced the
+# numbers (shared-runner timings are only comparable with this context).
+if ! python3 - "$out" <<'PY'
+import json, os, subprocess, sys, datetime
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+
+meta = doc.setdefault("meta", {})
+try:
+    meta["git_sha"] = subprocess.run(
+        ["git", "rev-parse", "HEAD"], capture_output=True, text=True, check=True
+    ).stdout.strip()
+except (OSError, subprocess.CalledProcessError):
+    meta["git_sha"] = "unknown"
+meta["date"] = datetime.datetime.now(datetime.timezone.utc).strftime(
+    "%Y-%m-%dT%H:%M:%SZ"
+)
+meta["hardware_threads"] = os.cpu_count() or 0
+
+with open(path, "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+PY
+then
+  echo "bench_report: failed to stamp metadata into '$out'; removing it" >&2
+  rm -f "$out"
+  exit 4
+fi
 if [ -x "$BUILD_DIR/bench_micro" ]; then
   "$BUILD_DIR/bench_micro" --json "$OUT_DIR/BENCH_$n.micro.json"
 fi

@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of the maxev_serve protocol.
+
+Usage: serve_smoke.py [path/to/maxev_serve]
+
+Drives the serving binary through its line-delimited JSON protocol:
+
+  1. `--emit-demo` produces the didactic scenario with a stream-typed
+     source plus the full token set.
+  2. `--golden` runs the same scenario ONE-SHOT (token tables, no session
+     machinery) and prints the complete traces.
+  3. The protocol run submits the scenario, feeds the tokens across
+     several feed/poll rounds, checkpoints mid-stream, restores the
+     checkpoint into a fresh session, and finishes feeding there.
+
+The accumulated poll deltas (original session up to the checkpoint, the
+restored session after it) must reassemble, instant for instant and busy
+interval for busy interval, into exactly the golden traces — the paper's
+bit-identical resume contract, exercised across a serialization boundary.
+
+Exit code 0 on success; 1 with a diff summary otherwise.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+ROUNDS = 4  # feed/poll rounds; the checkpoint happens after round 2
+
+
+def fail(msg):
+    print(f"serve_smoke: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+class Server:
+    """One maxev_serve process driven line-by-line."""
+
+    def __init__(self, binary):
+        self.proc = subprocess.Popen(
+            [binary], stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True
+        )
+
+    def request(self, obj, expect_ok=True):
+        self.proc.stdin.write(json.dumps(obj) + "\n")
+        self.proc.stdin.flush()
+        line = self.proc.stdout.readline()
+        if not line:
+            fail(f"server died on request {obj.get('cmd')}")
+        reply = json.loads(line)
+        if expect_ok and not reply.get("ok"):
+            fail(f"request {obj.get('cmd')} failed: {reply.get('error')}")
+        return reply
+
+    def close(self):
+        self.proc.stdin.close()
+        self.proc.wait(timeout=30)
+
+
+def accumulate(state, delta):
+    """Fold one poll delta into {series: [instants]} / {resource: columns}."""
+    for s in delta["instants"]:
+        arr = state["instants"].setdefault(s["series"], [])
+        if s["start_k"] != len(arr):
+            fail(
+                f"series {s['series']}: delta starts at k={s['start_k']}, "
+                f"have {len(arr)} instants"
+            )
+        arr.extend(s["instants_ps"])
+    for u in delta["usage"]:
+        cols = state["usage"].setdefault(
+            u["resource"],
+            {"starts_ps": [], "ends_ps": [], "ops": [], "labels": []},
+        )
+        if u["start_index"] != len(cols["starts_ps"]):
+            fail(
+                f"resource {u['resource']}: delta starts at "
+                f"{u['start_index']}, have {len(cols['starts_ps'])}"
+            )
+        for key in ("starts_ps", "ends_ps", "ops", "labels"):
+            cols[key].extend(u[key])
+
+
+def main():
+    binary = sys.argv[1] if len(sys.argv) > 1 else "./build/maxev_serve"
+    if not os.path.exists(binary):
+        fail(f"binary not found: {binary}")
+
+    demo = json.loads(
+        subprocess.run(
+            [binary, "--emit-demo"], check=True, capture_output=True, text=True
+        ).stdout
+    )
+    scenario, tokens = demo["scenario"], demo["tokens"]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        spath = os.path.join(tmp, "scenario.json")
+        tpath = os.path.join(tmp, "tokens.json")
+        with open(spath, "w") as f:
+            json.dump(scenario, f)
+        with open(tpath, "w") as f:
+            json.dump(tokens, f)
+        golden = json.loads(
+            subprocess.run(
+                [binary, "--golden", spath, tpath],
+                check=True,
+                capture_output=True,
+                text=True,
+            ).stdout
+        )
+
+    # Split every stream's tokens into ROUNDS contiguous chunks.
+    chunks = []  # [round][stream] -> (source, tokens)
+    for r in range(ROUNDS):
+        per_round = []
+        for stream in tokens["streams"]:
+            toks = stream["tokens"]
+            lo = len(toks) * r // ROUNDS
+            hi = len(toks) * (r + 1) // ROUNDS
+            per_round.append((stream["source"], toks[lo:hi]))
+        chunks.append(per_round)
+
+    state = {"instants": {}, "usage": {}}
+    server = Server(binary)
+    sub = server.request(
+        {"cmd": "submit", "session": "smoke", "scenario": scenario}
+    )
+    if not sub["stream_sources"]:
+        fail("submitted scenario has no stream sources")
+
+    polls = 0
+    for r in range(ROUNDS):
+        for source, toks in chunks[r]:
+            if toks:
+                server.request(
+                    {
+                        "cmd": "feed",
+                        "session": "smoke",
+                        "source": source,
+                        "tokens": toks,
+                    }
+                )
+        delta = server.request({"cmd": "poll", "session": "smoke"})
+        accumulate(state, delta)
+        polls += 1
+
+        if r == 1:  # checkpoint mid-stream, restore into a fresh session
+            ckpt = server.request({"cmd": "checkpoint", "session": "smoke"})
+            server.request({"cmd": "close", "session": "smoke"})
+            server.request(
+                {
+                    "cmd": "restore",
+                    "session": "smoke",
+                    "checkpoint": ckpt["checkpoint"],
+                }
+            )
+
+    # Every stream is fully fed now: a final poll runs to completion.
+    delta = server.request({"cmd": "poll", "session": "smoke"})
+    accumulate(state, delta)
+    polls += 1
+    if not delta["completed"]:
+        fail(f"scenario did not complete (stop={delta['stop']})")
+    stats = server.request({"cmd": "stats"})
+    server.request({"cmd": "close", "session": "smoke"})
+    server.close()
+
+    golden_instants = {
+        s["series"]: s["instants_ps"] for s in golden["instants"]
+    }
+    golden_usage = {
+        u["resource"]: {
+            k: u[k] for k in ("starts_ps", "ends_ps", "ops", "labels")
+        }
+        for u in golden["usage"]
+    }
+    if state["instants"] != golden_instants:
+        for name in sorted(set(state["instants"]) | set(golden_instants)):
+            got = state["instants"].get(name)
+            want = golden_instants.get(name)
+            if got != want:
+                print(f"  series {name}:\n    got  {got}\n    want {want}")
+        fail("streamed instants differ from the one-shot golden")
+    if state["usage"] != golden_usage:
+        fail("streamed usage differs from the one-shot golden")
+    if delta["now_ps"] != golden["now_ps"]:
+        fail(f"end time {delta['now_ps']} != golden {golden['now_ps']}")
+
+    n_instants = sum(len(v) for v in state["instants"].values())
+    print(
+        f"serve_smoke: OK — {n_instants} instants over "
+        f"{len(state['instants'])} series, {polls} polls, "
+        f"1 checkpoint/restore, bit-identical to one-shot "
+        f"(cache: {stats['cache']})"
+    )
+
+
+if __name__ == "__main__":
+    main()

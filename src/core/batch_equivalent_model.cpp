@@ -246,14 +246,12 @@ void BatchEquivalentModel::build_group(std::size_t gi, const Options& opts) {
   const model::ArchitectureDesc& bd = *grp.base;
   const std::size_t width = grp.names.size();
 
-  // Compile the group's base abstraction once; every member shares the
-  // resulting program (one tdg::Program per sub-batch).
-  tdg::DerivedTdg derived = tdg::derive_tdg(bd, grp.gflags);
-  tdg::Graph g = std::move(derived.graph);
-  if (opts.fold) g = tdg::fold_pass_through(g);
-  if (opts.pad_nodes > 0) g = tdg::pad_graph(g, opts.pad_nodes);
-  g.freeze();
-  grp.graph = std::move(g);
+  // Obtain the group's compiled base abstraction once; every member shares
+  // the resulting program (one tdg::Program per sub-batch). A provider
+  // additionally deduplicates across groups, cells and runs.
+  grp.compiled = obtain_compiled(
+      opts.compiled,
+      CompiledKey{grp.base, grp.gflags, opts.fold, opts.pad_nodes});
 
   tdg::BatchEngine::Options eng_opts;
   eng_opts.instances.resize(width);
@@ -270,14 +268,14 @@ void BatchEquivalentModel::build_group(std::size_t gi, const Options& opts) {
                                        ? opts.expected_iterations
                                        : bd.max_source_tokens();
   }
-  grp.engine =
-      std::make_unique<tdg::BatchEngine>(grp.graph, std::move(eng_opts));
+  grp.engine = std::make_unique<tdg::BatchEngine>(
+      grp.compiled->graph, grp.compiled->program, std::move(eng_opts));
 
   // Resolve boundary nodes by name once (fold/pad preserve names; the node
   // ids are shared by every member).
   auto resolve = [&grp](const std::string& name) {
     if (name.empty()) return tdg::kNoNode;
-    const tdg::NodeId n = grp.graph.find(name);
+    const tdg::NodeId n = grp.compiled->graph.find(name);
     if (n == tdg::kNoNode)
       throw Error("BatchEquivalentModel: boundary node '" + name +
                   "' missing after graph transforms");
@@ -285,14 +283,14 @@ void BatchEquivalentModel::build_group(std::size_t gi, const Options& opts) {
   };
 
   grp.in_begin = inputs_.size();
-  grp.n_in = derived.inputs.size();
+  grp.n_in = grp.compiled->inputs.size();
   grp.out_begin = outputs_.size();
-  grp.n_out = derived.outputs.size();
-  inputs_.reserve(inputs_.size() + width * derived.inputs.size());
-  outputs_.reserve(outputs_.size() + width * derived.outputs.size());
+  grp.n_out = grp.compiled->outputs.size();
+  inputs_.reserve(inputs_.size() + width * grp.compiled->inputs.size());
+  outputs_.reserve(outputs_.size() + width * grp.compiled->outputs.size());
   for (std::size_t i = 0; i < width; ++i) {
     const InstanceSpan& span = grp.spans[i];
-    for (const auto& bi : derived.inputs) {
+    for (const auto& bi : grp.compiled->inputs) {
       InputState st;
       st.meta = bi;
       st.grp = gi;
@@ -306,7 +304,7 @@ void BatchEquivalentModel::build_group(std::size_t gi, const Options& opts) {
       st.xr = resolve(bi.xr_node);
       inputs_.push_back(std::move(st));
     }
-    for (const auto& bo : derived.outputs) {
+    for (const auto& bo : grp.compiled->outputs) {
       OutputState st;
       st.meta = bo;
       st.grp = gi;
@@ -333,16 +331,13 @@ void BatchEquivalentModel::build_isolated(const Options& opts) {
   // their abstracted functions, evaluated by one inline tdg::Engine. Node
   // and trace names already carry the instance prefixes (they come from
   // the merged description), so the engine's sinks bind directly.
-  tdg::DerivedTdg derived = tdg::derive_tdg(*desc_, opts.isolated_group);
-  tdg::Graph g = std::move(derived.graph);
-  if (opts.fold) g = tdg::fold_pass_through(g);
   // pad_nodes is per instance: the remainder graph spans
   // isolated_instances of them (the same accounting the fully-isolated
   // merged path applies N-fold).
-  if (opts.pad_nodes > 0)
-    g = tdg::pad_graph(g, opts.pad_nodes * opts.isolated_instances);
-  g.freeze();
-  iso_graph_ = std::move(g);
+  iso_compiled_ = obtain_compiled(
+      opts.compiled,
+      CompiledKey{desc_, opts.isolated_group, opts.fold,
+                  opts.pad_nodes * opts.isolated_instances});
 
   tdg::Engine::Options eng_opts;
   if (opts.observe) {
@@ -352,19 +347,20 @@ void BatchEquivalentModel::build_isolated(const Options& opts) {
                                        ? opts.expected_iterations
                                        : desc_->max_source_tokens();
   }
-  iso_engine_ = std::make_unique<tdg::Engine>(iso_graph_, eng_opts);
+  iso_engine_ = std::make_unique<tdg::Engine>(iso_compiled_->graph,
+                                              iso_compiled_->program, eng_opts);
 
   auto resolve = [this](const std::string& name) {
     if (name.empty()) return tdg::kNoNode;
-    const tdg::NodeId n = iso_graph_.find(name);
+    const tdg::NodeId n = iso_compiled_->graph.find(name);
     if (n == tdg::kNoNode)
       throw Error("BatchEquivalentModel: boundary node '" + name +
                   "' missing after graph transforms");
     return n;
   };
 
-  iso_inputs_.reserve(derived.inputs.size());
-  for (const auto& bi : derived.inputs) {
+  iso_inputs_.reserve(iso_compiled_->inputs.size());
+  for (const auto& bi : iso_compiled_->inputs) {
     IsoInputState st;
     st.meta = bi;
     st.u = resolve(bi.u_node);
@@ -373,8 +369,8 @@ void BatchEquivalentModel::build_isolated(const Options& opts) {
     st.xr = resolve(bi.xr_node);
     iso_inputs_.push_back(std::move(st));
   }
-  iso_outputs_.reserve(derived.outputs.size());
-  for (const auto& bo : derived.outputs) {
+  iso_outputs_.reserve(iso_compiled_->outputs.size());
+  for (const auto& bo : iso_compiled_->outputs) {
     IsoOutputState st;
     st.meta = bo;
     st.offer = resolve(bo.offer_node);
@@ -707,14 +703,14 @@ BatchEquivalentModel::CompiledShape BatchEquivalentModel::compiled_shape()
     const {
   CompiledShape shape;
   for (const Group& g : groups_) {
-    shape.nodes += g.graph.node_count();
-    shape.paper_nodes += g.graph.paper_node_count();
-    shape.arcs += g.graph.arc_count();
+    shape.nodes += g.compiled->graph.node_count();
+    shape.paper_nodes += g.compiled->graph.paper_node_count();
+    shape.arcs += g.compiled->graph.arc_count();
   }
   if (iso_engine_ != nullptr) {
-    shape.nodes += iso_graph_.node_count();
-    shape.paper_nodes += iso_graph_.paper_node_count();
-    shape.arcs += iso_graph_.arc_count();
+    shape.nodes += iso_compiled_->graph.node_count();
+    shape.paper_nodes += iso_compiled_->graph.paper_node_count();
+    shape.arcs += iso_compiled_->graph.arc_count();
   }
   return shape;
 }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/compiled.hpp"
 #include "model/baseline.hpp"
 #include "model/desc.hpp"
 #include "sim/event.hpp"
@@ -115,6 +116,10 @@ class BatchEquivalentModel {
     /// serial drain. 1 = serial (also used when there are < 2 groups);
     /// 0 = one per hardware thread.
     int threads = 1;
+    /// Source of the compiled abstractions (per-group base graphs and the
+    /// isolated remainder). Null = compile here; a serve::ProgramCache
+    /// deduplicates across study cells and composed sub-batches.
+    CompiledProvider* compiled = nullptr;
   };
 
   /// Grouped construction: \p groups equal-structure sub-batches (each
@@ -150,13 +155,15 @@ class BatchEquivalentModel {
   [[nodiscard]] std::size_t group_count() const { return groups_.size(); }
   /// The first group's base graph / engine — the whole model's, for the
   /// homogeneous single-group case the convenience constructors build.
-  [[nodiscard]] const tdg::Graph& graph() const { return groups_[0].graph; }
+  [[nodiscard]] const tdg::Graph& graph() const {
+    return groups_[0].compiled->graph;
+  }
   [[nodiscard]] const tdg::BatchEngine& engine() const {
     return *groups_[0].engine;
   }
   /// Per-group accessors (grouped construction).
   [[nodiscard]] const tdg::Graph& graph(std::size_t g) const {
-    return groups_[g].graph;
+    return groups_[g].compiled->graph;
   }
   [[nodiscard]] const tdg::BatchEngine& engine(std::size_t g) const {
     return *groups_[g].engine;
@@ -235,7 +242,7 @@ class BatchEquivalentModel {
     std::vector<bool> gflags;            // base-level, expanded
     std::vector<std::string> names;
     std::vector<InstanceSpan> spans;
-    tdg::Graph graph;
+    CompiledPtr compiled;  ///< frozen base graph + program + boundaries
     std::unique_ptr<tdg::BatchEngine> engine;
     std::size_t in_begin = 0, n_in = 0;    // per-member strides in inputs_
     std::size_t out_begin = 0, n_out = 0;  // per-member strides in outputs_
@@ -282,7 +289,7 @@ class BatchEquivalentModel {
   std::vector<Group> groups_;
   std::vector<InputState> inputs_;    // group-major, then member-major
   std::vector<OutputState> outputs_;
-  tdg::Graph iso_graph_;
+  CompiledPtr iso_compiled_;
   std::unique_ptr<tdg::Engine> iso_engine_;
   std::vector<IsoInputState> iso_inputs_;
   std::vector<IsoOutputState> iso_outputs_;

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <limits>
 
-#include "tdg/simplify.hpp"
 #include "util/error.hpp"
 
 namespace maxev::core {
@@ -34,13 +33,10 @@ EquivalentModel::EquivalentModel(model::DescPtr desc_in,
   if (group_.empty()) group_.assign(desc.functions().size(), true);
   group_.resize(desc.functions().size(), false);
 
-  // Compile the abstraction group into its temporal dependency graph.
-  tdg::DerivedTdg derived = tdg::derive_tdg(desc, group_);
-  tdg::Graph g = std::move(derived.graph);
-  if (opts.fold) g = tdg::fold_pass_through(g);
-  if (opts.pad_nodes > 0) g = tdg::pad_graph(g, opts.pad_nodes);
-  g.freeze();
-  graph_ = std::move(g);
+  // Obtain the compiled abstraction (derive + fold + pad + freeze +
+  // Program::compile) — from the provider's cache when one is given.
+  compiled_ = obtain_compiled(
+      opts.compiled, CompiledKey{desc_, group_, opts.fold, opts.pad_nodes});
 
   // Simulate everything outside the group (sharing the description).
   runtime_ = std::make_unique<model::ModelRuntime>(desc_, group_, opts.observe);
@@ -52,21 +48,22 @@ EquivalentModel::EquivalentModel(model::DescPtr desc_in,
                                        ? opts.expected_iterations
                                        : desc.max_source_tokens();
   }
-  engine_ = std::make_unique<tdg::Engine>(graph_, eng_opts);
+  engine_ = std::make_unique<tdg::Engine>(compiled_->graph, compiled_->program,
+                                          eng_opts);
 
   // Resolve boundary nodes by name (fold/pad preserve names) and wire the
   // reception/emission machinery.
   auto resolve = [this](const std::string& name) {
     if (name.empty()) return tdg::kNoNode;
-    const tdg::NodeId n = graph_.find(name);
+    const tdg::NodeId n = compiled_->graph.find(name);
     if (n == tdg::kNoNode)
       throw Error("EquivalentModel: boundary node '" + name +
                   "' missing after graph transforms");
     return n;
   };
 
-  inputs_.reserve(derived.inputs.size());
-  for (auto& bi : derived.inputs) {
+  inputs_.reserve(compiled_->inputs.size());
+  for (const auto& bi : compiled_->inputs) {
     InputState st;
     st.meta = bi;
     st.u = resolve(bi.u_node);
@@ -75,8 +72,8 @@ EquivalentModel::EquivalentModel(model::DescPtr desc_in,
     st.xr = resolve(bi.xr_node);
     inputs_.push_back(std::move(st));
   }
-  outputs_.reserve(derived.outputs.size());
-  for (auto& bo : derived.outputs) {
+  outputs_.reserve(compiled_->outputs.size());
+  for (const auto& bo : compiled_->outputs) {
     OutputState st;
     st.meta = bo;
     st.offer = resolve(bo.offer_node);

@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/compiled.hpp"
 #include "model/baseline.hpp"
 #include "model/desc.hpp"
 #include "sim/event.hpp"
@@ -47,6 +48,10 @@ class EquivalentModel {
     /// Capacity hint for the observation sinks: expected iteration count.
     /// 0 = derive from the description (total source tokens).
     std::size_t expected_iterations = 0;
+    /// Source of the compiled abstraction (derive + fold + pad + freeze +
+    /// Program::compile). Null = compile here; a serve::ProgramCache makes
+    /// repeated constructions of the same abstraction reuse one artifact.
+    CompiledProvider* compiled = nullptr;
   };
 
   /// Abstract the functions marked in \p group (empty = all functions).
@@ -72,7 +77,7 @@ class EquivalentModel {
       std::optional<TimePoint> until = std::nullopt);
 
   [[nodiscard]] model::ModelRuntime& runtime() { return *runtime_; }
-  [[nodiscard]] const tdg::Graph& graph() const { return graph_; }
+  [[nodiscard]] const tdg::Graph& graph() const { return compiled_->graph; }
   [[nodiscard]] const tdg::Engine& engine() const { return *engine_; }
   [[nodiscard]] const trace::InstantTraceSet& instants() const {
     return runtime_->instants();
@@ -119,7 +124,7 @@ class EquivalentModel {
 
   model::DescPtr desc_;
   std::vector<bool> group_;
-  tdg::Graph graph_;
+  CompiledPtr compiled_;  ///< frozen graph + program + boundary metadata
   std::vector<InputState> inputs_;
   std::vector<OutputState> outputs_;
   std::unique_ptr<model::ModelRuntime> runtime_;

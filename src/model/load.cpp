@@ -6,36 +6,39 @@
 
 namespace maxev::model {
 
+std::int64_t LinearOpsFn::operator()(const TokenAttrs& a,
+                                     std::uint64_t) const {
+  const std::int64_t ops = base + per_unit * a.size;
+  return ops < 0 ? std::int64_t{0} : ops;
+}
+
+std::int64_t ParamOpsFn::operator()(const TokenAttrs& a, std::uint64_t) const {
+  const auto ops =
+      base + static_cast<std::int64_t>(std::llround(scale * a.params[param_index]));
+  return ops < 0 ? std::int64_t{0} : ops;
+}
+
 LoadFn constant_ops(std::int64_t ops) {
   if (ops < 0) throw DescriptionError("constant_ops: negative ops");
-  return [ops](const TokenAttrs&, std::uint64_t) { return ops; };
+  return ConstantOpsFn{ops};
 }
 
 LoadFn linear_ops(std::int64_t base, std::int64_t per_unit) {
   if (base < 0) throw DescriptionError("linear_ops: negative base");
-  return [base, per_unit](const TokenAttrs& a, std::uint64_t) {
-    const std::int64_t ops = base + per_unit * a.size;
-    return ops < 0 ? std::int64_t{0} : ops;
-  };
+  return LinearOpsFn{base, per_unit};
 }
 
 LoadFn param_ops(std::int64_t base, double scale, std::size_t param_index) {
   if (param_index >= std::tuple_size_v<decltype(TokenAttrs::params)>)
     throw DescriptionError("param_ops: param index out of range");
-  return [base, scale, param_index](const TokenAttrs& a, std::uint64_t) {
-    const auto ops =
-        base + static_cast<std::int64_t>(std::llround(scale * a.params[param_index]));
-    return ops < 0 ? std::int64_t{0} : ops;
-  };
+  return ParamOpsFn{base, scale, param_index};
 }
 
 LoadFn cyclic_ops(std::vector<std::int64_t> table) {
   if (table.empty()) throw DescriptionError("cyclic_ops: empty table");
   for (auto v : table)
     if (v < 0) throw DescriptionError("cyclic_ops: negative ops");
-  return [table = std::move(table)](const TokenAttrs&, std::uint64_t k) {
-    return table[k % table.size()];
-  };
+  return CyclicOpsFn{std::move(table)};
 }
 
 }  // namespace maxev::model

@@ -19,6 +19,38 @@ namespace maxev::model {
 /// Operations demanded by an execute statement for iteration k.
 using LoadFn = std::function<std::int64_t(const TokenAttrs&, std::uint64_t k)>;
 
+/// The factory-built loads below wrap *named* functor types so the serve
+/// wire format (serve/wire.hpp) can recover their parameters through
+/// `LoadFn::target<T>()` and serialize them; hand-written lambdas remain
+/// opaque and serialize as such.
+
+struct ConstantOpsFn {
+  std::int64_t ops;
+  std::int64_t operator()(const TokenAttrs&, std::uint64_t) const {
+    return ops;
+  }
+};
+
+struct LinearOpsFn {
+  std::int64_t base;
+  std::int64_t per_unit;
+  std::int64_t operator()(const TokenAttrs& a, std::uint64_t) const;
+};
+
+struct ParamOpsFn {
+  std::int64_t base;
+  double scale;
+  std::size_t param_index;
+  std::int64_t operator()(const TokenAttrs& a, std::uint64_t) const;
+};
+
+struct CyclicOpsFn {
+  std::vector<std::int64_t> table;
+  std::int64_t operator()(const TokenAttrs&, std::uint64_t k) const {
+    return table[k % table.size()];
+  }
+};
+
 /// A constant number of operations.
 [[nodiscard]] LoadFn constant_ops(std::int64_t ops);
 

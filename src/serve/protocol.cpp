@@ -1,0 +1,213 @@
+#include "serve/protocol.hpp"
+
+#include <utility>
+
+#include "sim/diagnostics.hpp"
+#include "util/json.hpp"
+
+namespace maxev::serve {
+
+namespace {
+
+std::string error_response(const std::string& what) {
+  JsonWriter w;
+  w.begin_object().field("ok", false).field("error", what).end_object();
+  return w.str();
+}
+
+const std::string& session_name(const JsonValue& req) {
+  const JsonValue* s = req.find("session");
+  if (s == nullptr || !s->is_string())
+    throw SessionError("protocol: request needs a string 'session'");
+  return s->as_string();
+}
+
+model::TokenAttrs parse_token_attrs(const JsonValue& v) {
+  model::TokenAttrs a;
+  a.size = v.at("size").as_int64();
+  const JsonValue& params = v.at("params");
+  if (!params.is_array() || params.size() != a.params.size())
+    throw SessionError("protocol: token attrs params must be an array of " +
+                       std::to_string(a.params.size()));
+  for (std::size_t i = 0; i < a.params.size(); ++i)
+    a.params[i] = params[i].as_double();
+  return a;
+}
+
+std::vector<Session::FedToken> parse_tokens(const JsonValue& req) {
+  const JsonValue& arr = req.at("tokens");
+  if (!arr.is_array())
+    throw SessionError("protocol: 'tokens' must be an array");
+  std::vector<Session::FedToken> tokens;
+  tokens.reserve(arr.size());
+  for (const JsonValue& t : arr.items()) {
+    Session::FedToken tok;
+    tok.earliest_ps = t.at("earliest_ps").as_int64();
+    if (const JsonValue* attrs = t.find("attrs"); attrs && !attrs->is_null())
+      tok.attrs = parse_token_attrs(*attrs);
+    tokens.push_back(std::move(tok));
+  }
+  return tokens;
+}
+
+void write_delta(JsonWriter& w, const Session::Delta& d) {
+  w.field("ok", true);
+  w.field("ran", d.ran);
+  w.field("blocked", d.blocked);
+  w.field("completed", d.completed);
+  w.field("stop", sim::to_string(d.stop));
+  w.field("now_ps", d.now_ps);
+  if (!d.stall_report.empty()) w.field("stall_report", d.stall_report);
+  w.key("instants").begin_array();
+  for (const Session::SeriesDelta& s : d.instants) {
+    w.begin_object();
+    w.field("series", s.series);
+    w.field("start_k", s.start_k);
+    w.key("instants_ps").begin_array();
+    for (const std::int64_t t : s.instants_ps) w.value(t);
+    w.end_array().end_object();
+  }
+  w.end_array();
+  w.key("usage").begin_array();
+  for (const Session::UsageDelta& u : d.usage) {
+    w.begin_object();
+    w.field("resource", u.resource);
+    w.field("start_index", u.start_index);
+    w.key("starts_ps").begin_array();
+    for (const std::int64_t t : u.starts_ps) w.value(t);
+    w.end_array();
+    w.key("ends_ps").begin_array();
+    for (const std::int64_t t : u.ends_ps) w.value(t);
+    w.end_array();
+    w.key("ops").begin_array();
+    for (const std::int64_t n : u.ops) w.value(n);
+    w.end_array();
+    w.key("labels").begin_array();
+    for (const std::string& l : u.labels) w.value(l);
+    w.end_array().end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace
+
+Server::Server() : Server(Options{}) {}
+
+Server::Server(Options opts)
+    : opts_(opts), cache_(opts.cache_capacity == 0
+                              ? ProgramCache::kDefaultCapacity
+                              : opts.cache_capacity) {}
+
+std::string Server::handle(std::string_view line) {
+  try {
+    const JsonValue req = json_parse(line);
+    const JsonValue* cmd = req.find("cmd");
+    if (cmd == nullptr || !cmd->is_string())
+      throw SessionError("protocol: request needs a string 'cmd'");
+    const std::string& verb = cmd->as_string();
+
+    if (verb == "stats") {
+      const ProgramCache::Stats s = cache_.stats();
+      JsonWriter w;
+      w.begin_object()
+          .field("ok", true)
+          .field("sessions", static_cast<std::uint64_t>(sessions_.size()))
+          .key("cache")
+          .begin_object()
+          .field("hits", s.hits)
+          .field("misses", s.misses)
+          .field("evictions", s.evictions)
+          .field("size", static_cast<std::uint64_t>(s.size))
+          .end_object()
+          .end_object();
+      return w.str();
+    }
+
+    const std::string& name = session_name(req);
+
+    if (verb == "submit" || verb == "restore") {
+      if (sessions_.count(name) != 0)
+        throw SessionError("protocol: session '" + name + "' already exists");
+      Session::Options sopts;
+      sopts.guards = opts_.guards;
+      sopts.compiled = &cache_;
+      if (const JsonValue* me = req.find("max_events"))
+        sopts.guards.max_events = me->as_uint64();
+      if (const JsonValue* ei = req.find("expected_iterations"))
+        sopts.expected_iterations = static_cast<std::size_t>(ei->as_uint64());
+
+      std::unique_ptr<Session> session;
+      if (verb == "submit") {
+        std::string scenario;
+        if (const JsonValue* obj = req.find("scenario"); obj != nullptr)
+          scenario = json_dump(*obj);
+        else
+          scenario = req.at("scenario_json").as_string();
+        session = std::make_unique<Session>(std::move(scenario), sopts);
+      } else {
+        session = Session::restore(req.at("checkpoint").as_string(), sopts);
+      }
+
+      JsonWriter w;
+      w.begin_object().field("ok", true).field("session", name);
+      w.key("stream_sources").begin_array();
+      const auto& sources = session->desc().sources();
+      for (std::size_t i = 0; i < sources.size(); ++i) {
+        if (!session->is_stream_source(i)) continue;
+        w.begin_object()
+            .field("source", static_cast<std::uint64_t>(i))
+            .field("name", sources[i].name)
+            .field("count", sources[i].count)
+            .field("fed", session->fed(i))
+            .end_object();
+      }
+      w.end_array().end_object();
+      sessions_.emplace(name, std::move(session));
+      return w.str();
+    }
+
+    const auto it = sessions_.find(name);
+    if (it == sessions_.end())
+      throw SessionError("protocol: no session '" + name + "'");
+    Session& session = *it->second;
+
+    if (verb == "feed") {
+      const std::size_t source =
+          static_cast<std::size_t>(req.at("source").as_uint64());
+      const std::vector<Session::FedToken> tokens = parse_tokens(req);
+      session.feed(source, tokens);
+      JsonWriter w;
+      w.begin_object()
+          .field("ok", true)
+          .field("source", static_cast<std::uint64_t>(source))
+          .field("fed", session.fed(source))
+          .end_object();
+      return w.str();
+    }
+    if (verb == "poll") {
+      const Session::Delta d = session.poll();
+      JsonWriter w;
+      w.begin_object();
+      write_delta(w, d);
+      w.end_object();
+      return w.str();
+    }
+    if (verb == "checkpoint") {
+      const std::string doc = session.checkpoint();
+      JsonWriter w;
+      w.begin_object().field("ok", true).field("checkpoint", doc).end_object();
+      return w.str();
+    }
+    if (verb == "close") {
+      sessions_.erase(it);
+      JsonWriter w;
+      w.begin_object().field("ok", true).field("closed", name).end_object();
+      return w.str();
+    }
+    throw SessionError("protocol: unknown cmd '" + verb + "'");
+  } catch (const std::exception& e) {
+    return error_response(e.what());
+  }
+}
+
+}  // namespace maxev::serve

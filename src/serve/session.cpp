@@ -1,0 +1,318 @@
+#include "serve/session.hpp"
+
+#include <limits>
+#include <utility>
+
+namespace maxev::serve {
+
+namespace {
+
+std::uint64_t dispatched(const sim::KernelStats& s) {
+  return s.resumes + s.callbacks - s.inline_resumes;
+}
+
+}  // namespace
+
+Session::Session(std::string scenario_json)
+    : Session(std::move(scenario_json), Options()) {}
+
+Session::Session(std::string scenario_json, Options opts)
+    : scenario_json_(std::move(scenario_json)), opts_(opts) {
+  model::ArchitectureDesc desc = desc_from_json(scenario_json_, this);
+  desc_ = model::share(std::move(desc));
+
+  core::EquivalentModel::Options mopts;
+  mopts.expected_iterations = opts_.expected_iterations;
+  mopts.compiled = opts_.compiled;
+  model_ = std::make_unique<core::EquivalentModel>(
+      desc_, std::vector<bool>{}, mopts);
+  if (opts_.guards.any())
+    model_->runtime().kernel().set_run_guards(opts_.guards);
+}
+
+Session::Fns Session::make_stream_source(std::size_t source_index,
+                                         const std::string& name,
+                                         std::uint64_t count) {
+  auto stream = std::make_shared<Stream>();
+  stream->source_index = source_index;
+  stream->name = name;
+  stream->count = count;
+  stream_by_source_[source_index] = streams_.size();
+  streams_.push_back(stream);
+
+  Fns fns;
+  // The watermark guarantees the kernel never evaluates an unfed token;
+  // reaching the throw means the watermark computation is wrong.
+  fns.earliest = [stream](std::uint64_t k) {
+    if (k >= stream->earliest_ps.size())
+      throw SessionError("stream source '" + stream->name + "': token " +
+                         std::to_string(k) + " evaluated before being fed");
+    return TimePoint::at_ps(stream->earliest_ps[k]);
+  };
+  fns.attrs = [stream](std::uint64_t k) {
+    if (k >= stream->attrs.size())
+      throw SessionError("stream source '" + stream->name + "': attrs of " +
+                         std::to_string(k) + " evaluated before being fed");
+    return stream->attrs[k];
+  };
+  return fns;
+}
+
+bool Session::is_stream_source(std::size_t source) const {
+  return stream_by_source_.count(source) != 0;
+}
+
+std::uint64_t Session::fed(std::size_t source) const {
+  const auto it = stream_by_source_.find(source);
+  if (it == stream_by_source_.end())
+    throw SessionError("source " + std::to_string(source) +
+                       " is not a stream source");
+  return streams_[it->second]->earliest_ps.size();
+}
+
+void Session::feed(std::size_t source, const std::vector<FedToken>& tokens) {
+  const auto it = stream_by_source_.find(source);
+  if (it == stream_by_source_.end())
+    throw SessionError("source " + std::to_string(source) +
+                       " is not a stream source");
+  Stream& st = *streams_[it->second];
+  if (st.earliest_ps.size() + tokens.size() > st.count)
+    throw SessionError("stream source '" + st.name + "': feeding " +
+                       std::to_string(tokens.size()) + " tokens past the " +
+                       "declared count of " + std::to_string(st.count));
+  std::int64_t floor = st.earliest_ps.empty()
+                           ? std::numeric_limits<std::int64_t>::min()
+                           : st.earliest_ps.back();
+  for (const FedToken& t : tokens) {
+    if (t.earliest_ps < floor)
+      throw SessionError("stream source '" + st.name +
+                         "': earliest instants must be non-decreasing (" +
+                         std::to_string(t.earliest_ps) + " after " +
+                         std::to_string(floor) + ")");
+    floor = t.earliest_ps;
+  }
+  for (const FedToken& t : tokens) {
+    st.earliest_ps.push_back(t.earliest_ps);
+    st.attrs.push_back(t.attrs);
+  }
+}
+
+Session::Watermark Session::watermark() const {
+  Watermark w;
+  w.unbounded = true;
+  std::int64_t min_ps = std::numeric_limits<std::int64_t>::max();
+  for (const auto& stream : streams_) {
+    const std::uint64_t fed = stream->earliest_ps.size();
+    if (fed == stream->count) continue;  // exhausted: no constraint
+    if (fed == 0) {
+      w.blocked = true;
+      w.unbounded = false;
+      return w;
+    }
+    // After offering token fed-1 (at >= earliest(fed-1)) the source
+    // coroutine evaluates earliest(fed), which is not known yet — so the
+    // horizon must stop just short of the last fed token's release.
+    min_ps = std::min(min_ps, stream->earliest_ps[fed - 1] - 1);
+    w.unbounded = false;
+  }
+  if (!w.unbounded) {
+    if (min_ps < 0) {
+      w.blocked = true;  // nothing can run before the origin
+    } else {
+      w.until = TimePoint::at_ps(min_ps);
+    }
+  }
+  return w;
+}
+
+void Session::advance(const Watermark& w, Delta& d) {
+  if (completed_ || w.blocked) {
+    d.blocked = !completed_ && w.blocked;
+    return;
+  }
+  if (!w.unbounded && advanced_ps_ && w.until.count() <= *advanced_ps_ &&
+      !sim::is_guard_stop(last_stop_))
+    return;  // nothing new to run
+
+  const std::optional<TimePoint> until =
+      w.unbounded ? std::nullopt : std::optional<TimePoint>(w.until);
+  model::ModelRuntime::Outcome out = model_->run(until);
+  d.ran = true;
+  last_stop_ = out.stop;
+  last_stall_report_ = out.stall_report;
+  if (!sim::is_guard_stop(out.stop) && !w.unbounded)
+    advanced_ps_ = w.until.count();
+  if (w.unbounded && out.completed) completed_ = true;
+}
+
+void Session::collect_deltas(Delta& d) {
+  for (const auto& [name, series] : model_->instants().all()) {
+    std::size_t& cursor = instant_cursors_[name];
+    if (series.size() <= cursor) continue;
+    SeriesDelta sd;
+    sd.series = name;
+    sd.start_k = cursor;
+    sd.instants_ps.reserve(series.size() - cursor);
+    for (std::size_t k = cursor; k < series.size(); ++k)
+      sd.instants_ps.push_back(series.at(k).count());
+    cursor = series.size();
+    d.instants.push_back(std::move(sd));
+  }
+  for (const auto& [name, trace] : model_->usage().all()) {
+    std::size_t& cursor = usage_cursors_[name];
+    if (trace.size() <= cursor) continue;
+    UsageDelta ud;
+    ud.resource = name;
+    ud.start_index = cursor;
+    for (std::size_t i = cursor; i < trace.size(); ++i) {
+      ud.starts_ps.push_back(trace.starts()[i].count());
+      ud.ends_ps.push_back(trace.ends()[i].count());
+      ud.ops.push_back(trace.ops()[i]);
+      ud.labels.push_back(trace.label(trace.label_ids()[i]));
+    }
+    cursor = trace.size();
+    d.usage.push_back(std::move(ud));
+  }
+}
+
+Session::Delta Session::poll() {
+  Delta d;
+  advance(watermark(), d);
+  d.completed = completed_;
+  d.stop = last_stop_;
+  d.stall_report = last_stall_report_;
+  d.now_ps = model_->end_time().count();
+  collect_deltas(d);
+  return d;
+}
+
+std::string Session::checkpoint() const {
+  if (sim::is_guard_stop(last_stop_))
+    throw SessionError(
+        "checkpoint: the last advance was guard-stopped; resume (poll) past "
+        "the guard before checkpointing");
+  JsonWriter w;
+  w.begin_object().field("maxev_checkpoint", kWireVersion);
+  w.field("scenario_json", scenario_json_);
+  w.key("streams").begin_array();
+  for (const auto& stream : streams_) {
+    w.begin_object();
+    w.field("source", static_cast<std::uint64_t>(stream->source_index));
+    w.key("earliest_ps").begin_array();
+    for (const std::int64_t t : stream->earliest_ps) w.value(t);
+    w.end_array();
+    w.key("attrs").begin_array();
+    for (const model::TokenAttrs& a : stream->attrs) {
+      w.begin_object().field("size", a.size).key("params").begin_array();
+      for (const double p : a.params) w.value(p);
+      w.end_array().end_object();
+    }
+    w.end_array().end_object();
+  }
+  w.end_array();
+  w.key("advanced_ps");
+  if (advanced_ps_)
+    w.value(*advanced_ps_);
+  else
+    w.null_value();
+  w.field("completed", completed_);
+  w.key("instant_cursors").begin_object();
+  for (const auto& [name, cursor] : instant_cursors_)
+    w.field(name, static_cast<std::uint64_t>(cursor));
+  w.end_object();
+  w.key("usage_cursors").begin_object();
+  for (const auto& [name, cursor] : usage_cursors_)
+    w.field(name, static_cast<std::uint64_t>(cursor));
+  w.end_object();
+  w.field("now_ps", model_->end_time().count());
+  w.field("events_dispatched", dispatched(model_->kernel_stats()));
+  w.end_object();
+  return w.str();
+}
+
+std::unique_ptr<Session> Session::restore(std::string_view checkpoint_json) {
+  return restore(checkpoint_json, Options());
+}
+
+std::unique_ptr<Session> Session::restore(std::string_view checkpoint_json,
+                                          Options opts) {
+  JsonValue doc;
+  try {
+    doc = json_parse(checkpoint_json);
+  } catch (const Error& e) {
+    throw SessionError(std::string("restore: ") + e.what());
+  }
+  if (!doc.is_object() || doc.find("maxev_checkpoint") == nullptr)
+    throw SessionError("restore: not a maxev_checkpoint document");
+  if (!doc.at("maxev_checkpoint").is_int64() ||
+      doc.at("maxev_checkpoint").as_int64() != kWireVersion)
+    throw SessionError("restore: unsupported checkpoint version");
+
+  auto session = std::make_unique<Session>(
+      doc.at("scenario_json").as_string(), opts);
+
+  const JsonValue& streams = doc.at("streams");
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    const JsonValue& s = streams[i];
+    const JsonValue& earliest = s.at("earliest_ps");
+    const JsonValue& attrs = s.at("attrs");
+    if (earliest.size() != attrs.size())
+      throw SessionError("restore: stream token arrays disagree in length");
+    std::vector<FedToken> tokens(earliest.size());
+    for (std::size_t k = 0; k < earliest.size(); ++k) {
+      tokens[k].earliest_ps = earliest[k].as_int64();
+      const JsonValue& a = attrs[k];
+      tokens[k].attrs.size = a.at("size").as_int64();
+      const JsonValue& params = a.at("params");
+      for (std::size_t p = 0;
+           p < tokens[k].attrs.params.size() && p < params.size(); ++p)
+        tokens[k].attrs.params[p] = params[p].as_double();
+    }
+    session->feed(static_cast<std::size_t>(s.at("source").as_uint64()),
+                  tokens);
+  }
+
+  // Replay the advance. Incremental horizon-resume is pinned bit-identical
+  // to a single run, so one run to the checkpointed horizon reproduces the
+  // exact kernel state.
+  Delta scratch;
+  if (doc.at("completed").as_bool()) {
+    Watermark w;
+    w.unbounded = true;
+    session->advance(w, scratch);
+  } else if (!doc.at("advanced_ps").is_null()) {
+    Watermark w;
+    w.until = TimePoint::at_ps(doc.at("advanced_ps").as_int64());
+    session->advance(w, scratch);
+  }
+
+  // Validate the replay before trusting it.
+  const std::int64_t now_ps = doc.at("now_ps").as_int64();
+  const std::uint64_t events = doc.at("events_dispatched").as_uint64();
+  if (session->model_->end_time().count() != now_ps ||
+      dispatched(session->model_->kernel_stats()) != events ||
+      session->completed_ != doc.at("completed").as_bool())
+    throw SessionError(
+        "restore: replay diverged from the checkpoint (now " +
+        std::to_string(session->model_->end_time().count()) + " vs " +
+        std::to_string(now_ps) + " ps, " +
+        std::to_string(dispatched(session->model_->kernel_stats())) + " vs " +
+        std::to_string(events) + " events)");
+
+  const auto load_cursors = [&doc](const char* key,
+                                   std::map<std::string, std::size_t>& out) {
+    for (const auto& [name, v] : doc.at(key).members())
+      out[name] = static_cast<std::size_t>(v.as_uint64());
+  };
+  load_cursors("instant_cursors", session->instant_cursors_);
+  load_cursors("usage_cursors", session->usage_cursors_);
+  for (const auto& [name, cursor] : session->instant_cursors_) {
+    const trace::InstantSeries* s = session->model_->instants().find(name);
+    if ((s == nullptr ? 0 : s->size()) < cursor)
+      throw SessionError("restore: instant cursor of '" + name +
+                         "' is past the replayed trace");
+  }
+  return session;
+}
+
+}  // namespace maxev::serve

@@ -1,0 +1,158 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/desc.hpp"
+#include "tdg/program.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/time.hpp"
+
+/// \file wire.hpp
+/// The versioned JSON wire format of the serve subsystem
+/// (docs/DESIGN.md §13): scenario descriptions and compiled program tables
+/// as line-transportable documents.
+///
+/// Two document types, each wrapped in a version envelope:
+///  * `{"maxev_wire": 1, "desc": {...}}` — a model::ArchitectureDesc.
+///    Declarative members serialize exactly; the behavioural std::function
+///    members serialize as tagged *specs* when they wrap one of the
+///    introspectable functor types (model::ConstantOpsFn et al. for loads,
+///    the Table*/Periodic* functors below for source/sink shaping) and as
+///    `{"type": "opaque"}` otherwise. Opaque specs deserialize to throwing
+///    stubs: the loaded description is structurally faithful
+///    (model::structurally_equal) and fully usable for cache keying and
+///    graph derivation, but running it requires every behavioural spec to
+///    be concrete — the stub names the source entity when hit.
+///  * `{"maxev_program": 1, ...}` — the flat tables of a compiled
+///    tdg::Program (docs/DESIGN.md §7). Max-plus scalars serialize as
+///    their picosecond count, ε as null. Hoisted guard/load functions
+///    cannot cross the wire; they serialize as counts and load back as
+///    throwing stubs, so a dumped program documents/validates the compiled
+///    shape rather than transplanting behaviour (behaviour travels via the
+///    desc document plus recompilation — see the cache-keying rules).
+///
+/// All loaders validate shape and referential integrity (CSR monotonicity,
+/// id ranges) and throw serve::WireError with the offending member named.
+
+namespace maxev::serve {
+
+/// Wire-format version stamped into (and required of) every document.
+inline constexpr std::int64_t kWireVersion = 1;
+
+/// Malformed or version-incompatible wire documents.
+class WireError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// \name Introspectable shaping functors
+/// Wire-built descriptions wrap these named types so a later
+/// desc_to_json() can recover the parameters (std::function::target).
+/// Tables are shared immutably: copying the std::function copies a
+/// pointer, not the table.
+/// @{
+
+/// earliest(k) from an explicit per-token table.
+struct TableTimeFn {
+  std::shared_ptr<const std::vector<std::int64_t>> values_ps;
+  TimePoint operator()(std::uint64_t k) const {
+    return TimePoint::at_ps(values_ps->at(k));
+  }
+};
+
+/// earliest(k) = offset + k * period.
+struct PeriodicTimeFn {
+  std::int64_t offset_ps = 0;
+  std::int64_t period_ps = 0;
+  TimePoint operator()(std::uint64_t k) const {
+    return TimePoint::at_ps(offset_ps +
+                            period_ps * static_cast<std::int64_t>(k));
+  }
+};
+
+/// Constant gap / consume delay.
+struct ConstantDurationFn {
+  std::int64_t ps = 0;
+  Duration operator()(std::uint64_t) const { return Duration::ps(ps); }
+};
+
+/// Per-token gap / consume delay table.
+struct TableDurationFn {
+  std::shared_ptr<const std::vector<std::int64_t>> values_ps;
+  Duration operator()(std::uint64_t k) const {
+    return Duration::ps(values_ps->at(k));
+  }
+};
+
+/// Every token carries the same attributes.
+struct ConstantAttrsFn {
+  model::TokenAttrs attrs;
+  model::TokenAttrs operator()(std::uint64_t) const { return attrs; }
+};
+
+/// Per-token attribute table.
+struct TableAttrsFn {
+  std::shared_ptr<const std::vector<model::TokenAttrs>> table;
+  model::TokenAttrs operator()(std::uint64_t k) const {
+    return table->at(k);
+  }
+};
+/// @}
+
+/// Supplies the behavioural functions of `{"type": "stream"}` sources —
+/// tokens that arrive incrementally instead of from a table. Implemented
+/// by serve::Session (its TokenStream feeds); absent a factory, stream
+/// specs are a WireError.
+class StreamSourceFactory {
+ public:
+  struct Fns {
+    std::function<TimePoint(std::uint64_t)> earliest;
+    std::function<model::TokenAttrs(std::uint64_t)> attrs;
+  };
+
+  virtual ~StreamSourceFactory() = default;
+
+  /// Called once per stream-typed source, in source order.
+  [[nodiscard]] virtual Fns make_stream_source(std::size_t source_index,
+                                               const std::string& name,
+                                               std::uint64_t count) = 0;
+};
+
+/// \name Description documents
+/// @{
+
+/// Serialize a validated description. Deterministic: equal descriptions
+/// (including functor parameters) produce byte-identical documents.
+[[nodiscard]] std::string desc_to_json(const model::ArchitectureDesc& desc);
+
+/// Load and validate a description document. \p streams binds
+/// stream-typed sources (null = reject them).
+[[nodiscard]] model::ArchitectureDesc desc_from_json(
+    const JsonValue& doc, StreamSourceFactory* streams = nullptr);
+[[nodiscard]] model::ArchitectureDesc desc_from_json(
+    std::string_view text, StreamSourceFactory* streams = nullptr);
+
+/// Whether the description's source \p s is stream-typed in \p doc (the
+/// session layer needs to know which sources it feeds).
+[[nodiscard]] bool source_is_stream(const JsonValue& doc, std::size_t s);
+/// @}
+
+/// \name Program documents
+/// @{
+
+/// Dump the compiled tables. Deterministic; guards/loads as counts.
+[[nodiscard]] std::string program_to_json(const tdg::Program& p);
+
+/// Load a program document back into tables (guards/loads become throwing
+/// stubs — see the file comment). Validates CSR shape.
+[[nodiscard]] tdg::Program program_from_json(const JsonValue& doc);
+[[nodiscard]] tdg::Program program_from_json(std::string_view text);
+/// @}
+
+}  // namespace maxev::serve

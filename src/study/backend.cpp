@@ -101,6 +101,7 @@ class EquivalentBackendModel final : public Model {
                          : s.options().pad_nodes;
     opts.observe = rc.observe;
     opts.expected_iterations = s.options().expected_iterations;
+    opts.compiled = rc.compiled;
     return opts;
   }
 
@@ -208,6 +209,7 @@ class BatchEquivalentBackendModel final : public Model {
       opts.isolated_instances = isolated_count;
     }
     opts.threads = rc.threads;
+    opts.compiled = rc.compiled;
     return opts;
   }
 

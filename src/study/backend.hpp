@@ -22,6 +22,10 @@
 /// the three divergent model classes behind one Model interface, so studies,
 /// examples and benches drive every execution style the same way.
 
+namespace maxev::core {
+class CompiledProvider;
+}  // namespace maxev::core
+
 namespace maxev::study {
 
 /// Outcome of a model run (same semantics across all backends).
@@ -107,6 +111,11 @@ struct RunConfig {
   /// Cooperative cancellation: polled once per dispatched event (and hence
   /// at every batch-drain barrier). Not owned; must outlive the models.
   const util::CancelToken* cancel = nullptr;
+  /// Source of compiled abstractions (core::CompiledProvider) consulted by
+  /// the equivalent backends — a serve::ProgramCache here makes repeated
+  /// instantiations of one structure share a single derive + compile.
+  /// Null = compile privately. Not owned; must outlive the models.
+  core::CompiledProvider* compiled = nullptr;
 };
 
 /// Value-semantic backend selector (a closed sum over the three execution

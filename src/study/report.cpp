@@ -63,8 +63,17 @@ std::string Report::to_string() const {
 
 namespace {
 
-const std::vector<std::string>& csv_header() {
-  static const std::vector<std::string> kHeader = {
+/// True when any cell carries cache counters; only then do the cache
+/// columns exist at all (cache-less reports stay byte-identical to the
+/// pre-cache format).
+bool has_cache_columns(const Report& r) {
+  for (const Cell& c : r.cells)
+    if (c.cache_hits >= 0 || c.cache_misses >= 0) return true;
+  return false;
+}
+
+std::vector<std::string> csv_header(bool with_cache) {
+  std::vector<std::string> header = {
       "scenario",       "backend",
       "reference",      "completed",
       "wall_seconds",   "kernel_events",
@@ -76,12 +85,17 @@ const std::vector<std::string>& csv_header() {
       "kernel_event_ratio_vs_ref", "exact",
       "max_abs_error_s", "mean_abs_error_s",
       "status",          "error"};
-  return kHeader;
+  if (with_cache) {
+    header.insert(header.end() - 2, "cache_hits");
+    header.insert(header.end() - 2, "cache_misses");
+  }
+  return header;
 }
 
-std::vector<std::string> csv_row(const Cell& c) {
+std::vector<std::string> csv_row(const Cell& c, bool with_cache) {
   const bool exact = c.errors.has_value() && c.errors->exact();
-  return {c.scenario,
+  std::vector<std::string> row = {
+          c.scenario,
           c.backend,
           c.is_reference ? "1" : "0",
           c.metrics.completed ? "1" : "0",
@@ -104,13 +118,22 @@ std::vector<std::string> csv_row(const Cell& c) {
                                : "",
           c.failed ? "failed" : "ok",
           c.error};
+  if (with_cache) {
+    // Empty cells for a run the cache never saw (e.g. a failed cell).
+    row.insert(row.end() - 2,
+               c.cache_hits >= 0 ? std::to_string(c.cache_hits) : "");
+    row.insert(row.end() - 2,
+               c.cache_misses >= 0 ? std::to_string(c.cache_misses) : "");
+  }
+  return row;
 }
 
 }  // namespace
 
 void Report::write_csv(const std::string& path) const {
-  CsvWriter csv(path, csv_header());
-  for (const Cell& c : cells) csv.row(csv_row(c));
+  const bool with_cache = has_cache_columns(*this);
+  CsvWriter csv(path, csv_header(with_cache));
+  for (const Cell& c : cells) csv.row(csv_row(c, with_cache));
 }
 
 namespace {
@@ -146,6 +169,8 @@ JsonWriter build_json(const Report& r) {
     w.field("speedup_vs_ref", c.speedup_vs_reference);
     w.field("event_ratio_vs_ref", c.event_ratio_vs_reference);
     w.field("kernel_event_ratio_vs_ref", c.kernel_event_ratio_vs_reference);
+    if (c.cache_hits >= 0) w.field("cache_hits", c.cache_hits);
+    if (c.cache_misses >= 0) w.field("cache_misses", c.cache_misses);
     if (c.errors.has_value()) {
       w.key("errors").begin_object();
       w.field("exact", c.errors->exact());

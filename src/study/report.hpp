@@ -66,6 +66,14 @@ struct Cell {
   /// for runs without trace comparison.
   std::optional<ErrorStats> errors;
 
+  /// Program-cache consultations attributed to this cell's instantiations
+  /// (StudyOptions::program_cache; serial-order replay, so the values are
+  /// identical at every thread count). -1 = the study ran without a cache;
+  /// the CSV/JSON writers then omit the columns, keeping cache-less
+  /// reports byte-identical to the pre-cache format.
+  std::int64_t cache_hits = -1;
+  std::int64_t cache_misses = -1;
+
   /// The rep-0 run's observation traces, retained when
   /// StudyOptions::keep_traces is set (null otherwise) — analyses like
   /// per-instance latency read them without re-simulating. Not serialized

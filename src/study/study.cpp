@@ -3,8 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <list>
+#include <optional>
+#include <unordered_map>
 #include <utility>
 
+#include "core/compiled.hpp"
+#include "serve/program_cache.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -28,10 +33,71 @@ double ratio(std::uint64_t ref, std::uint64_t cell) {
 struct MeasuredCell {
   Cell cell;
   std::unique_ptr<Model> model;  // rep-0 model, traces intact
+  /// Canonical program-cache keys this cell requested, in request order
+  /// (instantiations of all repetitions). Replayed serially afterwards to
+  /// attribute hits/misses deterministically at any thread count.
+  std::vector<core::CompiledKey> cache_keys;
+};
+
+/// Per-cell recording wrapper over the study's shared cache: forwards
+/// get() and remembers the canonical key sequence. One recorder per cell,
+/// touched only by the thread measuring that cell.
+class RecordingProvider final : public core::CompiledProvider {
+ public:
+  explicit RecordingProvider(core::CompiledProvider* inner) : inner_(inner) {}
+
+  core::CompiledPtr get(const core::CompiledKey& key,
+                        bool* was_hit) override {
+    keys_.push_back(
+        core::CompiledKey::make(key.desc, key.group, key.fold, key.pad_nodes));
+    return inner_->get(key, was_hit);
+  }
+
+  std::vector<core::CompiledKey> take_keys() { return std::move(keys_); }
+
+ private:
+  core::CompiledProvider* inner_;
+  std::vector<core::CompiledKey> keys_;
+};
+
+/// The LRU the serial replay simulates — same policy and default capacity
+/// as serve::ProgramCache, but keys only (nothing is compiled here).
+class ReplayLru {
+ public:
+  explicit ReplayLru(std::size_t capacity) : capacity_(capacity) {}
+
+  /// True = the serial pass would have hit.
+  bool touch(const core::CompiledKey& key) {
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return true;
+    }
+    lru_.push_front(key);
+    index_.emplace(key, lru_.begin());
+    while (index_.size() > capacity_) {
+      index_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    return false;
+  }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const core::CompiledKey& k) const {
+      return core::hash_value(k);
+    }
+  };
+  std::size_t capacity_;
+  std::list<core::CompiledKey> lru_;
+  std::unordered_map<core::CompiledKey, std::list<core::CompiledKey>::iterator,
+                     KeyHash>
+      index_;
 };
 
 MeasuredCell measure(const Scenario& scenario, const Backend& backend,
-                     const StudyOptions& opts) {
+                     const StudyOptions& opts,
+                     core::CompiledProvider* cache) {
   MeasuredCell out;
   out.cell.scenario = scenario.name();
   out.cell.backend = backend.name();
@@ -46,6 +112,11 @@ MeasuredCell measure(const Scenario& scenario, const Backend& backend,
   rc.max_events = opts.max_events;
   rc.deadline_ms = opts.deadline_ms;
   rc.cancel = opts.cancel;
+  std::optional<RecordingProvider> recorder;
+  if (cache != nullptr) {
+    recorder.emplace(cache);
+    rc.compiled = &*recorder;
+  }
 
   std::vector<double> walls;
   walls.reserve(static_cast<std::size_t>(opts.repetitions));
@@ -92,6 +163,7 @@ MeasuredCell measure(const Scenario& scenario, const Backend& backend,
     }
   }
   out.cell.metrics.wall_seconds = median_of(std::move(walls));
+  if (recorder) out.cache_keys = recorder->take_keys();
   return out;
 }
 
@@ -175,12 +247,20 @@ Report Study::run(const StudyOptions& opts) const {
       if (b != reference_) slots.push_back({s, b});
   }
 
+  // One program cache for the whole matrix (StudyOptions::program_cache):
+  // every cell and repetition requesting an already-compiled structure
+  // reuses it. get() is thread-safe and compiles under its lock, so the
+  // compiled artifacts are identical at any thread count.
+  std::optional<serve::ProgramCache> cache;
+  if (opts.program_cache) cache.emplace();
+
   std::vector<MeasuredCell> measured(slots.size());
   const auto measure_slot = [&](std::size_t i) {
     const Scenario& scenario = scenarios_[slots[i].scenario];
     const Backend& backend = backends_[slots[i].backend];
+    core::CompiledProvider* const provider = cache ? &*cache : nullptr;
     if (!opts.isolate_failures) {
-      measured[i] = measure(scenario, backend, opts);
+      measured[i] = measure(scenario, backend, opts, provider);
       return;
     }
     // Per-cell failure isolation: the cell's exception becomes a failed
@@ -188,7 +268,7 @@ Report Study::run(const StudyOptions& opts) const {
     // escapes a slot, the slot-keyed layout (and hence the report) stays
     // byte-identical at every thread count.
     try {
-      measured[i] = measure(scenario, backend, opts);
+      measured[i] = measure(scenario, backend, opts, provider);
     } catch (const SimulationError& e) {
       measured[i] = failed_cell(scenario, backend, e.what(), e.diagnostics());
     } catch (const std::exception& e) {
@@ -202,6 +282,24 @@ Report Study::run(const StudyOptions& opts) const {
     pool.parallel_for(slots.size(), measure_slot);
   } else {
     for (std::size_t i = 0; i < slots.size(); ++i) measure_slot(i);
+  }
+
+  // Attribute cache hits/misses by replaying each cell's recorded key
+  // sequence through a simulated LRU in slot order — exactly what the
+  // serial pass would have seen, so the counts (and hence the report) are
+  // byte-identical at every `threads` setting even though the concurrent
+  // pass may have compiled in a different interleaving.
+  if (cache) {
+    ReplayLru replay(serve::ProgramCache::kDefaultCapacity);
+    for (MeasuredCell& mc : measured) {
+      if (mc.cell.failed) continue;  // its key sequence was lost mid-throw
+      std::int64_t hits = 0;
+      std::int64_t misses = 0;
+      for (const core::CompiledKey& key : mc.cache_keys)
+        (replay.touch(key) ? hits : misses) += 1;
+      mc.cell.cache_hits = hits;
+      mc.cell.cache_misses = misses;
+    }
   }
 
   // Serial assembly in insertion order: comparisons and emission read the

@@ -22,6 +22,27 @@ BatchEngine::BatchEngine(const Graph& g, Options opts)
     throw DescriptionError("tdg::BatchEngine: empty batch");
 
   prog_ = Program::compile(g);
+  init_from_program();
+}
+
+BatchEngine::BatchEngine(const Graph& g, const Program& precompiled,
+                         Options opts)
+    : graph_(&g), opts_(std::move(opts)) {
+  if (!g.frozen())
+    throw DescriptionError("tdg::BatchEngine: graph must be frozen");
+  if (opts_.instances.empty())
+    throw DescriptionError("tdg::BatchEngine: empty batch");
+  if (precompiled.n_nodes != g.node_count())
+    throw Error(
+        "tdg::BatchEngine: precompiled program does not match the graph (" +
+        std::to_string(precompiled.n_nodes) + " vs " +
+        std::to_string(g.node_count()) + " nodes)");
+
+  prog_ = precompiled;
+  init_from_program();
+}
+
+void BatchEngine::init_from_program() {
   width_ = opts_.instances.size();
   words_ = (width_ + 63) / 64;
   n_nodes_ = prog_.n_nodes;

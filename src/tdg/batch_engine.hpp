@@ -81,6 +81,10 @@ class BatchEngine {
   /// resulting program is the one copy every instance lane evaluates.
   /// \pre g.frozen(); opts.instances is non-empty
   BatchEngine(const Graph& g, Options opts);
+  /// Reuse an already-compiled program for \p g (a cached
+  /// core::CompiledAbstraction): skips Program::compile(). \p precompiled
+  /// must have been compiled from exactly \p g; copied by value.
+  BatchEngine(const Graph& g, const Program& precompiled, Options opts);
 
   BatchEngine(const BatchEngine&) = delete;
   BatchEngine& operator=(const BatchEngine&) = delete;
@@ -199,6 +203,7 @@ class BatchEngine {
     return slot * width_ + inst;
   }
 
+  void init_from_program();
   void bind_sinks();
   Frame& ensure_frame(std::uint64_t k);
   void init_frame(Frame& f, std::uint64_t k);

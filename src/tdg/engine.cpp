@@ -18,6 +18,22 @@ Engine::Engine(const Graph& g, Options opts) : graph_(&g), opts_(opts) {
   if (!g.frozen()) throw DescriptionError("tdg::Engine: graph must be frozen");
 
   prog_ = Program::compile(g);
+  init_from_program();
+}
+
+Engine::Engine(const Graph& g, const Program& precompiled, Options opts)
+    : graph_(&g), opts_(opts) {
+  if (!g.frozen()) throw DescriptionError("tdg::Engine: graph must be frozen");
+  if (precompiled.n_nodes != g.node_count())
+    throw Error("tdg::Engine: precompiled program does not match the graph (" +
+                std::to_string(precompiled.n_nodes) + " vs " +
+                std::to_string(g.node_count()) + " nodes)");
+
+  prog_ = precompiled;
+  init_from_program();
+}
+
+void Engine::init_from_program() {
   n_nodes_ = prog_.n_nodes;
   n_sources_ = prog_.n_sources;
 

@@ -72,6 +72,11 @@ class Engine {
   /// \pre g.frozen()
   explicit Engine(const Graph& g) : Engine(g, Options{}) {}
   Engine(const Graph& g, Options opts);
+  /// Reuse an already-compiled program for \p g (a cached
+  /// core::CompiledAbstraction): skips Program::compile(). \p precompiled
+  /// must have been compiled from exactly \p g; it is copied by value so the
+  /// hot path keeps fixed-offset member access.
+  Engine(const Graph& g, const Program& precompiled, Options opts);
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -127,6 +132,7 @@ class Engine {
     std::size_t known_count = 0;
   };
 
+  void init_from_program();
   void compile();
 
   Frame& ensure_frame(std::uint64_t k);

@@ -1,7 +1,10 @@
 #include "util/json.hpp"
 
+#include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 
@@ -125,6 +128,12 @@ JsonWriter& JsonWriter::value(bool v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::null_value() {
+  comma();
+  out_ += "null";
+  return *this;
+}
+
 const std::string& JsonWriter::str() const {
   if (!first_.empty()) throw Error("JsonWriter: unclosed container");
   return out_;
@@ -135,6 +144,384 @@ void JsonWriter::write_file(const std::string& path) const {
   if (!f) throw Error("JsonWriter: cannot open '" + path + "'");
   f << str() << '\n';
   if (!f) throw Error("JsonWriter: write to '" + path + "' failed");
+}
+
+// ----------------------------------------------------------- JsonValue ----
+
+namespace {
+
+[[noreturn]] void kind_error(const char* want, JsonValue::Kind got) {
+  static const char* names[] = {"null", "bool", "number", "string", "array",
+                                "object"};
+  throw Error(std::string("JsonValue: expected ") + want + ", got " +
+              names[static_cast<int>(got)]);
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (!is_bool()) kind_error("bool", kind_);
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  if (!is_number()) kind_error("number", kind_);
+  return exact_int_ ? static_cast<double>(int_) : num_;
+}
+
+std::int64_t JsonValue::as_int64() const {
+  if (!is_int64()) kind_error("integer", kind_);
+  return int_;
+}
+
+std::uint64_t JsonValue::as_uint64() const {
+  const std::int64_t v = as_int64();
+  if (v < 0) throw Error("JsonValue: expected non-negative integer");
+  return static_cast<std::uint64_t>(v);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (!is_string()) kind_error("string", kind_);
+  return str_;
+}
+
+std::size_t JsonValue::size() const {
+  if (is_array()) return items_.size();
+  if (is_object()) return members_.size();
+  return 0;
+}
+
+const JsonValue& JsonValue::operator[](std::size_t i) const {
+  if (!is_array()) kind_error("array", kind_);
+  if (i >= items_.size())
+    throw Error("JsonValue: array index " + std::to_string(i) +
+                " out of range (size " + std::to_string(items_.size()) + ")");
+  return items_[i];
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (!is_array()) kind_error("array", kind_);
+  return items_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (!is_object()) kind_error("object", kind_);
+  const auto it = members_.find(key);
+  return it == members_.end() ? nullptr : &it->second;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* v = find(key);
+  if (!v) throw Error("JsonValue: missing key '" + key + "'");
+  return *v;
+}
+
+const std::map<std::string, JsonValue>& JsonValue::members() const {
+  if (!is_object()) kind_error("object", kind_);
+  return members_;
+}
+
+JsonValue JsonValue::null() { return {}; }
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = d;
+  return v;
+}
+
+JsonValue JsonValue::integer(std::int64_t i) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.exact_int_ = true;
+  v.int_ = i;
+  return v;
+}
+
+JsonValue JsonValue::string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::object(std::map<std::string, JsonValue> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.members_ = std::move(members);
+  return v;
+}
+
+// ----------------------------------------------------------- json_parse ----
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw Error("json_parse: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue::string(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("invalid literal");
+        return JsonValue::boolean(true);
+      case 'f':
+        if (!consume_literal("false")) fail("invalid literal");
+        return JsonValue::boolean(false);
+      case 'n':
+        if (!consume_literal("null")) fail("invalid literal");
+        return JsonValue::null();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    std::map<std::string, JsonValue> members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue::object(std::move(members));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      JsonValue v = parse_value();
+      if (!members.emplace(std::move(key), std::move(v)).second)
+        fail("duplicate object key");
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return JsonValue::object(std::move(members));
+      if (c != ',') { --pos_; fail("expected ',' or '}'"); }
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue::array(std::move(items));
+    }
+    for (;;) {
+      items.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return JsonValue::array(std::move(items));
+      if (c != ',') { --pos_; fail("expected ',' or ']'"); }
+    }
+  }
+
+  std::string parse_string() {
+    if (peek() != '"') fail("expected string");
+    ++pos_;
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("unescaped control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': out += parse_unicode_escape(); break;
+        default: fail("invalid escape character");
+      }
+    }
+  }
+
+  std::string parse_unicode_escape() {
+    // The writer only emits \u00xx for control characters; decode the BMP
+    // generally (UTF-8) and reject surrogates, which we never produce.
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      cp <<= 4;
+      if (c >= '0' && c <= '9') cp |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') cp |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') cp |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("invalid \\u escape digit");
+    }
+    if (cp >= 0xD800 && cp <= 0xDFFF) fail("surrogate \\u escape unsupported");
+    std::string out;
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      fail("invalid number");
+    bool integral = true;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        fail("invalid number: digit required after '.'");
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        fail("invalid number: digit required in exponent");
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+    }
+    const std::string lit(text_.substr(start, pos_ - start));
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(lit.c_str(), &end, 10);
+      if (errno == 0 && end == lit.c_str() + lit.size())
+        return JsonValue::integer(static_cast<std::int64_t>(v));
+      // Falls through for out-of-range integers: keep them as doubles.
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(lit.c_str(), &end);
+    if (end != lit.c_str() + lit.size()) fail("invalid number literal");
+    return JsonValue::number(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue json_parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+namespace {
+
+void dump_into(const JsonValue& v, JsonWriter& w) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull: w.null_value(); break;
+    case JsonValue::Kind::kBool: w.value(v.as_bool()); break;
+    case JsonValue::Kind::kNumber:
+      if (v.is_int64())
+        w.value(v.as_int64());
+      else
+        w.value(v.as_double());
+      break;
+    case JsonValue::Kind::kString: w.value(v.as_string()); break;
+    case JsonValue::Kind::kArray:
+      w.begin_array();
+      for (const JsonValue& item : v.items()) dump_into(item, w);
+      w.end_array();
+      break;
+    case JsonValue::Kind::kObject:
+      w.begin_object();
+      for (const auto& [key, member] : v.members()) {
+        w.key(key);
+        dump_into(member, w);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+}  // namespace
+
+std::string json_dump(const JsonValue& v) {
+  JsonWriter w;
+  dump_into(v, w);
+  return w.str();
 }
 
 std::string extract_json_flag(int& argc, char** argv) {

@@ -1,0 +1,561 @@
+/// \file test_serve.cpp
+/// The serve subsystem (docs/DESIGN.md §13): wire-format round-trips,
+/// the structural-hash program cache, streaming sessions with
+/// checkpoint/restore, and the line protocol. The load-bearing claims:
+/// a description survives serialization structurally intact, incremental
+/// feeding is bit-identical to a one-shot run, and a restored checkpoint
+/// continues exactly where the original left off.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/compiled.hpp"
+#include "core/equivalent_model.hpp"
+#include "gen/didactic.hpp"
+#include "gen/random_arch.hpp"
+#include "model/desc.hpp"
+#include "serve/program_cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/session.hpp"
+#include "serve/wire.hpp"
+#include "study/study.hpp"
+#include "trace/instants.hpp"
+#include "trace/usage.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace maxev;
+
+// ------------------------------------------------------------- helpers ----
+
+gen::DidacticConfig small_didactic() {
+  gen::DidacticConfig cfg;
+  cfg.tokens = 9;
+  // A spaced-out source: with the default period of 0 every token releases
+  // at the origin and the stream watermark (earliest[fed-1] - 1ps) stays
+  // negative until the source is fully fed — nothing would stream.
+  cfg.source_period = Duration::us(10);
+  return cfg;
+}
+
+/// The didactic scenario with its source turned into a stream: the wire
+/// document declares `{"type":"stream"}` and the caller feeds the tokens.
+std::string streamified_didactic(const gen::DidacticConfig& cfg) {
+  const JsonValue doc =
+      json_parse(serve::desc_to_json(gen::make_didactic(cfg)));
+  auto root = doc.members();
+  auto d = root.at("desc").members();
+  std::vector<JsonValue> sources;
+  for (const JsonValue& src : d.at("sources").items()) {
+    auto s = src.members();
+    s["earliest"] =
+        JsonValue::object({{"type", JsonValue::string("stream")}});
+    s.erase("attrs");
+    s.erase("gap");
+    sources.push_back(JsonValue::object(std::move(s)));
+  }
+  d["sources"] = JsonValue::array(std::move(sources));
+  root["desc"] = JsonValue::object(std::move(d));
+  return json_dump(JsonValue::object(std::move(root)));
+}
+
+/// The full token set of the didactic source, straight from the
+/// generator's behavioural functions.
+std::vector<serve::Session::FedToken> didactic_tokens(
+    const gen::DidacticConfig& cfg) {
+  const model::ArchitectureDesc desc = gen::make_didactic(cfg);
+  const model::SourceDesc& src = desc.sources().front();
+  std::vector<serve::Session::FedToken> tokens;
+  for (std::uint64_t k = 0; k < src.count; ++k)
+    tokens.push_back({src.earliest(k).count(), src.attrs(k)});
+  return tokens;
+}
+
+/// One-shot reference run of the same didactic configuration.
+struct OneShot {
+  std::unique_ptr<core::EquivalentModel> model;
+  explicit OneShot(const gen::DidacticConfig& cfg)
+      : model(std::make_unique<core::EquivalentModel>(gen::make_didactic(cfg),
+                                                      std::vector<bool>{})) {
+    const auto out = model->run();
+    EXPECT_TRUE(out.completed);
+  }
+};
+
+void expect_matches_one_shot(const serve::Session& session,
+                             const OneShot& ref) {
+  const auto instant_diff =
+      trace::compare_instants(ref.model->instants(), session.model().instants());
+  EXPECT_FALSE(instant_diff.has_value()) << *instant_diff;
+  const auto usage_diff =
+      trace::compare_usage(ref.model->usage(), session.model().usage());
+  EXPECT_FALSE(usage_diff.has_value()) << *usage_diff;
+  EXPECT_EQ(session.model().end_time().count(),
+            ref.model->end_time().count());
+}
+
+// ------------------------------------------------------ wire: descs ----
+
+TEST(WireDescTest, DidacticRoundTripIsStructurallyEqual) {
+  const model::ArchitectureDesc a = gen::make_didactic(small_didactic());
+  const model::ArchitectureDesc b =
+      serve::desc_from_json(serve::desc_to_json(a));
+  EXPECT_TRUE(model::structurally_equal(a, b));
+  EXPECT_EQ(model::structural_hash(a), model::structural_hash(b));
+}
+
+TEST(WireDescTest, DumpLoadDumpIsByteIdentical) {
+  const std::string doc1 =
+      serve::desc_to_json(gen::make_didactic(small_didactic()));
+  const std::string doc2 =
+      serve::desc_to_json(serve::desc_from_json(doc1));
+  EXPECT_EQ(doc1, doc2);
+}
+
+TEST(WireDescTest, RandomArchitecturesRoundTripAcrossSeeds) {
+  gen::RandomArchConfig cfg;
+  cfg.tokens = 4;
+  cfg.multi_rate_producer_probability = 0.4;  // multi-rate bundles too
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const model::ArchitectureDesc a =
+        gen::make_random_architecture(seed, cfg);
+    const std::string doc1 = serve::desc_to_json(a);
+    const model::ArchitectureDesc b = serve::desc_from_json(doc1);
+    EXPECT_TRUE(model::structurally_equal(a, b)) << "seed " << seed;
+    EXPECT_EQ(doc1, serve::desc_to_json(b)) << "seed " << seed;
+  }
+}
+
+TEST(WireDescTest, RejectsWrongVersionAndMissingMembers) {
+  EXPECT_THROW((void)serve::desc_from_json(R"({"desc":{}})"),
+               serve::WireError);
+  EXPECT_THROW(
+      (void)serve::desc_from_json(R"({"maxev_wire":99,"desc":{}})"),
+      serve::WireError);
+  EXPECT_THROW((void)serve::desc_from_json(R"({"maxev_wire":1})"),
+               serve::WireError);
+}
+
+TEST(WireDescTest, OpaqueLoadRoundTripsStructurallyButStubThrows) {
+  // A hand-written lambda load cannot be introspected: it serializes as
+  // {"type":"opaque"} and loads back as a stub that throws when called.
+  model::ArchitectureDesc d;
+  const auto r = d.add_resource("cpu", model::ResourcePolicy::kConcurrent,
+                                1e9);
+  const auto ch = d.add_rendezvous("in");
+  const auto out = d.add_rendezvous("out");
+  const auto f = d.add_function("f", r);
+  d.fn_read(f, ch);
+  d.fn_execute(f, [](const model::TokenAttrs& a, std::uint64_t) {
+    return a.size * 3;
+  });
+  d.fn_write(f, out);
+  d.add_source("src", ch, 2,
+               [](std::uint64_t k) {
+                 return TimePoint::at_ps(static_cast<std::int64_t>(k) * 10);
+               },
+               [](std::uint64_t) { return model::TokenAttrs{}; });
+  d.add_sink("sink", out);
+  d.validate();
+
+  const model::ArchitectureDesc back =
+      serve::desc_from_json(serve::desc_to_json(d));
+  EXPECT_TRUE(model::structurally_equal(d, back));
+  const model::LoadFn& load = back.functions()[0].body[1].load;
+  EXPECT_THROW((void)load(model::TokenAttrs{}, 0), serve::WireError);
+}
+
+TEST(WireDescTest, StreamSourceRequiresFactory) {
+  const std::string doc = streamified_didactic(small_didactic());
+  EXPECT_THROW((void)serve::desc_from_json(doc), serve::WireError);
+}
+
+// --------------------------------------------------- wire: programs ----
+
+TEST(WireProgramTest, DumpLoadDumpIsByteIdentical) {
+  const core::CompiledPtr compiled =
+      core::compile_abstraction(core::CompiledKey::make(
+          model::share(gen::make_didactic(small_didactic())), {}, true, 0));
+  const std::string doc1 = serve::program_to_json(compiled->program);
+  const tdg::Program back = serve::program_from_json(doc1);
+  EXPECT_EQ(doc1, serve::program_to_json(back));
+  EXPECT_EQ(back.n_nodes, compiled->program.n_nodes);
+}
+
+TEST(WireProgramTest, RejectsCorruptTables) {
+  const core::CompiledPtr compiled =
+      core::compile_abstraction(core::CompiledKey::make(
+          model::share(gen::make_didactic(small_didactic())), {}, true, 0));
+  const JsonValue doc =
+      json_parse(serve::program_to_json(compiled->program));
+  auto members = doc.members();
+  // Truncate a parallel table: the loader's shape validation must throw.
+  members["static_pending"] = JsonValue::array({JsonValue::integer(0)});
+  EXPECT_THROW(
+      (void)serve::program_from_json(json_dump(JsonValue::object(members))),
+      serve::WireError);
+}
+
+// ------------------------------------------------------ program cache ----
+
+TEST(ProgramCacheTest, CountsHitsAndMisses) {
+  serve::ProgramCache cache(4);
+  const model::DescPtr desc =
+      model::share(gen::make_didactic(small_didactic()));
+  const auto key = core::CompiledKey::make(desc, {}, true, 0);
+  bool hit = true;
+  const core::CompiledPtr first = cache.get(key, &hit);
+  EXPECT_FALSE(hit);
+  const core::CompiledPtr second = cache.get(key, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(first.get(), second.get());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.size, 1u);
+}
+
+TEST(ProgramCacheTest, CanonicalizesEmptyGroupToAllFunctions) {
+  serve::ProgramCache cache(4);
+  const model::DescPtr desc =
+      model::share(gen::make_didactic(small_didactic()));
+  (void)cache.get(core::CompiledKey::make(desc, {}, true, 0));
+  const std::vector<bool> all(desc->functions().size(), true);
+  bool hit = false;
+  (void)cache.get(core::CompiledKey::make(desc, all, true, 0), &hit);
+  EXPECT_TRUE(hit);  // the empty-group shorthand unifies with all-true
+  EXPECT_EQ(cache.stats().size, 1u);
+}
+
+TEST(ProgramCacheTest, EvictsLeastRecentlyUsed) {
+  serve::ProgramCache cache(2);
+  auto desc_of = [](std::uint64_t tokens) {
+    gen::DidacticConfig cfg;
+    cfg.tokens = tokens;
+    return model::share(gen::make_didactic(cfg));
+  };
+  const model::DescPtr a = desc_of(3), b = desc_of(4), c = desc_of(5);
+  const auto key = [](const model::DescPtr& d) {
+    return core::CompiledKey::make(d, {}, true, 0);
+  };
+  (void)cache.get(key(a));
+  (void)cache.get(key(b));
+  (void)cache.get(key(a));  // a is now most recently used
+  (void)cache.get(key(c));  // evicts b
+  EXPECT_TRUE(cache.contains(key(a)));
+  EXPECT_FALSE(cache.contains(key(b)));
+  EXPECT_TRUE(cache.contains(key(c)));
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.size, 2u);
+}
+
+// ------------------------------------------------------------ session ----
+
+TEST(SessionTest, PollBeforeAnyFeedIsBlocked) {
+  serve::Session session(streamified_didactic(small_didactic()));
+  const serve::Session::Delta d = session.poll();
+  EXPECT_TRUE(d.blocked);
+  EXPECT_FALSE(d.completed);
+  EXPECT_TRUE(d.instants.empty());
+}
+
+TEST(SessionTest, IncrementalFeedIsBitIdenticalToOneShot) {
+  const gen::DidacticConfig cfg = small_didactic();
+  const std::vector<serve::Session::FedToken> tokens = didactic_tokens(cfg);
+  ASSERT_EQ(tokens.size(), 9u);
+
+  serve::Session session(streamified_didactic(cfg));
+  ASSERT_TRUE(session.is_stream_source(0));
+  // Three feed/poll rounds of 3 tokens each, then a completing poll.
+  for (std::size_t round = 0; round < 3; ++round) {
+    session.feed(0, {tokens.begin() + 3 * round,
+                     tokens.begin() + 3 * (round + 1)});
+    const serve::Session::Delta d = session.poll();
+    EXPECT_FALSE(d.blocked);
+  }
+  const serve::Session::Delta final_delta = session.poll();
+  EXPECT_TRUE(final_delta.completed);
+  EXPECT_TRUE(session.completed());
+
+  expect_matches_one_shot(session, OneShot(cfg));
+}
+
+TEST(SessionTest, DeltasAreCursorsOverTheFullTraces) {
+  const gen::DidacticConfig cfg = small_didactic();
+  const std::vector<serve::Session::FedToken> tokens = didactic_tokens(cfg);
+  serve::Session session(streamified_didactic(cfg));
+
+  std::map<std::string, std::vector<std::int64_t>> accumulated;
+  for (std::size_t k = 0; k < tokens.size(); ++k) {
+    session.feed(0, {tokens[k]});
+    for (const auto& sd : session.poll().instants) {
+      auto& arr = accumulated[sd.series];
+      ASSERT_EQ(sd.start_k, arr.size()) << sd.series;
+      arr.insert(arr.end(), sd.instants_ps.begin(), sd.instants_ps.end());
+    }
+  }
+  for (const auto& sd : session.poll().instants) {
+    auto& arr = accumulated[sd.series];
+    ASSERT_EQ(sd.start_k, arr.size()) << sd.series;
+    arr.insert(arr.end(), sd.instants_ps.begin(), sd.instants_ps.end());
+  }
+
+  for (const auto& [name, series] : session.model().instants().all()) {
+    const auto it = accumulated.find(name);
+    ASSERT_NE(it, accumulated.end()) << name;
+    ASSERT_EQ(it->second.size(), series.size()) << name;
+    for (std::size_t k = 0; k < series.size(); ++k)
+      EXPECT_EQ(it->second[k], series.at(k).count()) << name << "[" << k << "]";
+  }
+}
+
+TEST(SessionTest, FeedValidatesProtocol) {
+  const gen::DidacticConfig cfg = small_didactic();
+  const std::vector<serve::Session::FedToken> tokens = didactic_tokens(cfg);
+  serve::Session session(streamified_didactic(cfg));
+
+  EXPECT_THROW(session.feed(7, {tokens[0]}), serve::SessionError);
+  session.feed(0, {tokens[0], tokens[1]});
+  // Regressing earliest instants violates source monotonicity.
+  EXPECT_THROW(session.feed(0, {{tokens[1].earliest_ps - 1, {}}}),
+               serve::SessionError);
+  // Overfeeding past the declared count.
+  std::vector<serve::Session::FedToken> rest(tokens.begin() + 2,
+                                             tokens.end());
+  rest.push_back({tokens.back().earliest_ps + 1, {}});
+  EXPECT_THROW(session.feed(0, rest), serve::SessionError);
+  EXPECT_EQ(session.fed(0), 2u);
+}
+
+TEST(SessionTest, CheckpointRestoreContinuesBitIdentical) {
+  const gen::DidacticConfig cfg = small_didactic();
+  const std::vector<serve::Session::FedToken> tokens = didactic_tokens(cfg);
+
+  serve::Session original(streamified_didactic(cfg));
+  original.feed(0, {tokens.begin(), tokens.begin() + 4});
+  (void)original.poll();
+
+  const std::string ckpt = original.checkpoint();
+  std::unique_ptr<serve::Session> restored = serve::Session::restore(ckpt);
+  EXPECT_EQ(restored->fed(0), 4u);
+
+  // Drive BOTH sessions through the same remaining rounds: every delta
+  // must be identical, and both must land exactly on the one-shot traces.
+  auto drive = [&](serve::Session& s) {
+    std::vector<serve::Session::Delta> deltas;
+    s.feed(0, {tokens.begin() + 4, tokens.begin() + 7});
+    deltas.push_back(s.poll());
+    s.feed(0, {tokens.begin() + 7, tokens.end()});
+    deltas.push_back(s.poll());
+    return deltas;
+  };
+  const auto da = drive(original);
+  const auto db = drive(*restored);
+  ASSERT_EQ(da.size(), db.size());
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    EXPECT_EQ(da[i].now_ps, db[i].now_ps);
+    ASSERT_EQ(da[i].instants.size(), db[i].instants.size());
+    for (std::size_t j = 0; j < da[i].instants.size(); ++j) {
+      EXPECT_EQ(da[i].instants[j].series, db[i].instants[j].series);
+      EXPECT_EQ(da[i].instants[j].start_k, db[i].instants[j].start_k);
+      EXPECT_EQ(da[i].instants[j].instants_ps, db[i].instants[j].instants_ps);
+    }
+  }
+  EXPECT_TRUE(original.completed());
+  EXPECT_TRUE(restored->completed());
+
+  const OneShot ref(cfg);
+  expect_matches_one_shot(original, ref);
+  expect_matches_one_shot(*restored, ref);
+}
+
+TEST(SessionTest, RestoreRejectsTamperedCheckpoint) {
+  const gen::DidacticConfig cfg = small_didactic();
+  const std::vector<serve::Session::FedToken> tokens = didactic_tokens(cfg);
+  serve::Session session(streamified_didactic(cfg));
+  session.feed(0, {tokens.begin(), tokens.begin() + 4});
+  (void)session.poll();
+
+  const JsonValue doc = json_parse(session.checkpoint());
+  auto members = doc.members();
+  members["now_ps"] = JsonValue::integer(members.at("now_ps").as_int64() + 1);
+  EXPECT_THROW(
+      (void)serve::Session::restore(json_dump(JsonValue::object(members))),
+      serve::SessionError);
+}
+
+TEST(SessionTest, CheckpointRefusesWhileGuardStopped) {
+  serve::Session::Options opts;
+  opts.guards.max_events = 1;  // trips immediately
+  const gen::DidacticConfig cfg = small_didactic();
+  serve::Session session(streamified_didactic(cfg), opts);
+  session.feed(0, didactic_tokens(cfg));
+  const serve::Session::Delta d = session.poll();
+  EXPECT_TRUE(sim::is_guard_stop(d.stop));
+  EXPECT_THROW((void)session.checkpoint(), serve::SessionError);
+}
+
+TEST(SessionTest, SessionsShareACompileCache) {
+  serve::ProgramCache cache(4);
+  serve::Session::Options opts;
+  opts.compiled = &cache;
+  const std::string scenario = streamified_didactic(small_didactic());
+  serve::Session a(scenario, opts);
+  serve::Session b(scenario, opts);
+  const auto stats = cache.stats();
+  // Two sessions parse the same text into distinct descriptions: pointer
+  // identity keeps them separate entries (the behavioural-sharing rule).
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.size, 2u);
+}
+
+// ----------------------------------------------------------- protocol ----
+
+TEST(ProtocolTest, ServesFeedPollCheckpointRestoreClose) {
+  serve::Server server;
+  const std::string scenario = streamified_didactic(small_didactic());
+  const std::vector<serve::Session::FedToken> tokens =
+      didactic_tokens(small_didactic());
+
+  auto request = [&](const std::string& line) {
+    return json_parse(server.handle(line));
+  };
+  auto feed_line = [&](std::size_t lo, std::size_t hi) {
+    JsonWriter w;
+    w.begin_object()
+        .field("cmd", "feed")
+        .field("session", "s")
+        .field("source", std::uint64_t{0});
+    w.key("tokens").begin_array();
+    for (std::size_t k = lo; k < hi; ++k) {
+      w.begin_object().field("earliest_ps", tokens[k].earliest_ps);
+      w.key("attrs").begin_object().field("size", tokens[k].attrs.size);
+      w.key("params").begin_array();
+      for (const double p : tokens[k].attrs.params) w.value(p);
+      w.end_array().end_object().end_object();
+    }
+    w.end_array().end_object();
+    return w.str();
+  };
+
+  JsonWriter submit;
+  submit.begin_object()
+      .field("cmd", "submit")
+      .field("session", "s")
+      .field("scenario_json", scenario)
+      .end_object();
+  const JsonValue sub = request(submit.str());
+  ASSERT_TRUE(sub.at("ok").as_bool()) << server.handle(submit.str());
+  ASSERT_EQ(sub.at("stream_sources").size(), 1u);
+
+  ASSERT_TRUE(request(feed_line(0, 5)).at("ok").as_bool());
+  ASSERT_TRUE(request(R"({"cmd":"poll","session":"s"})").at("ok").as_bool());
+
+  const JsonValue ckpt = request(R"({"cmd":"checkpoint","session":"s"})");
+  ASSERT_TRUE(ckpt.at("ok").as_bool());
+  ASSERT_TRUE(request(R"({"cmd":"close","session":"s"})").at("ok").as_bool());
+  EXPECT_EQ(server.session_count(), 0u);
+
+  JsonWriter restore;
+  restore.begin_object()
+      .field("cmd", "restore")
+      .field("session", "s")
+      .field("checkpoint", ckpt.at("checkpoint").as_string())
+      .end_object();
+  ASSERT_TRUE(request(restore.str()).at("ok").as_bool());
+
+  ASSERT_TRUE(request(feed_line(5, tokens.size())).at("ok").as_bool());
+  const JsonValue last = request(R"({"cmd":"poll","session":"s"})");
+  ASSERT_TRUE(last.at("ok").as_bool());
+  EXPECT_TRUE(last.at("completed").as_bool());
+
+  const JsonValue stats = request(R"({"cmd":"stats"})");
+  EXPECT_EQ(stats.at("sessions").as_uint64(), 1u);
+  EXPECT_GE(stats.at("cache").at("misses").as_uint64(), 1u);
+}
+
+TEST(ProtocolTest, ErrorsAreReportedInBandNeverThrown) {
+  serve::Server server;
+  EXPECT_FALSE(json_parse(server.handle("not json")).at("ok").as_bool());
+  EXPECT_FALSE(json_parse(server.handle(R"({"cmd":"frobnicate","session":"x"})"))
+                   .at("ok")
+                   .as_bool());
+  EXPECT_FALSE(json_parse(server.handle(R"({"cmd":"poll","session":"nope"})"))
+                   .at("ok")
+                   .as_bool());
+  EXPECT_EQ(server.session_count(), 0u);
+}
+
+// ------------------------------------------------- study integration ----
+
+TEST(StudyCacheTest, RepetitionsHitTheSharedCache) {
+  gen::DidacticConfig cfg;
+  cfg.tokens = 5;
+  study::Study st;
+  st.add(study::Scenario("didactic", gen::make_didactic(cfg)));
+  st.add(study::Backend::baseline());
+  st.add(study::Backend::equivalent());
+  study::StudyOptions opts;
+  opts.repetitions = 3;
+  const study::Report rep = st.run(opts);
+  const study::Cell& eq = rep.at("didactic", "equivalent");
+  // Rep 0 compiles, reps 1..2 reuse the artifact.
+  EXPECT_EQ(eq.cache_misses, 1);
+  EXPECT_EQ(eq.cache_hits, 2);
+  EXPECT_EQ(rep.at("didactic", "baseline").cache_hits, 0);
+}
+
+TEST(StudyCacheTest, SharedDescriptionsHitAcrossScenarios) {
+  gen::DidacticConfig cfg;
+  cfg.tokens = 5;
+  const model::DescPtr desc = model::share(gen::make_didactic(cfg));
+  study::Study st;
+  st.add(study::Scenario("a", desc));
+  st.add(study::Scenario("b", desc));  // same DescPtr: shareable
+  st.add(study::Backend::equivalent());
+  const study::Report rep = st.run();
+  EXPECT_EQ(rep.at("a", "equivalent").cache_misses, 1);
+  EXPECT_EQ(rep.at("b", "equivalent").cache_misses, 0);
+  EXPECT_EQ(rep.at("b", "equivalent").cache_hits, 1);
+}
+
+TEST(StudyCacheTest, CacheOffLeavesSentinels) {
+  gen::DidacticConfig cfg;
+  cfg.tokens = 5;
+  study::Study st;
+  st.add(study::Scenario("didactic", gen::make_didactic(cfg)));
+  st.add(study::Backend::equivalent());
+  study::StudyOptions opts;
+  opts.program_cache = false;
+  const study::Report rep = st.run(opts);
+  EXPECT_EQ(rep.at("didactic", "equivalent").cache_hits, -1);
+  EXPECT_EQ(rep.at("didactic", "equivalent").cache_misses, -1);
+}
+
+TEST(StudyCacheTest, ReportsAreIdenticalAtEveryThreadCount) {
+  gen::DidacticConfig cfg;
+  cfg.tokens = 5;
+  auto run_at = [&](int threads) {
+    study::Study st;
+    st.add(study::Scenario("didactic", gen::make_didactic(cfg)));
+    st.add(study::Backend::baseline());
+    st.add(study::Backend::equivalent());
+    study::StudyOptions opts;
+    opts.threads = threads;
+    study::Report rep = st.run(opts);
+    for (study::Cell& c : rep.cells) {
+      c.metrics.wall_seconds = 0.0;
+      c.speedup_vs_reference = c.is_reference ? 1.0 : 0.0;
+    }
+    return rep.to_json();
+  };
+  EXPECT_EQ(run_at(1), run_at(4));
+}
+
+}  // namespace
