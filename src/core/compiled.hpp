@@ -54,14 +54,28 @@ struct CompiledKey {
 /// combined with the group/fold/pad fields.
 [[nodiscard]] std::size_t hash_value(const CompiledKey& key);
 
-/// The artifact: frozen graph, compiled program, boundary metadata. Pins
-/// the description alive (tdg::Graph references it by raw pointer).
+/// The artifact: frozen graph, compiled program (including its opcode
+/// tables — Program::compile builds them, so cached artifacts carry the
+/// enum-dispatched form for free), boundary metadata. Pins the
+/// description alive (tdg::Graph references it by raw pointer).
 struct CompiledAbstraction {
   CompiledKey key;
   tdg::Graph graph;  ///< frozen
   tdg::Program program;
   std::vector<tdg::BoundaryInput> inputs;
   std::vector<tdg::BoundaryOutput> outputs;
+
+  /// Hoisted loads that resisted opcode compilation (hand-written
+  /// lambdas): the std::function calls left on this artifact's hot path.
+  /// 0 = the program dispatches entirely through tdg::ops tables.
+  [[nodiscard]] std::size_t opaque_loads() const {
+    return program.load_ops.opaque;
+  }
+  /// Opcode kind (tdg::ops::Kind) of hoisted load \p i — introspection
+  /// for stats/serialization; serve/wire uses the same classification.
+  [[nodiscard]] tdg::ops::Kind load_kind(std::size_t i) const {
+    return static_cast<tdg::ops::Kind>(program.load_ops.kind[i]);
+  }
 };
 
 using CompiledPtr = std::shared_ptr<const CompiledAbstraction>;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "model/load.hpp"
+#include "tdg/ops.hpp"
 
 namespace maxev::serve {
 
@@ -30,21 +31,38 @@ OpaqueStub<Ret> opaque_stub(const std::string& where) {
 // ------------------------------------------------------- spec writers ----
 
 void write_load_spec(JsonWriter& w, const model::LoadFn& f) {
+  // Classification is the opcode layer's (tdg::ops::classify_load): the
+  // wire format and the engines' dispatch share one introspection
+  // vocabulary, so "serializes concretely" and "runs without touching a
+  // std::function" are the same property.
   w.begin_object();
-  if (const auto* c = f.target<model::ConstantOpsFn>()) {
-    w.field("type", "constant").field("ops", c->ops);
-  } else if (const auto* l = f.target<model::LinearOpsFn>()) {
-    w.field("type", "linear").field("base", l->base).field("per_unit",
-                                                           l->per_unit);
-  } else if (const auto* p = f.target<model::ParamOpsFn>()) {
-    w.field("type", "param").field("base", p->base).field("scale", p->scale);
-    w.field("index", static_cast<std::uint64_t>(p->param_index));
-  } else if (const auto* cy = f.target<model::CyclicOpsFn>()) {
-    w.field("type", "cyclic").key("table").begin_array();
-    for (const std::int64_t v : cy->table) w.value(v);
-    w.end_array();
-  } else {
-    w.field("type", "opaque");
+  switch (tdg::ops::classify_load(f)) {
+    case tdg::ops::Kind::kRateConstant:
+      w.field("type", "constant")
+          .field("ops", f.target<model::ConstantOpsFn>()->ops);
+      break;
+    case tdg::ops::Kind::kLinearOps: {
+      const auto* l = f.target<model::LinearOpsFn>();
+      w.field("type", "linear").field("base", l->base).field("per_unit",
+                                                             l->per_unit);
+      break;
+    }
+    case tdg::ops::Kind::kParamOps: {
+      const auto* p = f.target<model::ParamOpsFn>();
+      w.field("type", "param").field("base", p->base).field("scale", p->scale);
+      w.field("index", static_cast<std::uint64_t>(p->param_index));
+      break;
+    }
+    case tdg::ops::Kind::kCyclicOps: {
+      w.field("type", "cyclic").key("table").begin_array();
+      for (const std::int64_t v : f.target<model::CyclicOpsFn>()->table)
+        w.value(v);
+      w.end_array();
+      break;
+    }
+    default:
+      w.field("type", "opaque");
+      break;
   }
   w.end_object();
 }
@@ -551,10 +569,16 @@ std::string program_to_json(const tdg::Program& p) {
   for (const std::string& s : p.op_label) w.value(s);
   w.end_array();
 
-  // Hoisted std::functions cannot cross the wire; record the counts so the
-  // loaded document validates against a recompiled program's shape.
+  // Hoisted guards cannot cross the wire (no named guard functors yet);
+  // record the count so the loaded document validates against a
+  // recompiled program's shape. Loads DO cross: factory-built functors
+  // serialize as concrete specs (the tdg::ops vocabulary), hand-written
+  // lambdas as opaque stubs — the loaded program recompiles its opcode
+  // tables and runs concrete loads for real.
   w.field("n_guards", static_cast<std::uint64_t>(p.guards.size()));
-  w.field("n_loads", static_cast<std::uint64_t>(p.loads.size()));
+  w.key("loads").begin_array();
+  for (const model::LoadFn& f : p.loads) write_load_spec(w, f);
+  w.end_array();
 
   w.key("attr_dsts_by_source").begin_array();
   for (const auto& dsts : p.attr_dsts_by_source) {
@@ -631,11 +655,15 @@ tdg::Program program_from_json(const JsonValue& doc) {
 
   const std::size_t n_guards = static_cast<std::size_t>(
       member(doc, "n_guards", "program").as_uint64());
-  const std::size_t n_loads =
-      static_cast<std::size_t>(member(doc, "n_loads", "program").as_uint64());
   p.guards.assign(n_guards, tdg::GuardFn(opaque_stub<bool>("program.guards")));
-  p.loads.assign(n_loads,
-                 model::LoadFn(opaque_stub<std::int64_t>("program.loads")));
+  {
+    const JsonValue& loads = member(doc, "loads", "program");
+    if (!loads.is_array()) wire_fail(where("loads"), "expected an array");
+    p.loads.reserve(loads.size());
+    for (std::size_t i = 0; i < loads.size(); ++i)
+      p.loads.push_back(read_load_spec(loads[i], where("loads")));
+  }
+  const std::size_t n_loads = p.loads.size();
 
   {
     const JsonValue& by_src = member(doc, "attr_dsts_by_source", "program");
@@ -696,6 +724,11 @@ tdg::Program program_from_json(const JsonValue& doc) {
       wire_fail(where("in_prog_off"), "op span out of range");
   }
 
+  // Rebuild the opcode layer from the deserialized loads: concrete specs
+  // dispatch through tdg::ops tables exactly as a locally compiled
+  // program would; opaque stubs classify as kOpaqueClosure and keep their
+  // evaluate-time WireError.
+  p.compile_ops();
   return p;
 }
 

@@ -31,11 +31,18 @@
 ///    be concrete — the stub names the source entity when hit.
 ///  * `{"maxev_program": 1, ...}` — the flat tables of a compiled
 ///    tdg::Program (docs/DESIGN.md §7). Max-plus scalars serialize as
-///    their picosecond count, ε as null. Hoisted guard/load functions
-///    cannot cross the wire; they serialize as counts and load back as
-///    throwing stubs, so a dumped program documents/validates the compiled
-///    shape rather than transplanting behaviour (behaviour travels via the
-///    desc document plus recompilation — see the cache-keying rules).
+///    their picosecond count, ε as null. Hoisted load functions serialize
+///    as the same tagged specs the desc document uses — classification is
+///    shared with the opcode layer (tdg::ops::classify_load), so every
+///    load the engines dispatch through opcode tables also crosses the
+///    wire concretely and the loaded program re-runs it for real
+///    (program_from_json rebuilds the opcode tables). Only hand-written
+///    lambdas fall back to `{"type": "opaque"}` throwing stubs, and guard
+///    functions still serialize as a count (no named guard functors
+///    exist), so those parts of a dumped program document/validate the
+///    compiled shape rather than transplanting behaviour (behaviour
+///    travels via the desc document plus recompilation — see the
+///    cache-keying rules).
 ///
 /// All loaders validate shape and referential integrity (CSR monotonicity,
 /// id ranges) and throw serve::WireError with the offending member named.
@@ -146,11 +153,14 @@ class StreamSourceFactory {
 /// \name Program documents
 /// @{
 
-/// Dump the compiled tables. Deterministic; guards/loads as counts.
+/// Dump the compiled tables. Deterministic; guards as a count, loads as
+/// concrete specs where tdg::ops::classify_load can name them.
 [[nodiscard]] std::string program_to_json(const tdg::Program& p);
 
-/// Load a program document back into tables (guards/loads become throwing
-/// stubs — see the file comment). Validates CSR shape.
+/// Load a program document back into tables (guards and opaque loads
+/// become throwing stubs — see the file comment; concrete load specs
+/// reconstruct, and the opcode tables are recompiled). Validates CSR
+/// shape.
 [[nodiscard]] tdg::Program program_from_json(const JsonValue& doc);
 [[nodiscard]] tdg::Program program_from_json(std::string_view text);
 /// @}

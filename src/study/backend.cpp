@@ -102,6 +102,7 @@ class EquivalentBackendModel final : public Model {
     opts.observe = rc.observe;
     opts.expected_iterations = s.options().expected_iterations;
     opts.compiled = rc.compiled;
+    opts.opcode_dispatch = rc.opcode_dispatch;
     return opts;
   }
 
@@ -210,6 +211,8 @@ class BatchEquivalentBackendModel final : public Model {
     }
     opts.threads = rc.threads;
     opts.compiled = rc.compiled;
+    opts.opcode_dispatch = rc.opcode_dispatch;
+    opts.vector_drain = rc.vector_drain;
     return opts;
   }
 

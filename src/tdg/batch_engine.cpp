@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "tdg/lanes.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
 
@@ -74,7 +75,8 @@ void BatchEngine::init_from_program() {
   callbacks_.resize(n_nodes_ * width_);
   next_flush_.assign(n_nodes_ * width_, 0);
   retain_floor_.assign(width_, 0);
-  acc_.resize(width_);
+  acc_ps_.resize(width_);
+  acc_eps_.resize(width_);
   mask_scratch_.resize(words_);
   worklist_.reserve(n_nodes_ + 16);
 
@@ -128,8 +130,9 @@ void BatchEngine::bind_sinks() {
 }
 
 void BatchEngine::init_frame(Frame& f, std::uint64_t k) {
-  // value is deliberately not cleared (see Engine::init_frame): values are
-  // only read behind known[] checks, so stale lanes are unreachable.
+  // value_ps/value_eps are deliberately not cleared (see
+  // Engine::init_frame): values are only read behind known[] checks, so
+  // stale lanes are unreachable.
   std::fill(f.known.begin(), f.known.end(), std::uint8_t{0});
   std::fill(f.attr_known.begin(), f.attr_known.end(), std::uint8_t{0});
   std::fill(f.ready.begin(), f.ready.end(), std::uint64_t{0});
@@ -169,7 +172,8 @@ BatchEngine::Frame& BatchEngine::ensure_frame(std::uint64_t k) {
   while (k >= base_k_ + frames_.size()) {
     if (frame_pool_.empty()) {
       Frame f;
-      f.value.resize(n_nodes_ * width_);
+      f.value_ps.resize(n_nodes_ * width_);
+      f.value_eps.resize(n_nodes_ * width_);
       f.known.resize(n_nodes_ * width_);
       f.pending.resize(n_nodes_ * width_);
       f.ready.resize(n_nodes_ * words_);
@@ -245,7 +249,7 @@ void BatchEngine::decrement(Frame& f, NodeId n, std::uint64_t k,
 void BatchEngine::mark_known(Frame& f, NodeId n, std::uint64_t k,
                              std::size_t inst, mp::Scalar v) {
   const std::size_t l = lane(static_cast<std::size_t>(n), inst);
-  f.value[l] = v;
+  set_frame_value(f, l, v);
   f.known[l] = 1;
   ++f.known_count;
   const std::uint8_t flags = node_flags_[l];
@@ -271,7 +275,8 @@ void BatchEngine::flush_instants(NodeId n, std::size_t inst) {
     if (f == nullptr ||
         !f->known[lane(static_cast<std::size_t>(n), inst)])
       break;
-    const mp::Scalar v = f->value[lane(static_cast<std::size_t>(n), inst)];
+    const mp::Scalar v =
+        frame_value(*f, lane(static_cast<std::size_t>(n), inst));
     if (v.is_finite()) series.push(v.to_time());
     ++next_flush_[l];
   }
@@ -362,12 +367,14 @@ mp::Scalar BatchEngine::compute_one(Frame& f, NodeId n, std::uint64_t k,
     const std::uint32_t lag = prog_.in_lag[a];
     mp::Scalar cursor;
     if (lag == 0) {  // same-frame source: skip the frame lookup
-      cursor = f.value[lane(static_cast<std::size_t>(prog_.in_src[a]), inst)];
+      cursor =
+          frame_value(f, lane(static_cast<std::size_t>(prog_.in_src[a]), inst));
     } else if (lag > k) {
       cursor = mp::Scalar::e();  // simulation origin
     } else {
-      cursor = frame_at(k - lag)
-                   ->value[lane(static_cast<std::size_t>(prog_.in_src[a]), inst)];
+      cursor = frame_value(
+          *frame_at(k - lag),
+          lane(static_cast<std::size_t>(prog_.in_src[a]), inst));
     }
     ++arc_terms_;
     if (cursor.is_eps()) continue;  // guarded-off upstream
@@ -384,12 +391,22 @@ mp::Scalar BatchEngine::compute_one(Frame& f, NodeId n, std::uint64_t k,
           cursor = cursor * prog_.op_fixed[j];
           continue;
         }
-        const std::int64_t ops =
-            prog_.loads[static_cast<std::size_t>(prog_.op_load[j])](attrs, k);
-        const std::int64_t d_ps =
-            ops <= 0 ? 0
-                     : static_cast<std::int64_t>(std::llround(
-                           static_cast<double>(ops) / prog_.op_rate[j] * 1e12));
+        const auto li = static_cast<std::size_t>(prog_.op_load[j]);
+        std::int64_t ops;
+        std::int64_t d_ps;
+        if (opts_.opcode_dispatch && prog_.op_const_dps[j] >= 0) {
+          // RateConstant: ops count and duration folded at compile time.
+          ops = prog_.load_ops.a[li];
+          d_ps = prog_.op_const_dps[j];
+        } else {
+          ops = opts_.opcode_dispatch
+                    ? ops::eval_load(prog_.load_ops, li, attrs, k, prog_.loads)
+                    : prog_.loads[li](attrs, k);
+          d_ps = ops <= 0 ? 0
+                          : static_cast<std::int64_t>(std::llround(
+                                static_cast<double>(ops) / prog_.op_rate[j] *
+                                1e12));
+        }
         const mp::Scalar end_pos =
             cursor * mp::Scalar::from_duration(Duration::ps(d_ps));
         trace::UsageTrace* sink = op_trace_[j * width_ + inst];
@@ -434,76 +451,82 @@ void BatchEngine::compute_front(NodeId n, std::uint64_t k) {
     // The batched fast path: every instance of this node is ready and the
     // node's in-arcs are guard-free pure delays, so the (max,+) recurrence
     // is the same arithmetic in every lane — stream each shared arc slot
-    // once and sweep its weight across the contiguous lane, accumulating
-    // directly into the node's value row.
-    mp::Scalar* out = &f.value[lane(nn, 0)];
-    for (std::size_t i = 0; i < width_; ++i) out[i] = mp::Scalar::eps();
+    // once and sweep its weight across the contiguous lane.
     const std::int32_t a0 = prog_.in_arc_offsets[nn];
     const std::int32_t a1 = prog_.in_arc_offsets[nn + 1];
-    for (std::int32_t s = a0; s < a1; ++s) {
-      const auto a = static_cast<std::size_t>(s);
-      const std::uint32_t lag = prog_.in_lag[a];
-      const mp::Scalar wgt = prog_.in_fixed[a];
-      if (lag > k) {
-        const mp::Scalar v = mp::Scalar::e() * wgt;  // simulation origin
-        for (std::size_t i = 0; i < width_; ++i) out[i] = out[i] + v;
-      } else {
-        const Frame& sf = lag == 0 ? f : *frame_at(k - lag);
-        const mp::Scalar* row =
-            &sf.value[lane(static_cast<std::size_t>(prog_.in_src[a]), 0)];
-        for (std::size_t i = 0; i < width_; ++i)
-          out[i] = out[i] + row[i] * wgt;
-      }
-      arc_terms_ += width_;
-    }
-    computed_ += width_;
-    // Bulk known-marking: one memset + one counter bump for the whole
-    // lane; per-lane observer work only where some lane has an observer.
-    std::memset(&f.known[lane(nn, 0)], 1, width_);
-    f.known_count += width_;
-    if (node_observed_[nn]) {
-      for (std::size_t i = 0; i < width_; ++i) {
-        const std::size_t l = lane(nn, i);
-        const std::uint8_t flags = node_flags_[l];
-        if (flags == 0) continue;
-        if (flags & kRecords) flush_instants(n, i);
-        if (flags & kHasCallback) emit_callback(l, k, f.value[l]);
-      }
-    }
-    // Batched dependent resolution: stream each out-arc slot once; one
-    // front-emptiness check per destination row instead of per lane.
-    const std::int32_t o0 = prog_.out_arc_offsets[nn];
-    const std::int32_t o1 = prog_.out_arc_offsets[nn + 1];
-    for (std::int32_t s = o0; s < o1; ++s) {
-      const auto a = static_cast<std::size_t>(s);
-      const std::uint32_t lag = prog_.out_lag[a];
-      const std::uint64_t kk = k + lag;
-      Frame* tf = lag == 0 ? &f : frame_at(kk);
-      if (tf == nullptr) continue;  // future frame: init will count us known
-      const auto dst = static_cast<std::size_t>(prog_.out_dst[a]);
-      std::uint64_t* block = &tf->ready[dst * words_];
-      bool nonempty = false;
-      for (std::size_t w = 0; w < words_ && !nonempty; ++w)
-        nonempty = block[w] != 0;
-      std::int32_t* pend = &tf->pending[dst * width_];
-      const std::uint8_t* kn = &tf->known[dst * width_];
-      bool any_ready = false;
-      for (std::size_t i = 0; i < width_; ++i) {
-        if (kn[i]) continue;
-        if (--pend[i] == 0) {
-          block[i / 64] |= std::uint64_t{1} << (i % 64);
-          any_ready = true;
+    if (opts_.vector_drain) {
+      // Vector drain (docs/DESIGN.md §14): branch-free SoA lane kernels
+      // accumulate into the width_-sized scratch, published to the frame
+      // only when no lane's ⊗ overflowed. On a detected overflow the
+      // scratch is discarded and the front falls through to the scalar
+      // loop below, which throws the solo engine's OverflowError with
+      // nothing partially published.
+      std::int64_t* acc_ps = acc_ps_.data();
+      std::uint8_t* acc_eps = acc_eps_.data();
+      lanes::fill_eps(acc_ps, acc_eps, width_);
+      bool ovf = false;
+      for (std::int32_t s = a0; s < a1; ++s) {
+        const auto a = static_cast<std::size_t>(s);
+        const std::uint32_t lag = prog_.in_lag[a];
+        const mp::Scalar wgt = prog_.in_fixed[a];
+        if (lag > k) {
+          // Simulation origin: e ⊗ wgt = wgt, finite by construction.
+          lanes::accumulate_broadcast(acc_ps, acc_eps, wgt.value(), width_);
+        } else {
+          const Frame& sf = lag == 0 ? f : *frame_at(k - lag);
+          const std::size_t src =
+              lane(static_cast<std::size_t>(prog_.in_src[a]), 0);
+          ovf |= lanes::accumulate(acc_ps, acc_eps, &sf.value_ps[src],
+                                   &sf.value_eps[src], wgt.value(), width_);
         }
       }
-      if (any_ready && !nonempty)
-        worklist_.push_back({prog_.out_dst[a], kk});
+      if (!ovf) {
+        MAXEV_FAULT_POINT("engine.vector_flush");
+        arc_terms_ += static_cast<std::uint64_t>(a1 - a0) * width_;
+        computed_ += width_;
+        std::memcpy(&f.value_ps[lane(nn, 0)], acc_ps,
+                    width_ * sizeof(std::int64_t));
+        std::memcpy(&f.value_eps[lane(nn, 0)], acc_eps, width_);
+        finish_uniform_front(f, n, k);
+        return;
+      }
+      // fall through: mask_scratch_ still holds the full front.
+    } else {
+      // Reference lane loop (the pre-opcode drain, kept selectable as the
+      // ablation baseline): per-element mp::Scalar arithmetic accumulated
+      // directly into the node's value row.
+      const std::size_t base = lane(nn, 0);
+      for (std::size_t i = 0; i < width_; ++i)
+        set_frame_value(f, base + i, mp::Scalar::eps());
+      for (std::int32_t s = a0; s < a1; ++s) {
+        const auto a = static_cast<std::size_t>(s);
+        const std::uint32_t lag = prog_.in_lag[a];
+        const mp::Scalar wgt = prog_.in_fixed[a];
+        if (lag > k) {
+          const mp::Scalar v = mp::Scalar::e() * wgt;  // simulation origin
+          for (std::size_t i = 0; i < width_; ++i)
+            set_frame_value(f, base + i, frame_value(f, base + i) + v);
+        } else {
+          const Frame& sf = lag == 0 ? f : *frame_at(k - lag);
+          const std::size_t src =
+              lane(static_cast<std::size_t>(prog_.in_src[a]), 0);
+          for (std::size_t i = 0; i < width_; ++i)
+            set_frame_value(f, base + i,
+                            frame_value(f, base + i) +
+                                frame_value(sf, src + i) * wgt);
+        }
+        arc_terms_ += width_;
+      }
+      computed_ += width_;
+      finish_uniform_front(f, n, k);
+      return;
     }
-    return;
   }
 
-  // Partial front, or a node with guards / execute segments: evaluate each
-  // ready instance the scalar way (still one worklist pop for the whole
-  // front, with the arc tables hot across instances).
+  // Partial front, or a node with guards / execute segments (or a vector
+  // drain that detected overflow): evaluate each ready instance the scalar
+  // way (still one worklist pop for the whole front, with the arc tables
+  // hot across instances).
   for (std::size_t w = 0; w < words_; ++w) {
     std::uint64_t bits = mask_scratch_[w];
     while (bits != 0) {
@@ -516,6 +539,50 @@ void BatchEngine::compute_front(NodeId n, std::uint64_t k) {
       mark_known(f, n, k, i, v);
       resolve_dependents(f, n, k, i);
     }
+  }
+}
+
+void BatchEngine::finish_uniform_front(Frame& f, NodeId n, std::uint64_t k) {
+  const std::size_t nn = static_cast<std::size_t>(n);
+  // Bulk known-marking: one memset + one counter bump for the whole lane;
+  // per-lane observer work only where some lane has an observer.
+  std::memset(&f.known[lane(nn, 0)], 1, width_);
+  f.known_count += width_;
+  if (node_observed_[nn]) {
+    for (std::size_t i = 0; i < width_; ++i) {
+      const std::size_t l = lane(nn, i);
+      const std::uint8_t flags = node_flags_[l];
+      if (flags == 0) continue;
+      if (flags & kRecords) flush_instants(n, i);
+      if (flags & kHasCallback) emit_callback(l, k, frame_value(f, l));
+    }
+  }
+  // Batched dependent resolution: stream each out-arc slot once; one
+  // front-emptiness check per destination row instead of per lane.
+  const std::int32_t o0 = prog_.out_arc_offsets[nn];
+  const std::int32_t o1 = prog_.out_arc_offsets[nn + 1];
+  for (std::int32_t s = o0; s < o1; ++s) {
+    const auto a = static_cast<std::size_t>(s);
+    const std::uint32_t lag = prog_.out_lag[a];
+    const std::uint64_t kk = k + lag;
+    Frame* tf = lag == 0 ? &f : frame_at(kk);
+    if (tf == nullptr) continue;  // future frame: init will count us known
+    const auto dst = static_cast<std::size_t>(prog_.out_dst[a]);
+    std::uint64_t* block = &tf->ready[dst * words_];
+    bool nonempty = false;
+    for (std::size_t w = 0; w < words_ && !nonempty; ++w)
+      nonempty = block[w] != 0;
+    std::int32_t* pend = &tf->pending[dst * width_];
+    const std::uint8_t* kn = &tf->known[dst * width_];
+    bool any_ready = false;
+    for (std::size_t i = 0; i < width_; ++i) {
+      if (kn[i]) continue;
+      if (--pend[i] == 0) {
+        block[i / 64] |= std::uint64_t{1} << (i % 64);
+        any_ready = true;
+      }
+    }
+    if (any_ready && !nonempty) worklist_.push_back({prog_.out_dst[a], kk});
   }
 }
 
@@ -543,9 +610,10 @@ std::optional<TimePoint> BatchEngine::resolve_now(std::size_t inst, NodeId n,
   Frame* f = frame_at(k);
   if (f == nullptr) return std::nullopt;
   const std::size_t l = lane(static_cast<std::size_t>(n), inst);
-  if (f->known[l])
-    return f->value[l].is_finite() ? std::optional(f->value[l].to_time())
-                                   : std::nullopt;
+  if (f->known[l]) {
+    const mp::Scalar v = frame_value(*f, l);
+    return v.is_finite() ? std::optional(v.to_time()) : std::nullopt;
+  }
   if (f->pending[l] != 0) return std::nullopt;  // still blocked
   // pending hit zero, so mark_ready() has set this lane's front bit; take
   // the lane out of the front (its node may stay on the worklist — an
@@ -567,8 +635,8 @@ std::optional<TimePoint> BatchEngine::value(std::size_t inst, NodeId n,
   const Frame* f = frame_at(k);
   if (f == nullptr) return std::nullopt;
   const std::size_t l = lane(static_cast<std::size_t>(n), inst);
-  if (!f->known[l] || !f->value[l].is_finite()) return std::nullopt;
-  return f->value[l].to_time();
+  if (!f->known[l] || f->value_eps[l] != 0) return std::nullopt;
+  return TimePoint::at_ps(f->value_ps[l]);
 }
 
 std::optional<model::TokenAttrs> BatchEngine::attrs_of(std::size_t inst,

@@ -296,14 +296,25 @@ void Engine::compute(NodeId n, std::uint64_t k) {
           cursor = cursor * prog_.op_fixed[j];
           continue;
         }
-        const std::int64_t ops =
-            prog_.loads[static_cast<std::size_t>(prog_.op_load[j])](attrs, k);
-        // ResourceDesc::duration_for(ops), inlined with the pre-resolved
-        // rate constant (identical arithmetic, hence identical instants).
-        const std::int64_t d_ps =
-            ops <= 0 ? 0
-                     : static_cast<std::int64_t>(std::llround(
-                           static_cast<double>(ops) / prog_.op_rate[j] * 1e12));
+        const auto li = static_cast<std::size_t>(prog_.op_load[j]);
+        std::int64_t ops;
+        std::int64_t d_ps;
+        if (opts_.opcode_dispatch && prog_.op_const_dps[j] >= 0) {
+          // RateConstant: both the ops count and the whole duration were
+          // folded at compile time (Program::compile_ops).
+          ops = prog_.load_ops.a[li];
+          d_ps = prog_.op_const_dps[j];
+        } else {
+          ops = opts_.opcode_dispatch
+                    ? ops::eval_load(prog_.load_ops, li, attrs, k, prog_.loads)
+                    : prog_.loads[li](attrs, k);
+          // ResourceDesc::duration_for(ops), inlined with the pre-resolved
+          // rate constant (identical arithmetic, hence identical instants).
+          d_ps = ops <= 0 ? 0
+                          : static_cast<std::int64_t>(std::llround(
+                                static_cast<double>(ops) / prog_.op_rate[j] *
+                                1e12));
+        }
         const mp::Scalar end_pos =
             cursor * mp::Scalar::from_duration(Duration::ps(d_ps));
         if (op_trace_[j] != nullptr) {

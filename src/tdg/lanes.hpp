@@ -1,0 +1,176 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define MAXEV_LANES_X86 1
+#include <immintrin.h>
+#endif
+
+/// \file lanes.hpp
+/// Branch-free (max,+) lane kernels for the BatchEngine vector drain
+/// (docs/DESIGN.md §14). A node's per-instance values form a contiguous
+/// lane in struct-of-arrays form: `*_ps` carries the finite picosecond
+/// payload, `*_eps` a one-byte ε flag. The kernels sweep one arc weight
+/// across the whole lane with conditional-select max-plus accumulation —
+/// `max` + `add`, the two friendliest SIMD ops there are.
+///
+/// Bit-identity contract: per lane element the kernels compute exactly
+/// `acc ⊕ (src ⊗ w)` as mp::Scalar would — max with ε as identity, add
+/// with ε absorbing. The one deliberate difference is overflow handling:
+/// mp::Scalar::operator* throws from the inner loop; here ⊗ wraps in
+/// defined unsigned arithmetic, the would-be overflow is *detected* from
+/// the operand/result sign pattern and reported to the caller, who
+/// discards the lane scratch and re-runs the front through the scalar
+/// path so the thrown OverflowError (and its message) is the solo
+/// engine's, with nothing partially published.
+///
+/// The portable loops below are branch-free scalar code (all selects are
+/// ternaries over plain integers; pragma-assisted where the
+/// autovectorizer can act). The hot accumulate kernel additionally
+/// carries an explicit AVX2 body compiled behind a `target("avx2")`
+/// function attribute, so even a baseline-ISA build holds it: a one-time
+/// `__builtin_cpu_supports("avx2")` probe routes to it at runtime on
+/// capable hosts. The `-DMAXEV_SIMD=ON` CMake option selects that body
+/// statically (whole build compiled `-mavx2`, no runtime probe) — same
+/// results lane for lane either way, exercised by its own CI leg.
+
+namespace maxev::tdg::lanes {
+
+#if defined(__clang__)
+#define MAXEV_LANE_VEC _Pragma("clang loop vectorize(enable) interleave(enable)")
+#elif defined(__GNUC__)
+#define MAXEV_LANE_VEC _Pragma("GCC ivdep")
+#else
+#define MAXEV_LANE_VEC
+#endif
+
+/// acc[i] = ε for every lane element.
+inline void fill_eps(std::int64_t* acc_ps, std::uint8_t* acc_eps,
+                     std::size_t n) {
+  std::memset(acc_ps, 0, n * sizeof(std::int64_t));
+  std::memset(acc_eps, 1, n);
+}
+
+namespace detail {
+
+/// Portable lane body for accumulate() over [lo, hi). Returns the OR of
+/// the overflow sign patterns — negative iff some finite lane's ⊗
+/// overflowed.
+inline std::int64_t accumulate_range(std::int64_t* acc_ps,
+                                     std::uint8_t* acc_eps,
+                                     const std::int64_t* src_ps,
+                                     const std::uint8_t* src_eps,
+                                     std::int64_t w, std::size_t lo,
+                                     std::size_t hi) {
+  std::int64_t ovf = 0;
+  MAXEV_LANE_VEC
+  for (std::size_t i = lo; i < hi; ++i) {
+    const std::int64_t s = src_ps[i];
+    // ⊗ in defined unsigned arithmetic; overflow detected, not relied on.
+    const std::int64_t t = static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(s) + static_cast<std::uint64_t>(w));
+    const unsigned se = src_eps[i];
+    ovf |= se != 0 ? std::int64_t{0} : ((s ^ t) & (w ^ t));
+    const unsigned ae = acc_eps[i];
+    // ⊕: take t when the source is finite and it beats (or replaces an ε)
+    // accumulator; ties keep the equal value either way.
+    const bool take =
+        ((1u - se) & (ae | static_cast<unsigned>(t > acc_ps[i]))) != 0;
+    acc_ps[i] = take ? t : acc_ps[i];
+    acc_eps[i] = static_cast<std::uint8_t>(ae & se);
+  }
+  return ovf;
+}
+
+#if defined(MAXEV_LANES_X86)
+
+/// Explicit AVX2 accumulate body. The target attribute lets a
+/// baseline-ISA translation unit compile (and runtime-dispatch to) it;
+/// under -mavx2 the attribute is redundant but harmless.
+#if !defined(__AVX2__)
+__attribute__((target("avx2")))
+#endif
+inline bool
+accumulate_avx2(std::int64_t* acc_ps, std::uint8_t* acc_eps,
+                const std::int64_t* src_ps, const std::uint8_t* src_eps,
+                std::int64_t w, std::size_t n) {
+  std::size_t i = 0;
+  __m256i vovf = _mm256_setzero_si256();
+  const __m256i vw = _mm256_set1_epi64x(w);
+  const __m256i zero = _mm256_setzero_si256();
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vs =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src_ps + i));
+    const __m256i vt = _mm256_add_epi64(vs, vw);
+    // Widen the 4 one-byte ε flags to 64-bit lanes; ==0 -> finite mask.
+    std::uint32_t se4 = 0;
+    std::memcpy(&se4, src_eps + i, 4);
+    const __m256i sfin = _mm256_cmpeq_epi64(
+        _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(static_cast<int>(se4))), zero);
+    std::uint32_t ae4 = 0;
+    std::memcpy(&ae4, acc_eps + i, 4);
+    const __m256i aeps = _mm256_cmpgt_epi64(
+        _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(static_cast<int>(ae4))), zero);
+    // Overflow sign pattern, masked to finite sources.
+    const __m256i vo = _mm256_and_si256(_mm256_xor_si256(vs, vt),
+                                        _mm256_xor_si256(vw, vt));
+    vovf = _mm256_or_si256(vovf, _mm256_and_si256(vo, sfin));
+    // AVX2 has no 64-bit max: compare + blend.
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc_ps + i));
+    const __m256i gt = _mm256_cmpgt_epi64(vt, va);
+    const __m256i take = _mm256_and_si256(sfin, _mm256_or_si256(aeps, gt));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc_ps + i),
+                        _mm256_blendv_epi8(va, vt, take));
+    const std::uint32_t out4 = ae4 & se4;
+    std::memcpy(acc_eps + i, &out4, 4);
+  }
+  std::int64_t ovf =
+      accumulate_range(acc_ps, acc_eps, src_ps, src_eps, w, i, n);
+  ovf |= _mm256_movemask_pd(_mm256_castsi256_pd(vovf)) != 0 ? std::int64_t{-1}
+                                                            : std::int64_t{0};
+  return ovf < 0;
+}
+
+#endif  // MAXEV_LANES_X86
+
+}  // namespace detail
+
+/// acc ⊕= (src ⊗ w) across the lane. Returns true when any finite lane's
+/// ⊗ overflowed (caller falls back to the scalar path; the accumulator
+/// scratch is discardable garbage in that case).
+inline bool accumulate(std::int64_t* acc_ps, std::uint8_t* acc_eps,
+                       const std::int64_t* src_ps, const std::uint8_t* src_eps,
+                       std::int64_t w, std::size_t n) {
+#if defined(MAXEV_LANES_X86)
+#if defined(MAXEV_SIMD) && defined(__AVX2__)
+  return detail::accumulate_avx2(acc_ps, acc_eps, src_ps, src_eps, w, n);
+#else
+  static const bool have_avx2 = __builtin_cpu_supports("avx2") != 0;
+  if (have_avx2)
+    return detail::accumulate_avx2(acc_ps, acc_eps, src_ps, src_eps, w, n);
+#endif
+#endif
+  return detail::accumulate_range(acc_ps, acc_eps, src_ps, src_eps, w, 0, n) <
+         0;
+}
+
+/// acc ⊕= v for a finite broadcast value (the lag > k simulation-origin
+/// arc: e ⊗ w is finite by construction, identical across the lane).
+inline void accumulate_broadcast(std::int64_t* acc_ps, std::uint8_t* acc_eps,
+                                 std::int64_t v, std::size_t n) {
+  MAXEV_LANE_VEC
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool take = (static_cast<unsigned>(acc_eps[i]) |
+                       static_cast<unsigned>(v > acc_ps[i])) != 0;
+    acc_ps[i] = take ? v : acc_ps[i];
+    acc_eps[i] = 0;
+  }
+}
+
+#undef MAXEV_LANE_VEC
+
+}  // namespace maxev::tdg::lanes

@@ -1,6 +1,7 @@
 #include "tdg/program.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/error.hpp"
 
@@ -154,7 +155,30 @@ Program Program::compile(const Graph& g) {
         static_cast<std::int32_t>(p.out_dst.size());
   }
 
+  p.compile_ops();
   return p;
+}
+
+void Program::compile_ops() {
+  load_ops = ops::compile_loads(loads);
+  const std::size_t n_ops = op_exec.size();
+  op_kind.assign(n_ops, static_cast<std::uint8_t>(ops::Kind::kFixedWeight));
+  op_const_dps.assign(n_ops, -1);
+  for (std::size_t j = 0; j < n_ops; ++j) {
+    if (!op_exec[j]) continue;  // fixed entry, kFixedWeight
+    const auto li = static_cast<std::size_t>(op_load[j]);
+    op_kind[j] = load_ops.kind[li];
+    if (static_cast<ops::Kind>(load_ops.kind[li]) != ops::Kind::kRateConstant)
+      continue;
+    // ResourceDesc::duration_for(ops) with a constant ops count: fold the
+    // whole duration at compile time (same expression as the engines' hot
+    // loops — identical instants by construction).
+    const std::int64_t ops_n = load_ops.a[li];
+    op_const_dps[j] =
+        ops_n <= 0 ? 0
+                   : static_cast<std::int64_t>(std::llround(
+                         static_cast<double>(ops_n) / op_rate[j] * 1e12));
+  }
 }
 
 }  // namespace maxev::tdg

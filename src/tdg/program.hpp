@@ -8,6 +8,7 @@
 #include "model/load.hpp"
 #include "model/token.hpp"
 #include "tdg/graph.hpp"
+#include "tdg/ops.hpp"
 
 /// \file program.hpp
 /// The compiled, instance-agnostic form of a frozen temporal dependency
@@ -84,6 +85,25 @@ struct Program {
   // Dense; indexed by the arcs/ops that actually carry a guard or load.
   std::vector<GuardFn> guards;
   std::vector<model::LoadFn> loads;
+
+  // ---- Opcode layer (docs/DESIGN.md §14) ----------------------------------
+  // The hoisted loads compiled into enum-dispatched table entries: the
+  // engines' hot loops switch on plain integers and only fall back to the
+  // std::function side table for kOpaqueClosure rows. Built by
+  // compile_ops() — called from compile() and after wire deserialization.
+  ops::LoadTable load_ops;
+  /// Per segment op: ops::Kind (kFixedWeight for fixed entries, the load's
+  /// kind for execute entries).
+  std::vector<std::uint8_t> op_kind;
+  /// Per segment op: fully pre-folded exec duration in picoseconds for
+  /// RateConstant loads (constant ops against the pre-resolved rate — the
+  /// double math happens once, here); -1 = not constant, evaluate at
+  /// runtime.
+  std::vector<std::int64_t> op_const_dps;
+
+  /// (Re)build the opcode tables from `loads`/`op_exec`/`op_load`/
+  /// `op_rate`. Idempotent; must run after any mutation of those tables.
+  void compile_ops();
 
   /// Per source: destination nodes of the attr-needing arcs (what
   /// set_attrs decrements). May contain duplicates when several arcs of

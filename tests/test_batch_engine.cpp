@@ -626,6 +626,98 @@ TEST(HeterogeneousBatchTest, InlineResumeClosesTheKernelEventGap) {
             isolated->kernel_stats().events_scheduled);
 }
 
+// ------------------------------------------------- Vector drain widths
+
+/// The SoA vector drain (tdg/lanes.hpp, docs/DESIGN.md §14) against the
+/// per-element mp::Scalar reference loop: identical traces, completion
+/// time and every counter, at the given batch width and drain thread
+/// count. The width walks vector-friendly lanes (2, 4, 8) and the
+/// remainder tails (1, 5, 7) that fall through to the kernels' scalar
+/// tail handling.
+void expect_vector_matches_reference(const Scenario& composed,
+                                     const char* context, int threads = 1) {
+  RunConfig ref_rc;
+  ref_rc.vector_drain = false;
+  RunConfig vec_rc;
+  vec_rc.threads = threads;
+  auto ref = Backend::equivalent().instantiate(composed, ref_rc);
+  auto vec = Backend::equivalent().instantiate(composed, vec_rc);
+  ASSERT_TRUE(ref->run().completed) << context;
+  ASSERT_TRUE(vec->run().completed) << context;
+
+  EXPECT_EQ(trace::compare_instants(ref->instants(), vec->instants()),
+            std::nullopt)
+      << context;
+  EXPECT_EQ(trace::compare_instants(vec->instants(), ref->instants()),
+            std::nullopt)
+      << context;
+  trace::UsageTraceSet ru = ref->usage();
+  trace::UsageTraceSet vu = vec->usage();
+  ru.sort_all();
+  vu.sort_all();
+  EXPECT_EQ(trace::compare_usage(ru, vu), std::nullopt) << context;
+  EXPECT_EQ(ref->end_time(), vec->end_time()) << context;
+  EXPECT_EQ(ref->relation_events(), vec->relation_events()) << context;
+  EXPECT_EQ(ref->instances_computed(), vec->instances_computed()) << context;
+  EXPECT_EQ(ref->arc_terms_evaluated(), vec->arc_terms_evaluated()) << context;
+  EXPECT_EQ(ref->kernel_stats().events_scheduled,
+            vec->kernel_stats().events_scheduled)
+      << context;
+}
+
+TEST(VectorDrainTest, LaneWidthInvariance) {
+  gen::DidacticConfig cfg;
+  cfg.tokens = 40;
+  const auto desc = model::share(gen::make_didactic(cfg));
+  for (const std::size_t n : {1u, 2u, 4u, 5u, 7u, 8u}) {
+    const Scenario composed = compose_clones(desc, n);
+    const std::string ctx = "didactic width " + std::to_string(n);
+    // Against the reference loop at the same width, and — via the solo
+    // helper, which runs the default (vector) configuration — against a
+    // solo tdg::Engine run of the shared description.
+    expect_vector_matches_reference(composed, ctx.c_str());
+    expect_clones_match_solo(composed, desc, {}, ctx.c_str());
+  }
+}
+
+TEST(VectorDrainTest, RandomArchWidths) {
+  gen::RandomArchConfig cfg;
+  cfg.tokens = 30;
+  cfg.multi_rate_producer_probability = 0.4;
+  for (const std::uint64_t seed : {3ull, 11ull, 19ull}) {
+    const auto desc = model::share(gen::make_random_architecture(seed, cfg));
+    for (const std::size_t n : {2u, 5u, 8u}) {
+      const Scenario composed = compose_clones(desc, n);
+      const std::string ctx =
+          "seed " + std::to_string(seed) + " width " + std::to_string(n);
+      expect_vector_matches_reference(composed, ctx.c_str());
+    }
+  }
+}
+
+TEST(VectorDrainTest, ComposesWithGroupThreads) {
+  // Stacked levers: two equal-structure sub-batches drained by worker
+  // threads, each sub-batch's uniform fronts going through the vector
+  // kernels. Traces must stay those of the serial reference loop.
+  gen::DidacticConfig ca;
+  ca.tokens = 40;
+  gen::DidacticConfig cb;
+  cb.tokens = 30;
+  const auto a = model::share(gen::make_didactic(ca));
+  const auto b = model::share(gen::make_didactic(cb));
+  std::vector<Scenario> parts;
+  for (int i = 0; i < 4; ++i) {
+    parts.emplace_back("a" + std::to_string(i), a);
+    parts.emplace_back("b" + std::to_string(i), b);
+  }
+  const Scenario mixed = compose("ab44", parts);
+  ASSERT_EQ(mixed.batch_groups().size(), 2u);
+  for (const int threads : {2, 8}) {
+    const std::string ctx = "ab44 threads " + std::to_string(threads);
+    expect_vector_matches_reference(mixed, ctx.c_str(), threads);
+  }
+}
+
 TEST(BatchEngineTest, MergedDescriptionMismatchRejected) {
   const auto base = model::share(gen::make_didactic({}));
   gen::DidacticConfig other_cfg;
