@@ -21,7 +21,11 @@
 ///     warm cell setup and study-matrix wall clock (byte-identical
 ///     reports), and the incremental-feed overhead of a streaming
 ///     serve::Session vs the same scenario run one-shot (bit-identical
-///     traces).
+///     traces);
+///  10. the adaptive backend (docs/DESIGN.md §15): steady-state LTE
+///     fast-forward speed-up at a long horizon vs the equivalent model,
+///     and the detector's overhead on an aperiodic (varying-frame)
+///     workload that never certifies.
 ///
 /// With `--json <path>` (or `--json=<path>`) the key metrics are also
 /// written as a JSON document — the repo's bench trajectory
@@ -30,7 +34,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#if __has_include(<malloc.h>)
+#include <malloc.h>
+#endif
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -90,6 +98,17 @@ double measure_native_event_ns() {
 }  // namespace
 
 int main(int argc, char** argv) {
+#if defined(M_TRIM_THRESHOLD) && defined(M_MMAP_THRESHOLD)
+  // Keep freed pages resident across reps. Model runs allocate and free tens
+  // of MB of trace storage each; with default glibc behavior the allocator
+  // hands those pages back to the kernel between reps, so every timed rep
+  // re-faults zeroed pages. For the short arms (e.g. the adaptive
+  // fast-forward, Ablation 10) that page-zeroing is larger than the work
+  // being measured. All arms run in the same process, so this shifts no
+  // comparison — it only takes the kernel out of the timings.
+  mallopt(M_TRIM_THRESHOLD, 256 << 20);
+  mallopt(M_MMAP_THRESHOLD, 256 << 20);
+#endif
   const std::string json_path = extract_json_flag(argc, argv);
   if (argc > 1) {
     std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
@@ -733,6 +752,92 @@ int main(int argc, char** argv) {
                 t9b.render().c_str());
   }
 
+  // --- 10. adaptive fast-forward (docs/DESIGN.md §15) ---------------------
+  // Steady state: a fixed-frame LTE receiver at a long horizon, where the
+  // detector certifies the 14-symbol subframe period early and the analytic
+  // continuation replaces almost the whole run. Aperiodic control: the
+  // varying-frame schedule never stabilizes, so the same backend pays only
+  // the detector feed on top of the full simulation.
+  constexpr std::uint64_t kAdaptiveSymbols = 200'000;
+  constexpr std::uint64_t kAperiodicSymbols = 20'000;
+  double adaptive_eq_s = 0, adaptive_ff_s = 0;
+  bool adaptive_extrapolated = false;
+  std::uint64_t adaptive_period = 0, adaptive_ff_iters = 0;
+  double aperiodic_eq_s = 0, aperiodic_ad_s = 0;
+  {
+    const auto time_once = [](const study::Backend& b,
+                              const study::Scenario& s,
+                              std::optional<study::AdaptiveStats>* stats) {
+      auto model = b.instantiate(s);
+      const auto t0 = std::chrono::steady_clock::now();
+      (void)model->run();
+      const double dt = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      if (stats != nullptr) *stats = model->adaptive_stats();
+      return dt;
+    };
+    // The two backends of each pair are timed interleaved, rep by rep, so a
+    // load or frequency shift mid-measurement biases both the same way —
+    // the ratio is what the ablation reports, not the absolute times.
+    const auto time_pair = [&time_once](const study::Scenario& s, int reps,
+                                        double& eq_best, double& ad_best,
+                                        std::optional<study::AdaptiveStats>*
+                                            stats) {
+      eq_best = 1e100;
+      ad_best = 1e100;
+      for (int rep = 0; rep < reps; ++rep) {
+        eq_best = std::min(
+            eq_best, time_once(study::Backend::equivalent(), s, nullptr));
+        ad_best =
+            std::min(ad_best, time_once(study::Backend::adaptive(), s, stats));
+      }
+    };
+
+    lte::ReceiverConfig acfg;
+    acfg.symbols = kAdaptiveSymbols;
+    lte::FrameParams frame;
+    frame.n_prb = 50;
+    frame.modulation = lte::Modulation::kQam64;
+    frame.code_rate = 0.75;
+    acfg.fixed_frame = frame;
+    const study::Scenario steady("lte_fixed",
+                                 model::share(lte::make_receiver(acfg)));
+    std::optional<study::AdaptiveStats> st;
+    time_pair(steady, 3, adaptive_eq_s, adaptive_ff_s, &st);
+    if (st.has_value()) {
+      adaptive_extrapolated = st->extrapolated;
+      adaptive_period = st->detected_period;
+      adaptive_ff_iters = st->extrapolated_iterations;
+    }
+
+    lte::ReceiverConfig vcfg;
+    vcfg.symbols = kAperiodicSymbols;
+    vcfg.seed = 2014;
+    const study::Scenario varying("lte_varying",
+                                  model::share(lte::make_receiver(vcfg)));
+    time_pair(varying, 8, aperiodic_eq_s, aperiodic_ad_s, nullptr);
+
+    ConsoleTable t10({"workload", "equivalent (s)", "adaptive (s)", "ratio"});
+    t10.add_row({"fixed frame", format("%.3f", adaptive_eq_s),
+                 format("%.3f", adaptive_ff_s),
+                 format("%.1fx", adaptive_eq_s / adaptive_ff_s)});
+    t10.add_row({"varying frame", format("%.3f", aperiodic_eq_s),
+                 format("%.3f", aperiodic_ad_s),
+                 format("%.2fx", aperiodic_eq_s / aperiodic_ad_s)});
+    std::printf("Ablation 10: adaptive fast-forward (fixed frame %s symbols, "
+                "varying frame %s; extrapolated=%d period=%llu skipped=%llu)"
+                "\n%s\n",
+                with_commas(static_cast<std::int64_t>(kAdaptiveSymbols))
+                    .c_str(),
+                with_commas(static_cast<std::int64_t>(kAperiodicSymbols))
+                    .c_str(),
+                adaptive_extrapolated ? 1 : 0,
+                static_cast<unsigned long long>(adaptive_period),
+                static_cast<unsigned long long>(adaptive_ff_iters),
+                t10.render().c_str());
+  }
+
   if (!json_path.empty()) {
     JsonWriter w;
     w.begin_object();
@@ -856,6 +961,19 @@ int main(int argc, char** argv) {
     w.field("closure_run_s", opcode_closure_s);
     w.field("opcode_run_s", opcode_tables_s);
     w.field("opcode_speedup", opcode_closure_s / opcode_tables_s);
+    w.end_object();
+    w.key("adaptive").begin_object();
+    w.field("steady_symbols", kAdaptiveSymbols);
+    w.field("steady_equivalent_s", adaptive_eq_s);
+    w.field("steady_adaptive_s", adaptive_ff_s);
+    w.field("steady_speedup", adaptive_eq_s / adaptive_ff_s);
+    w.field("extrapolated", adaptive_extrapolated);
+    w.field("detected_period", adaptive_period);
+    w.field("extrapolated_iterations", adaptive_ff_iters);
+    w.field("aperiodic_symbols", kAperiodicSymbols);
+    w.field("aperiodic_equivalent_s", aperiodic_eq_s);
+    w.field("aperiodic_adaptive_s", aperiodic_ad_s);
+    w.field("detector_overhead", aperiodic_ad_s / aperiodic_eq_s - 1.0);
     w.end_object();
     w.end_object();
     w.write_file(json_path);

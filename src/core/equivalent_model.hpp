@@ -82,6 +82,17 @@ class EquivalentModel {
   [[nodiscard]] model::ModelRuntime& runtime() { return *runtime_; }
   [[nodiscard]] const tdg::Graph& graph() const { return compiled_->graph; }
   [[nodiscard]] const tdg::Engine& engine() const { return *engine_; }
+  /// Mutable engine access for cooperating observers (the adaptive backend
+  /// raises the retain margin and snapshots history windows).
+  [[nodiscard]] tdg::Engine& engine_mut() { return *engine_; }
+  /// The compiled abstraction backing this model: frozen graph, program and
+  /// boundary metadata (the adaptive certifier walks inputs/outputs).
+  [[nodiscard]] const CompiledAbstraction& compiled() const {
+    return *compiled_;
+  }
+  [[nodiscard]] const model::DescPtr& desc_ptr() const { return desc_; }
+  /// The normalized abstraction group (empty = all functions).
+  [[nodiscard]] const std::vector<bool>& group() const { return group_; }
   [[nodiscard]] const trace::InstantTraceSet& instants() const {
     return runtime_->instants();
   }

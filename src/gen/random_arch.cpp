@@ -1,8 +1,10 @@
 #include "gen/random_arch.hpp"
 
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "model/shaping.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -176,39 +178,91 @@ model::ArchitectureDesc make_random_architecture(std::uint64_t seed,
   for (const OpenChannel& oc : open) {
     std::function<Duration(std::uint64_t)> delay;
     if (rng.chance(cfg.slow_sink_probability)) {
-      const std::int64_t base = rng.uniform_i64(0, 4000);
-      const std::int64_t spread = rng.uniform_i64(1, 3000);
-      delay = [base, spread](std::uint64_t k) {
-        return Duration::ns(base + static_cast<std::int64_t>(
-                                        (k * 2654435761u) % spread));
-      };
+      if (cfg.steady_shaping) {
+        // Introspectable periodic back-pressure: a short cyclic delay table
+        // (length 1/2/4 keeps the overall vector period small).
+        const std::size_t len = std::size_t{1} << rng.next_below(3);
+        auto table = std::make_shared<std::vector<std::int64_t>>();
+        for (std::size_t j = 0; j < len; ++j)
+          table->push_back(Duration::ns(rng.uniform_i64(0, 4000)).count());
+        delay = model::CyclicDurationFn{std::move(table)};
+      } else {
+        const std::int64_t base = rng.uniform_i64(0, 4000);
+        const std::int64_t spread = rng.uniform_i64(1, 3000);
+        delay = [base, spread](std::uint64_t k) {
+          return Duration::ns(base + static_cast<std::int64_t>(
+                                          (k * 2654435761u) % spread));
+        };
+      }
     }
     d.add_sink("sink" + std::to_string(sink_seq++), oc.ch, delay);
   }
 
   // Source timing and attributes.
   for (std::size_t s = 0; s < source_channels.size(); ++s) {
-    const std::uint64_t aseed = rng.next_u64();
-    auto attrs = [aseed](std::uint64_t k) {
-      Rng r(aseed ^ (k * 0xd1342543de82ef95ull));
-      TokenAttrs a;
-      a.size = r.uniform_i64(16, 4096);
-      a.params[0] = static_cast<double>(r.uniform_int(1, 8));
-      return a;
-    };
+    std::function<TokenAttrs(std::uint64_t)> attrs;
+    if (cfg.steady_shaping) {
+      const std::size_t len = std::size_t{1} << rng.next_below(3);
+      auto table = std::make_shared<std::vector<TokenAttrs>>();
+      for (std::size_t j = 0; j < len; ++j) {
+        TokenAttrs a;
+        a.size = rng.uniform_i64(16, 4096);
+        a.params[0] = static_cast<double>(rng.uniform_int(1, 8));
+        table->push_back(a);
+      }
+      attrs = model::CyclicAttrsFn{std::move(table)};
+    } else {
+      const std::uint64_t aseed = rng.next_u64();
+      attrs = [aseed](std::uint64_t k) {
+        Rng r(aseed ^ (k * 0xd1342543de82ef95ull));
+        TokenAttrs a;
+        a.size = r.uniform_i64(16, 4096);
+        a.params[0] = static_cast<double>(r.uniform_int(1, 8));
+        return a;
+      };
+    }
     std::function<TimePoint(std::uint64_t)> earliest;
     if (rng.chance(cfg.periodic_source_probability)) {
       const Duration period = Duration::ns(rng.uniform_i64(500, 20000));
-      earliest = [period](std::uint64_t k) {
-        return TimePoint::origin() + period * static_cast<std::int64_t>(k);
-      };
+      if (cfg.steady_shaping && cfg.warmup_tokens > 0) {
+        // Warmup-then-periodic, rendered as one explicit table: irregular
+        // (hash-jittered) monotone releases for the first warmup_tokens,
+        // then the exact periodic grid.
+        const std::uint64_t wseed = rng.next_u64();
+        auto values = std::make_shared<std::vector<std::int64_t>>();
+        values->reserve(cfg.tokens);
+        std::int64_t t = 0;
+        for (std::uint64_t k = 0; k < cfg.tokens; ++k) {
+          if (k < cfg.warmup_tokens) {
+            t += 1 + static_cast<std::int64_t>(
+                         (wseed ^ (k * 0x9e3779b97f4a7c15ull)) %
+                         static_cast<std::uint64_t>(period.count()));
+          } else {
+            t += period.count();
+          }
+          values->push_back(t);
+        }
+        earliest = model::TableTimeFn{std::move(values)};
+      } else if (cfg.steady_shaping) {
+        earliest = model::PeriodicTimeFn{0, period.count()};
+      } else {
+        earliest = [period](std::uint64_t k) {
+          return TimePoint::origin() + period * static_cast<std::int64_t>(k);
+        };
+      }
+    } else if (cfg.steady_shaping) {
+      earliest = model::PeriodicTimeFn{0, 0};  // self-timed, introspectable
     } else {
       earliest = [](std::uint64_t) { return TimePoint::origin(); };
     }
     std::function<Duration(std::uint64_t)> gap;
     if (rng.chance(0.3)) {
       const std::int64_t g = rng.uniform_i64(0, 2000);
-      gap = [g](std::uint64_t) { return Duration::ns(g); };
+      if (cfg.steady_shaping) {
+        gap = model::ConstantDurationFn{Duration::ns(g).count()};
+      } else {
+        gap = [g](std::uint64_t) { return Duration::ns(g); };
+      }
     }
     d.add_source("src" + std::to_string(s), source_channels[s], cfg.tokens,
                  earliest, attrs, gap);

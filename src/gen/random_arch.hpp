@@ -39,6 +39,20 @@ struct RandomArchConfig {
   double multi_rate_producer_probability = 0.0;
   /// Largest bundle width r.
   std::size_t max_producer_rate = 3;
+  /// Render every behavioural std::function as an introspectable shaping
+  /// functor (model/shaping.hpp) drawn towards a periodic steady state:
+  /// sources release on a PeriodicTimeFn grid, attrs cycle through a small
+  /// CyclicAttrsFn table (length 1/2/4), gaps become ConstantDurationFn,
+  /// and slow sinks delay through a small CyclicDurationFn table. This is
+  /// what the adaptive backend (study/adaptive.hpp) can certify and
+  /// fast-forward. false (the default) draws nothing extra from the RNG,
+  /// so historical seeds keep producing identical architectures.
+  bool steady_shaping = false;
+  /// With steady_shaping: periodic sources release the first warmup_tokens
+  /// tokens on an irregular (hash-jittered, monotone) prefix before locking
+  /// onto the periodic grid — rendered as one TableTimeFn so the behaviour
+  /// stays introspectable. 0 = exactly periodic from the first token.
+  std::uint64_t warmup_tokens = 0;
 };
 
 /// Generate a validated architecture; identical seeds give identical

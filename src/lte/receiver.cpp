@@ -1,8 +1,10 @@
 #include "lte/receiver.hpp"
 
 #include <iterator>
+#include <memory>
 
 #include "lte/workload.hpp"
+#include "model/shaping.hpp"
 #include "util/rng.hpp"
 
 namespace maxev::lte {
@@ -71,35 +73,55 @@ model::ArchitectureDesc make_receiver(const ReceiverConfig& cfg) {
   for (int i = 0; i < 7; ++i) {
     const auto f = d.add_function(kDspStages[i].name, dsp);
     d.fn_read(f, chain[i]);
-    auto ops = kDspStages[i].ops;
-    d.fn_execute(f, [ops](const TokenAttrs& a, std::uint64_t) { return ops(a); });
+    // A load that is a pure function of the attributes, carried as such:
+    // same values as the historical capturing lambda, but the adaptive
+    // certifier sees the k-independence instead of an opaque closure.
+    d.fn_execute(f, model::AttrsPureFn{kDspStages[i].ops});
     d.fn_write(f, chain[i + 1]);
   }
 
   const auto dec = d.add_function("channel_decoding", hw);
   d.fn_read(dec, d7);
-  d.fn_execute(dec, [](const TokenAttrs& a, std::uint64_t) {
-    return ops_channel_decoding(a);
-  });
+  d.fn_execute(dec, model::AttrsPureFn{ops_channel_decoding});
   d.fn_write(dec, dec_out);
 
   // Environment: one token per OFDM symbol, strictly periodic, with frame
   // parameters varying per subframe.
-  FrameSchedule sched =
-      cfg.schedule ? cfg.schedule : varying_frame_schedule(cfg.seed);
-  auto attrs = [sched](std::uint64_t k) {
-    SymbolInfo info;
-    info.frame = sched(k / kSymbolsPerSubframe);
-    info.symbol_index = static_cast<int>(k % kSymbolsPerSubframe);
-    return symbol_attrs(info);
-  };
-  auto earliest = [](std::uint64_t k) {
-    // Symbol i of subframe n arrives at n*1ms + i*71.428us (subframes are
-    // aligned to the millisecond grid, symbols spaced inside).
-    const auto n = static_cast<std::int64_t>(k / kSymbolsPerSubframe);
-    const auto i = static_cast<std::int64_t>(k % kSymbolsPerSubframe);
-    return TimePoint::origin() + kSubframePeriod * n + kSymbolPeriod * i;
-  };
+  std::function<TimePoint(std::uint64_t)> earliest;
+  std::function<TokenAttrs(std::uint64_t)> attrs;
+  if (cfg.fixed_frame.has_value()) {
+    // Constant frame parameters: the symbol grid and per-symbol attributes
+    // repeat every subframe, so both render as cyclic functors with the
+    // vector period kSymbolsPerSubframe (= 14).
+    auto offsets = std::make_shared<std::vector<std::int64_t>>();
+    auto table = std::make_shared<std::vector<TokenAttrs>>();
+    for (int i = 0; i < kSymbolsPerSubframe; ++i) {
+      offsets->push_back((kSymbolPeriod * i).count());
+      SymbolInfo info;
+      info.frame = *cfg.fixed_frame;
+      info.symbol_index = i;
+      table->push_back(symbol_attrs(info));
+    }
+    earliest =
+        model::CyclicTimeFn{kSubframePeriod.count(), std::move(offsets)};
+    attrs = model::CyclicAttrsFn{std::move(table)};
+  } else {
+    FrameSchedule sched =
+        cfg.schedule ? cfg.schedule : varying_frame_schedule(cfg.seed);
+    attrs = [sched](std::uint64_t k) {
+      SymbolInfo info;
+      info.frame = sched(k / kSymbolsPerSubframe);
+      info.symbol_index = static_cast<int>(k % kSymbolsPerSubframe);
+      return symbol_attrs(info);
+    };
+    earliest = [](std::uint64_t k) {
+      // Symbol i of subframe n arrives at n*1ms + i*71.428us (subframes are
+      // aligned to the millisecond grid, symbols spaced inside).
+      const auto n = static_cast<std::int64_t>(k / kSymbolsPerSubframe);
+      const auto i = static_cast<std::int64_t>(k % kSymbolsPerSubframe);
+      return TimePoint::origin() + kSubframePeriod * n + kSymbolPeriod * i;
+    };
+  }
   d.add_source("antenna", sym_in, cfg.symbols, earliest, attrs);
   d.add_sink("mac_layer", dec_out);
 
@@ -136,6 +158,7 @@ std::vector<CarrierVariant> carrier_aggregation_variants(
     frame.modulation = Modulation::kQam64;
     frame.code_rate = 0.75;
     v.config.schedule = fixed_frame_schedule(frame);
+    v.config.fixed_frame = frame;
     out.push_back(std::move(v));
   }
   return out;

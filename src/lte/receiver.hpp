@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,15 @@ struct ReceiverConfig {
   std::uint64_t seed = 1;
   double dsp_ops_per_second = 0;      ///< 0 = workload.hpp default
   double decoder_ops_per_second = 0;  ///< 0 = workload.hpp default
+  /// Constant frame parameters, rendered as *introspectable* shaping
+  /// functors (model/shaping.hpp): the antenna releases on a CyclicTimeFn
+  /// subframe grid and its attributes cycle through a 14-entry
+  /// CyclicAttrsFn symbol table. Timing and attributes are identical to
+  /// fixed_frame_schedule(*fixed_frame) — but the adaptive backend
+  /// (study/adaptive.hpp) can certify the cyclic forms and fast-forward
+  /// the steady state, while a schedule lambda stays opaque. Takes
+  /// precedence over `schedule`.
+  std::optional<FrameParams> fixed_frame;
 };
 
 /// A schedule that varies PRB allocation and modulation per subframe

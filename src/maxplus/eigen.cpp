@@ -1,0 +1,36 @@
+#include "maxplus/eigen.hpp"
+
+#include <algorithm>
+
+namespace maxev::mp {
+
+SteadyState steady_state(std::size_t node_count,
+                         const std::vector<RatioArc>& arcs, double tolerance) {
+  SteadyState out;
+  out.potential.assign(node_count, 0.0);
+  if (node_count == 0) return out;
+
+  const CycleRatioResult ratio = max_cycle_ratio(node_count, arcs, tolerance);
+  out.cycle_ratio_ps = ratio.max_ratio;
+  out.has_cycle = ratio.has_cycle;
+
+  // Longest paths under w − λ·lag, every node seeded at 0 (virtual source).
+  // λ is feasible, so no positive cycle remains beyond the binary-search
+  // tolerance; |V| passes reach the fixpoint, and the pass cap keeps the
+  // tolerance-sized residual cycles from spinning.
+  for (std::size_t pass = 0; pass < node_count; ++pass) {
+    bool changed = false;
+    for (const RatioArc& a : arcs) {
+      const double w =
+          a.weight - out.cycle_ratio_ps * static_cast<double>(a.lag);
+      if (out.potential[a.src] + w > out.potential[a.dst] + 1e-9) {
+        out.potential[a.dst] = out.potential[a.src] + w;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return out;
+}
+
+}  // namespace maxev::mp

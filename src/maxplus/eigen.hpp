@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "maxplus/cycle_ratio.hpp"
+
+/// \file eigen.hpp
+/// Steady-state eigen-structure of a timed event graph: the generalized
+/// (max,+) eigenvalue λ (the maximum cycle ratio — picoseconds per
+/// iteration) together with a vector of *eigen-potentials* v, one per node.
+/// In a periodic steady state the instants grow affinely,
+///
+///   x_n(k) ≈ λ·k + v[n] + c,
+///
+/// so λ fixes the common rate and the potentials fix the relative phase of
+/// the nodes within one period. The potentials are the longest-path
+/// distances in the graph reweighted by w(a) − λ·lag(a) (no positive cycle
+/// remains at the critical λ, so the distances are finite and reached
+/// within |V| relaxation passes) — the classical potential/eigenvector
+/// construction generalized to arbitrary lags.
+///
+/// The adaptive backend (study/adaptive.hpp) uses this as an analytic
+/// cross-check: the per-iteration rate Λ/P its detector measures on the
+/// simulated window must dominate λ of the frozen program's analysis graph.
+
+namespace maxev::mp {
+
+/// λ plus the node potentials.
+struct SteadyState {
+  /// Maximum cycle ratio in picoseconds per iteration (0 when acyclic).
+  double cycle_ratio_ps = 0.0;
+  /// False when no cycle constrains the rate (pure feed-forward).
+  bool has_cycle = false;
+  /// Per-node eigen-potential: longest-path distance under w − λ·lag from
+  /// the virtual all-zeros source. Relative values are the steady-state
+  /// phase offsets between nodes.
+  std::vector<double> potential;
+};
+
+/// Compute λ (via max_cycle_ratio) and the potentials for the given arc
+/// set. Same preconditions as max_cycle_ratio: a positive-weight zero-lag
+/// cycle throws maxev::DescriptionError.
+[[nodiscard]] SteadyState steady_state(std::size_t node_count,
+                                       const std::vector<RatioArc>& arcs,
+                                       double tolerance = 1e-3);
+
+}  // namespace maxev::mp

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -93,6 +94,22 @@ class ModelRuntime {
   [[nodiscard]] const trace::UsageTraceSet& usage() const { return usage_; }
   [[nodiscard]] trace::UsageTraceSet& mutable_usage() { return usage_; }
 
+  /// \name Regime-change notification
+  /// Feeders that alter *future* workload behaviour mid-run — a serve
+  /// streaming session appending tokens, a parameter sweep rebinding loads —
+  /// call notify_regime_change() so observers relying on observed regularity
+  /// can discard it. The adaptive backend (study/adaptive.hpp) registers a
+  /// listener to reset its periodicity detector (docs/DESIGN.md §15); with
+  /// no listener the notification is free.
+  /// @{
+  void set_regime_listener(std::function<void()> fn) {
+    regime_listener_ = std::move(fn);
+  }
+  void notify_regime_change() {
+    if (regime_listener_) regime_listener_();
+  }
+  /// @}
+
   [[nodiscard]] TimePoint end_time() const { return kernel_.now(); }
   [[nodiscard]] const ArchitectureDesc& desc() const { return *desc_; }
   [[nodiscard]] const DescPtr& desc_ptr() const { return desc_; }
@@ -124,6 +141,7 @@ class ModelRuntime {
   /// Interned busy-interval label ids, per function, in execute-statement
   /// order (filled when observing; see function_proc).
   std::vector<std::vector<std::int32_t>> exec_labels_;
+  std::function<void()> regime_listener_;
 };
 
 }  // namespace maxev::model

@@ -95,6 +95,10 @@ void Session::feed(std::size_t source, const std::vector<FedToken>& tokens) {
     st.earliest_ps.push_back(t.earliest_ps);
     st.attrs.push_back(t.attrs);
   }
+  // Fed tokens change the future workload: anything extrapolating from the
+  // observed prefix (the adaptive backend's periodicity detector) must
+  // restart its observation window.
+  model_->runtime().notify_regime_change();
 }
 
 Session::Watermark Session::watermark() const {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "model/desc.hpp"
+#include "model/shaping.hpp"
 #include "tdg/program.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
@@ -59,57 +60,19 @@ class WireError : public Error {
 };
 
 /// \name Introspectable shaping functors
-/// Wire-built descriptions wrap these named types so a later
+/// Wire-built descriptions wrap named functor types so a later
 /// desc_to_json() can recover the parameters (std::function::target).
-/// Tables are shared immutably: copying the std::function copies a
-/// pointer, not the table.
+/// The types themselves live in model/shaping.hpp (the adaptive backend
+/// certifies against the same vocabulary); these aliases preserve the
+/// historical serve:: spellings — and, because they are aliases, type
+/// identity for target<T>() introspection.
 /// @{
-
-/// earliest(k) from an explicit per-token table.
-struct TableTimeFn {
-  std::shared_ptr<const std::vector<std::int64_t>> values_ps;
-  TimePoint operator()(std::uint64_t k) const {
-    return TimePoint::at_ps(values_ps->at(k));
-  }
-};
-
-/// earliest(k) = offset + k * period.
-struct PeriodicTimeFn {
-  std::int64_t offset_ps = 0;
-  std::int64_t period_ps = 0;
-  TimePoint operator()(std::uint64_t k) const {
-    return TimePoint::at_ps(offset_ps +
-                            period_ps * static_cast<std::int64_t>(k));
-  }
-};
-
-/// Constant gap / consume delay.
-struct ConstantDurationFn {
-  std::int64_t ps = 0;
-  Duration operator()(std::uint64_t) const { return Duration::ps(ps); }
-};
-
-/// Per-token gap / consume delay table.
-struct TableDurationFn {
-  std::shared_ptr<const std::vector<std::int64_t>> values_ps;
-  Duration operator()(std::uint64_t k) const {
-    return Duration::ps(values_ps->at(k));
-  }
-};
-
-/// Every token carries the same attributes.
-struct ConstantAttrsFn {
-  model::TokenAttrs attrs;
-  model::TokenAttrs operator()(std::uint64_t) const { return attrs; }
-};
-
-/// Per-token attribute table.
-struct TableAttrsFn {
-  std::shared_ptr<const std::vector<model::TokenAttrs>> table;
-  model::TokenAttrs operator()(std::uint64_t k) const {
-    return table->at(k);
-  }
-};
+using TableTimeFn = model::TableTimeFn;
+using PeriodicTimeFn = model::PeriodicTimeFn;
+using ConstantDurationFn = model::ConstantDurationFn;
+using TableDurationFn = model::TableDurationFn;
+using ConstantAttrsFn = model::ConstantAttrsFn;
+using TableAttrsFn = model::TableAttrsFn;
 /// @}
 
 /// Supplies the behavioural functions of `{"type": "stream"}` sources —

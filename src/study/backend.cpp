@@ -6,6 +6,7 @@
 #include "core/batch_equivalent_model.hpp"
 #include "core/equivalent_model.hpp"
 #include "core/lt_runner.hpp"
+#include "study/adaptive.hpp"
 #include "util/error.hpp"
 
 namespace maxev::study {
@@ -261,6 +262,12 @@ Backend Backend::loosely_timed(Duration quantum) {
                  quantum);
 }
 
+Backend Backend::adaptive(AdaptiveOptions opts) {
+  Backend b(Kind::kAdaptive, "adaptive", Duration::ps(0));
+  b.adaptive_ = opts;
+  return b;
+}
+
 std::unique_ptr<Model> Backend::instantiate(const Scenario& scenario,
                                             const RunConfig& config) const {
   if (!scenario.valid())
@@ -280,6 +287,11 @@ std::unique_ptr<Model> Backend::instantiate(const Scenario& scenario,
     case Kind::kLooselyTimed:
       return std::make_unique<LooselyTimedBackendModel>(scenario, config,
                                                         quantum_);
+    case Kind::kAdaptive:
+      // Composed scenarios run on the merged graph: the batched drain owns
+      // the timestep-hook slot the detector needs, and the merged path is
+      // pinned bit-identical to it.
+      return std::make_unique<AdaptiveModel>(scenario, config, adaptive_);
   }
   throw Error("Backend::instantiate: unreachable");
 }

@@ -31,6 +31,53 @@ namespace maxev::study {
 /// Outcome of a model run (same semantics across all backends).
 using Outcome = model::ModelRuntime::Outcome;
 
+/// Tuning of the adaptive backend (Backend::adaptive): how its periodicity
+/// detector decides that the computed instants have entered a periodic
+/// steady state, and how much certification slack the analytic fast-forward
+/// is allowed (docs/DESIGN.md §15).
+struct AdaptiveOptions {
+  /// Largest vector period P the detector searches (iterations). The LTE
+  /// subframe grid needs P = 14; 1 covers plain periodic sources.
+  std::uint32_t max_period = 16;
+  /// K: consecutive iterations whose inter-iteration delta vectors must be
+  /// identical before a period is considered converged.
+  std::uint32_t stable_periods = 3;
+  /// Never fast-forward before this many iterations have been simulated
+  /// (warmup floor; 0 = detector-driven only).
+  std::uint64_t min_iterations = 0;
+  /// Per-instance residual allowed by the seeded one-period verification,
+  /// in picoseconds. 0 (the default) means fast-forward only when the
+  /// continuation is provably exact — reported max_error_ps stays 0.
+  std::int64_t tolerance_ps = 0;
+};
+
+/// What the adaptive backend did on one run (Model::adaptive_stats()).
+struct AdaptiveStats {
+  /// True when the run was cut over to the analytic continuation.
+  bool extrapolated = false;
+  /// Converged vector period P (iterations); 0 when never detected.
+  std::uint32_t detected_period = 0;
+  /// Iteration frontier at which the fast-forward engaged.
+  std::uint64_t detected_at = 0;
+  /// Iterations filled in analytically instead of simulated.
+  std::uint64_t extrapolated_iterations = 0;
+  /// Bound on the instant error introduced by extrapolation, in
+  /// picoseconds: 0 under exact certification, measured-residual ×
+  /// extrapolated periods under a non-zero tolerance.
+  std::int64_t max_error_ps = 0;
+  /// Certification attempts that were refused (the run kept simulating).
+  std::uint64_t refusals = 0;
+  /// Detector resets caused by regime-change notifications (stream feeds,
+  /// shaping perturbations).
+  std::uint64_t regime_resets = 0;
+  /// Human-readable reason of the most recent refusal (diagnostics only).
+  std::string last_refusal;
+  /// Analytic steady-state rate λ of the frozen program (mp::steady_state),
+  /// picoseconds per iteration; 0 when not computed. Cross-check only —
+  /// the fast-forward itself uses the measured per-node increments.
+  double analytic_ratio_ps = 0.0;
+};
+
 /// The unified executable-model interface. One Model = one simulation
 /// kernel; a composed scenario puts every instance into this one kernel.
 class Model {
@@ -69,6 +116,13 @@ class Model {
     std::size_t arcs = 0;
   };
   [[nodiscard]] virtual GraphShape graph_shape() const { return {}; }
+
+  /// What the adaptive fast-forward did, when this model is one
+  /// (Backend::adaptive); nullopt for every other backend. Studies use the
+  /// presence of a value to emit the fidelity report columns.
+  [[nodiscard]] virtual std::optional<AdaptiveStats> adaptive_stats() const {
+    return std::nullopt;
+  }
 
  protected:
   Model() = default;
@@ -126,11 +180,16 @@ struct RunConfig {
   bool vector_drain = true;
 };
 
-/// Value-semantic backend selector (a closed sum over the three execution
+/// Value-semantic backend selector (a closed sum over the execution
 /// styles). Equality of names identifies cells in a Report.
 class Backend {
  public:
-  enum class Kind : std::uint8_t { kBaseline, kEquivalent, kLooselyTimed };
+  enum class Kind : std::uint8_t {
+    kBaseline,
+    kEquivalent,
+    kLooselyTimed,
+    kAdaptive,
+  };
 
   /// Event-driven reference: every relation goes through the kernel.
   [[nodiscard]] static Backend baseline();
@@ -139,11 +198,21 @@ class Backend {
   [[nodiscard]] static Backend equivalent();
   /// Temporal decoupling with the given global quantum.
   [[nodiscard]] static Backend loosely_timed(Duration quantum);
+  /// The equivalent model plus a periodicity detector: once the computed
+  /// instants converge to a certified vector period, the remaining
+  /// iterations are filled in analytically and the kernel stops
+  /// (docs/DESIGN.md §15). Falls back to full simulation whenever
+  /// certification refuses.
+  [[nodiscard]] static Backend adaptive(AdaptiveOptions opts = {});
 
   [[nodiscard]] Kind kind() const { return kind_; }
-  /// Stable display/identity name: "baseline", "equivalent", "lt(10us)".
+  /// Stable display/identity name: "baseline", "equivalent", "lt(10us)",
+  /// "adaptive".
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] Duration quantum() const { return quantum_; }
+  [[nodiscard]] const AdaptiveOptions& adaptive_options() const {
+    return adaptive_;
+  }
 
   /// Build an executable model of \p scenario behind the unified interface.
   /// The model shares ownership of the scenario's description.
@@ -157,6 +226,7 @@ class Backend {
   Kind kind_;
   std::string name_;
   Duration quantum_;
+  AdaptiveOptions adaptive_;
 };
 
 }  // namespace maxev::study

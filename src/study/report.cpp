@@ -72,7 +72,15 @@ bool has_cache_columns(const Report& r) {
   return false;
 }
 
-std::vector<std::string> csv_header(bool with_cache) {
+/// Same convention for the adaptive fidelity columns: they exist only when
+/// some cell ran the adaptive backend.
+bool has_adaptive_columns(const Report& r) {
+  for (const Cell& c : r.cells)
+    if (c.extrapolated_iterations >= 0) return true;
+  return false;
+}
+
+std::vector<std::string> csv_header(bool with_cache, bool with_adaptive) {
   std::vector<std::string> header = {
       "scenario",       "backend",
       "reference",      "completed",
@@ -89,10 +97,16 @@ std::vector<std::string> csv_header(bool with_cache) {
     header.insert(header.end() - 2, "cache_hits");
     header.insert(header.end() - 2, "cache_misses");
   }
+  if (with_adaptive) {
+    header.insert(header.end() - 2, "fidelity");
+    header.insert(header.end() - 2, "extrapolated_iterations");
+    header.insert(header.end() - 2, "max_error_ps");
+  }
   return header;
 }
 
-std::vector<std::string> csv_row(const Cell& c, bool with_cache) {
+std::vector<std::string> csv_row(const Cell& c, bool with_cache,
+                                 bool with_adaptive) {
   const bool exact = c.errors.has_value() && c.errors->exact();
   std::vector<std::string> row = {
           c.scenario,
@@ -125,6 +139,15 @@ std::vector<std::string> csv_row(const Cell& c, bool with_cache) {
     row.insert(row.end() - 2,
                c.cache_misses >= 0 ? std::to_string(c.cache_misses) : "");
   }
+  if (with_adaptive) {
+    // Empty cells for non-adaptive backends in the same report.
+    row.insert(row.end() - 2, c.fidelity);
+    row.insert(row.end() - 2, c.extrapolated_iterations >= 0
+                                  ? std::to_string(c.extrapolated_iterations)
+                                  : "");
+    row.insert(row.end() - 2,
+               c.max_error_ps >= 0 ? std::to_string(c.max_error_ps) : "");
+  }
   return row;
 }
 
@@ -132,8 +155,9 @@ std::vector<std::string> csv_row(const Cell& c, bool with_cache) {
 
 void Report::write_csv(const std::string& path) const {
   const bool with_cache = has_cache_columns(*this);
-  CsvWriter csv(path, csv_header(with_cache));
-  for (const Cell& c : cells) csv.row(csv_row(c, with_cache));
+  const bool with_adaptive = has_adaptive_columns(*this);
+  CsvWriter csv(path, csv_header(with_cache, with_adaptive));
+  for (const Cell& c : cells) csv.row(csv_row(c, with_cache, with_adaptive));
 }
 
 namespace {
@@ -171,6 +195,11 @@ JsonWriter build_json(const Report& r) {
     w.field("kernel_event_ratio_vs_ref", c.kernel_event_ratio_vs_reference);
     if (c.cache_hits >= 0) w.field("cache_hits", c.cache_hits);
     if (c.cache_misses >= 0) w.field("cache_misses", c.cache_misses);
+    if (c.extrapolated_iterations >= 0) {
+      w.field("fidelity", c.fidelity);
+      w.field("extrapolated_iterations", c.extrapolated_iterations);
+      w.field("max_error_ps", c.max_error_ps);
+    }
     if (c.errors.has_value()) {
       w.key("errors").begin_object();
       w.field("exact", c.errors->exact());

@@ -74,6 +74,19 @@ struct Cell {
   std::int64_t cache_hits = -1;
   std::int64_t cache_misses = -1;
 
+  /// Adaptive-backend fidelity (Model::adaptive_stats()): "simulated" when
+  /// the run stayed in full simulation, "extrapolated" when the analytic
+  /// fast-forward engaged. Empty for every other backend — the writers then
+  /// omit the three columns entirely, keeping adaptive-less reports
+  /// byte-identical to the previous format (same convention as the cache
+  /// counters above).
+  std::string fidelity;
+  /// Iterations filled in analytically (-1 = not an adaptive cell).
+  std::int64_t extrapolated_iterations = -1;
+  /// Reported extrapolation error bound in picoseconds (-1 = not an
+  /// adaptive cell; 0 = provably exact continuation).
+  std::int64_t max_error_ps = -1;
+
   /// The rep-0 run's observation traces, retained when
   /// StudyOptions::keep_traces is set (null otherwise) — analyses like
   /// per-instance latency read them without re-simulating. Not serialized

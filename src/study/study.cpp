@@ -139,6 +139,12 @@ MeasuredCell measure(const Scenario& scenario, const Backend& backend,
         out.cell.graph_nodes = shape.nodes;
         out.cell.graph_paper_nodes = shape.paper_nodes;
         out.cell.graph_arcs = shape.arcs;
+        if (const std::optional<AdaptiveStats> ast = model->adaptive_stats()) {
+          out.cell.fidelity = ast->extrapolated ? "extrapolated" : "simulated";
+          out.cell.extrapolated_iterations =
+              static_cast<std::int64_t>(ast->extrapolated_iterations);
+          out.cell.max_error_ps = ast->max_error_ps;
+        }
         if (opts.require_completion && !outcome.completed) {
           throw SimulationError(
               backend.name() + ": " + outcome.stall_report,

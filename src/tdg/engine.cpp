@@ -336,7 +336,11 @@ void Engine::prune() {
   const std::size_t window = static_cast<std::size_t>(graph_->max_lag()) + 1;
   // Hysteresis: batch reclamation instead of churning one frame at a time.
   if (frames_.size() <= window + 8) return;
-  while (frames_.size() > window && base_k_ < retain_floor_) {
+  // The retain margin keeps a trailing band of fully-known frames below the
+  // floor alive (the adaptive backend's detection/seed window).
+  const std::uint64_t floor =
+      retain_floor_ > retain_margin_ ? retain_floor_ - retain_margin_ : 0;
+  while (frames_.size() > window && base_k_ < floor) {
     bool droppable = true;
     for (std::size_t i = 0; i <= graph_->max_lag() && droppable; ++i)
       droppable = frames_[i].known_count == n_nodes_;
@@ -368,6 +372,80 @@ std::optional<model::TokenAttrs> Engine::attrs_of(model::SourceId s,
 void Engine::set_retain_floor(std::uint64_t k) {
   retain_floor_ = std::max(retain_floor_, k);
   prune();
+}
+
+void Engine::set_retain_margin(std::uint64_t frames) {
+  retain_margin_ = std::max(retain_margin_, frames);
+}
+
+std::optional<mp::Scalar> Engine::scalar_value(NodeId n,
+                                               std::uint64_t k) const {
+  const Frame* f = frame_at(k);
+  if (f == nullptr || !f->known[static_cast<std::size_t>(n)])
+    return std::nullopt;
+  return f->value[static_cast<std::size_t>(n)];
+}
+
+const mp::Scalar* Engine::complete_row(std::uint64_t k) const {
+  const Frame* f = frame_at(k);
+  if (f == nullptr || f->known_count != n_nodes_) return nullptr;
+  return f->value.data();
+}
+
+Engine::HistoryWindow Engine::snapshot(std::uint64_t first_k,
+                                       std::uint64_t count) const {
+  HistoryWindow w;
+  w.first_k = first_k;
+  w.n_nodes = n_nodes_;
+  w.n_sources = n_sources_;
+  w.values.reserve(static_cast<std::size_t>(count) * n_nodes_);
+  w.attrs.reserve(static_cast<std::size_t>(count) * n_sources_);
+  w.attr_known.reserve(static_cast<std::size_t>(count) * n_sources_);
+  for (std::uint64_t k = first_k; k < first_k + count; ++k) {
+    const Frame* f = frame_at(k);
+    if (f == nullptr || f->known_count != n_nodes_)
+      throw Error("tdg::Engine: snapshot of iteration " + std::to_string(k) +
+                  " — frame not resident or not fully known");
+    w.values.insert(w.values.end(), f->value.begin(), f->value.end());
+    w.attrs.insert(w.attrs.end(), f->attrs.begin(), f->attrs.end());
+    w.attr_known.insert(w.attr_known.end(), f->attr_known.begin(),
+                        f->attr_known.end());
+  }
+  return w;
+}
+
+void Engine::seed_history(const HistoryWindow& w) {
+  if (!frames_.empty() || base_k_ != 0 || computed_ != 0)
+    throw Error("tdg::Engine: seed_history requires a fresh engine");
+  if (w.n_nodes != n_nodes_ || w.n_sources != n_sources_)
+    throw Error("tdg::Engine: seed_history window shape mismatch");
+  const std::size_t count = w.frames();
+  if (count < std::max<std::size_t>(graph_->max_lag(), 1))
+    throw Error("tdg::Engine: seed_history window shorter than the graph's "
+                "max lag");
+  base_k_ = w.first_k;
+  for (std::size_t i = 0; i < count; ++i) {
+    Frame f;
+    f.value.assign(w.values.begin() + static_cast<std::ptrdiff_t>(i * n_nodes_),
+                   w.values.begin() +
+                       static_cast<std::ptrdiff_t>((i + 1) * n_nodes_));
+    f.known.assign(n_nodes_, 1);
+    f.pending.assign(n_nodes_, 0);
+    f.attrs.assign(
+        w.attrs.begin() + static_cast<std::ptrdiff_t>(i * n_sources_),
+        w.attrs.begin() + static_cast<std::ptrdiff_t>((i + 1) * n_sources_));
+    f.attr_known.assign(
+        w.attr_known.begin() + static_cast<std::ptrdiff_t>(i * n_sources_),
+        w.attr_known.begin() +
+            static_cast<std::ptrdiff_t>((i + 1) * n_sources_));
+    f.known_count = n_nodes_;
+    frames_.push_back(std::move(f));
+    frame_ptrs_.push_back(&frames_.back());
+  }
+  // Seeded history is already observed — never re-flush it into the sinks.
+  next_flush_.assign(n_nodes_, w.first_k + count);
+  retain_floor_ = w.first_k;
+  complete_scan_ = w.first_k;
 }
 
 void Engine::on_known(NodeId n,

@@ -102,6 +102,19 @@ class Engine {
   /// instances suppressed by guards (ε) report std::nullopt as well.
   [[nodiscard]] std::optional<TimePoint> value(NodeId n, std::uint64_t k) const;
 
+  /// Raw max-plus scalar of an instance: distinguishes a determined-but-ε
+  /// value (guard-suppressed) from an undetermined or pruned one
+  /// (std::nullopt). The adaptive backend's periodicity detector reads
+  /// whole frames through this.
+  [[nodiscard]] std::optional<mp::Scalar> scalar_value(NodeId n,
+                                                       std::uint64_t k) const;
+
+  /// Dense row of all node values at iteration \p k, or nullptr unless the
+  /// frame is retained and every node is determined. The per-iteration
+  /// detector feed reads this instead of node_count() scalar_value calls;
+  /// the pointer is invalidated by the next engine mutation.
+  [[nodiscard]] const mp::Scalar* complete_row(std::uint64_t k) const;
+
   /// Token attributes of source \p s at iteration \p k, if set and retained.
   [[nodiscard]] std::optional<model::TokenAttrs> attrs_of(model::SourceId s,
                                                           std::uint64_t k) const;
@@ -110,6 +123,61 @@ class Engine {
   /// (the equivalent model's emission processes) still read their values.
   /// Monotone; defaults to 0 (retain everything until raised).
   void set_retain_floor(std::uint64_t k);
+
+  /// Additionally keep \p frames fully-known iterations *below* the retain
+  /// floor alive. The adaptive backend needs a trailing history window (the
+  /// detector's stability window plus the fast-forward seed) that the
+  /// emission processes' floor raises would otherwise reclaim. Monotone.
+  void set_retain_margin(std::uint64_t frames);
+
+  /// Number of leading iterations that are fully determined: the largest c
+  /// such that every node of every iteration k < c is known (ε counts as
+  /// determined). Iterations at and above c may still be partially known —
+  /// the pipeline frontier is ragged. Inline: the adaptive backend polls
+  /// this at every kernel timestep, and the common no-progress call is one
+  /// load and compare off the cursor.
+  [[nodiscard]] std::uint64_t completed_iterations() const {
+    // Frames below base_k_ were only reclaimed once fully known (prune()'s
+    // droppable check), so the scan can start at the window base.
+    std::uint64_t c = complete_scan_ > base_k_ ? complete_scan_ : base_k_;
+    const std::uint64_t limit = base_k_ + frame_ptrs_.size();
+    while (c < limit) {
+      const Frame* f = frame_ptrs_[c - base_k_];
+      if (f == nullptr || f->known_count != n_nodes_) break;
+      ++c;
+    }
+    complete_scan_ = c;
+    return c;
+  }
+
+  /// A contiguous window of fully-known frames, extracted for re-seeding a
+  /// fresh engine (the adaptive fast-forward's verification run,
+  /// docs/DESIGN.md §15).
+  struct HistoryWindow {
+    std::uint64_t first_k = 0;
+    std::size_t n_nodes = 0;
+    std::size_t n_sources = 0;
+    std::vector<mp::Scalar> values;          ///< frame-major, n_nodes each
+    std::vector<model::TokenAttrs> attrs;    ///< frame-major, n_sources each
+    std::vector<std::uint8_t> attr_known;    ///< frame-major, n_sources each
+    [[nodiscard]] std::size_t frames() const {
+      return n_nodes == 0 ? 0 : values.size() / n_nodes;
+    }
+  };
+
+  /// Copy frames [first_k, first_k + count) out of the live window. Every
+  /// frame must be resident and fully known; \throws maxev::Error otherwise
+  /// (raise the retain margin to guarantee residency).
+  [[nodiscard]] HistoryWindow snapshot(std::uint64_t first_k,
+                                       std::uint64_t count) const;
+
+  /// Seed a *fresh* engine (no frames touched yet) with a window captured
+  /// by snapshot(): the engine behaves as if iterations before
+  /// first_k + count had been computed with exactly those values, and
+  /// evaluation continues from there. The window must span at least the
+  /// graph's max lag so later computations never reach past it. Seeded
+  /// history is not re-flushed into the observation sinks.
+  void seed_history(const HistoryWindow& window);
 
   /// Register a callback fired whenever an instance of \p n becomes known
   /// with a finite value (computed or external). One callback per node.
@@ -122,6 +190,9 @@ class Engine {
   /// @}
 
   [[nodiscard]] const Graph& graph() const { return *graph_; }
+  /// The compiled program (read-only): the adaptive certifier inspects its
+  /// guard/load side tables.
+  [[nodiscard]] const Program& program() const { return prog_; }
 
  private:
   struct Frame {
@@ -199,6 +270,9 @@ class Engine {
   std::uint64_t computed_ = 0;
   std::uint64_t arc_terms_ = 0;
   std::uint64_t retain_floor_ = 0;
+  std::uint64_t retain_margin_ = 0;
+  /// Cursor for completed_iterations(): everything below is fully known.
+  mutable std::uint64_t complete_scan_ = 0;
 };
 
 }  // namespace maxev::tdg

@@ -112,16 +112,16 @@ ExtractedSystem to_linear_system(const Graph& g, AttrsProvider attrs) {
   return ex;
 }
 
-mp::CycleRatioResult throughput_bound(const Graph& g,
-                                      const AttrsProvider& attrs,
-                                      std::uint64_t sample_iterations) {
+RatioGraph to_ratio_graph(const Graph& g, const AttrsProvider& attrs,
+                          std::uint64_t sample_iterations) {
   if (!g.frozen())
-    throw DescriptionError("throughput_bound: graph must be frozen");
+    throw DescriptionError("to_ratio_graph: graph must be frozen");
   if (sample_iterations == 0)
-    throw DescriptionError("throughput_bound: need at least one sample");
+    throw DescriptionError("to_ratio_graph: need at least one sample");
 
-  std::vector<mp::RatioArc> arcs;
-  arcs.reserve(g.arc_count());
+  RatioGraph out;
+  out.nodes = g.node_count();
+  out.arcs.reserve(g.arc_count());
   for (const Arc& a : g.arcs()) {
     double mean = 0.0;
     std::uint64_t used = 0;
@@ -134,10 +134,17 @@ mp::CycleRatioResult throughput_bound(const Graph& g,
     }
     if (used == 0) continue;  // arc always guarded off in the sample
     mean /= static_cast<double>(used);
-    arcs.push_back({static_cast<std::size_t>(a.src),
-                    static_cast<std::size_t>(a.dst), mean, a.lag});
+    out.arcs.push_back({static_cast<std::size_t>(a.src),
+                        static_cast<std::size_t>(a.dst), mean, a.lag});
   }
-  return mp::max_cycle_ratio(g.node_count(), arcs);
+  return out;
+}
+
+mp::CycleRatioResult throughput_bound(const Graph& g,
+                                      const AttrsProvider& attrs,
+                                      std::uint64_t sample_iterations) {
+  const RatioGraph rg = to_ratio_graph(g, attrs, sample_iterations);
+  return mp::max_cycle_ratio(rg.nodes, rg.arcs);
 }
 
 }  // namespace maxev::tdg

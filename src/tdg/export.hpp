@@ -45,6 +45,20 @@ struct ExtractedSystem {
 [[nodiscard]] ExtractedSystem to_linear_system(const Graph& g,
                                                AttrsProvider attrs);
 
+/// The cycle-ratio analysis graph: mean arc durations sampled over
+/// iterations [0, sample_iterations) with the given attribute provider.
+/// Consumed by mp::max_cycle_ratio / mp::steady_state (the adaptive
+/// backend's analytic cross-check reuses this instead of rebuilding arcs).
+struct RatioGraph {
+  std::size_t nodes = 0;
+  std::vector<mp::RatioArc> arcs;
+};
+
+/// \pre g.frozen(), sample_iterations >= 1
+[[nodiscard]] RatioGraph to_ratio_graph(const Graph& g,
+                                        const AttrsProvider& attrs,
+                                        std::uint64_t sample_iterations = 64);
+
 /// Build the cycle-ratio analysis graph using mean arc durations sampled
 /// over iterations [0, sample_iterations) with the given attribute
 /// provider. The maximum cycle ratio bounds the steady-state input period

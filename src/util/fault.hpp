@@ -27,6 +27,8 @@
 ///   trace.append         trace::UsageTrace::push
 ///   pool.submit          util::ThreadPool::submit
 ///   pool.parallel_for    util::ThreadPool::parallel_for entry
+///   adaptive.fastforward study::AdaptiveModel commit, after certification
+///                        and staging but before any trace is extended
 
 namespace maxev::util {
 

@@ -5,6 +5,8 @@
 
 #include "gen/didactic.hpp"
 #include "model/baseline.hpp"
+#include "model/load.hpp"
+#include "model/shaping.hpp"
 #include "sim/kernel.hpp"
 #include "study/study.hpp"
 #include "tdg/batch_engine.hpp"
@@ -184,6 +186,60 @@ TEST_F(FaultInjectionTest, VectorFlushFaultPublishesNoPartialLane) {
     ASSERT_TRUE(ok.value(inst, 2, 0).has_value());
     EXPECT_EQ(*ok.value(inst, 2, 0), TimePoint::at_ps(u + 3000));
   }
+}
+
+TEST_F(FaultInjectionTest, AdaptiveFastForwardFaultFallsBackToSimulation) {
+  // adaptive.fastforward sits in study::AdaptiveModel's commit, after
+  // certification and staging but before the first trace is extended. A
+  // fault there must publish nothing: the model permanently falls back to
+  // full simulation and still produces the reference traces exactly
+  // (docs/DESIGN.md §15's all-or-nothing cut-over).
+  model::ArchitectureDesc d;
+  const auto r =
+      d.add_resource("cpu", model::ResourcePolicy::kConcurrent, 1e9);
+  const auto in = d.add_rendezvous("in");
+  const auto out = d.add_rendezvous("out");
+  const auto f = d.add_function("f", r);
+  d.fn_read(f, in);
+  d.fn_execute(f, model::constant_ops(1000));
+  d.fn_write(f, out);
+  d.add_source("src", in, 120, model::PeriodicTimeFn{0, 1'000'000},
+               model::ConstantAttrsFn{});
+  d.add_sink("sink", out);
+  d.validate();
+  const study::Scenario s("chain", std::move(d));
+
+  auto ref = study::Backend::equivalent().instantiate(s);
+  ASSERT_TRUE(ref->run().completed);
+
+  // Sanity: with the injector quiet this workload extrapolates.
+  auto clean = study::Backend::adaptive().instantiate(s);
+  ASSERT_TRUE(clean->run().completed);
+  ASSERT_TRUE(clean->adaptive_stats().has_value());
+  ASSERT_TRUE(clean->adaptive_stats()->extrapolated);
+
+  FaultInjector::arm("adaptive.fastforward", 1);
+  auto m = study::Backend::adaptive().instantiate(s);
+  study::Outcome oc;
+  EXPECT_NO_THROW(oc = m->run());
+  EXPECT_TRUE(oc.completed);
+  EXPECT_EQ(FaultInjector::hits("adaptive.fastforward"), 1u);
+  const auto st = m->adaptive_stats();
+  ASSERT_TRUE(st.has_value());
+  EXPECT_FALSE(st->extrapolated);  // the failed cut-over disabled itself
+
+  // No partial instants were published: the fully simulated traces equal
+  // the reference's in both directions, as does the completion time.
+  EXPECT_EQ(trace::compare_instants(ref->instants(), m->instants()),
+            std::nullopt);
+  EXPECT_EQ(trace::compare_instants(m->instants(), ref->instants()),
+            std::nullopt);
+  trace::UsageTraceSet ru = ref->usage();
+  trace::UsageTraceSet mu = m->usage();
+  ru.sort_all();
+  mu.sort_all();
+  EXPECT_EQ(trace::compare_usage(ru, mu), std::nullopt);
+  EXPECT_EQ(ref->end_time(), m->end_time());
 }
 
 TEST_F(FaultInjectionTest, GuardedRerunAfterFaultIsBounded) {
